@@ -1,0 +1,40 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race vet bench experiments experiments-quick fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper's evaluation.
+experiments:
+	$(GO) run ./cmd/sdsbench -exp all
+
+experiments-quick:
+	$(GO) run ./cmd/sdsbench -exp all -quick
+
+# Short fuzzing pass over the sort and partition invariants.
+fuzz:
+	$(GO) test ./internal/psort -fuzz FuzzSort -fuzztime 30s -run xxx
+	$(GO) test ./internal/psort -fuzz FuzzStableSort -fuzztime 30s -run xxx
+	$(GO) test ./internal/partition -fuzz FuzzFastPartition -fuzztime 30s -run xxx
+	$(GO) test ./internal/partition -fuzz FuzzStablePartition -fuzztime 30s -run xxx
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

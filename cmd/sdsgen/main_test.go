@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sdssort/internal/codec"
+	"sdssort/internal/recordio"
+	"sdssort/internal/workload"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv("SDSGEN_CLI_CHILD") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "SDSGEN_CLI_CHILD=1")
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func TestGenerateZipf(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "zipf.f64")
+	stdout, err := runCLI(t, "-kind", "zipf", "-alpha", "1.4", "-n", "20000", "-o", out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, stdout)
+	}
+	if !strings.Contains(stdout, "wrote 20000 records") {
+		t.Fatalf("output:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "δ (duplication ratio)") {
+		t.Fatalf("missing δ report:\n%s", stdout)
+	}
+	keys, err := recordio.ReadFile(out, codec.Float64{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 20000 {
+		t.Fatalf("%d keys", len(keys))
+	}
+	if delta := workload.DupRatio(keys); delta < 0.25 || delta > 0.40 {
+		t.Fatalf("δ=%v for α=1.4, want ≈0.33", delta)
+	}
+}
+
+func TestGeneratePTFAndCosmo(t *testing.T) {
+	dir := t.TempDir()
+	ptf := filepath.Join(dir, "ptf.rec")
+	if out, err := runCLI(t, "-kind", "ptf", "-n", "5000", "-o", ptf); err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	recs, err := recordio.ReadFile(ptf, codec.PTFCodec{})
+	if err != nil || len(recs) != 5000 {
+		t.Fatalf("ptf: %d records, %v", len(recs), err)
+	}
+
+	cosmo := filepath.Join(dir, "cosmo.rec")
+	if out, err := runCLI(t, "-kind", "cosmo", "-n", "5000", "-o", cosmo); err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	parts, err := recordio.ReadFile(cosmo, codec.ParticleCodec{})
+	if err != nil || len(parts) != 5000 {
+		t.Fatalf("cosmo: %d records, %v", len(parts), err)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := runCLI(t, "-kind", "uniform", "-n", "10"); err == nil {
+		t.Fatal("missing -o accepted")
+	}
+	if _, err := runCLI(t, "-kind", "bogus", "-n", "10", "-o", filepath.Join(t.TempDir(), "x")); err == nil {
+		t.Fatal("bogus kind accepted")
+	}
+}

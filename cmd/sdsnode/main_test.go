@@ -1,0 +1,99 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"slices"
+	"testing"
+
+	"sdssort/internal/codec"
+	"sdssort/internal/recordio"
+	"sdssort/internal/workload"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv("SDSNODE_CLI_CHILD") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestDistributedProcesses runs a real multi-process sort: each rank is
+// its own OS process talking TCP, reading its shard of a shared input
+// file and writing its sorted shard — the full cmd/sdsnode deployment
+// story on one machine.
+func TestDistributedProcesses(t *testing.T) {
+	const p = 3
+	dir := t.TempDir()
+	in := filepath.Join(dir, "shared.f64")
+	keys := workload.ZipfKeys(7, 9000, 1.4, workload.DefaultZipfUniverse)
+	if err := recordio.WriteFile(in, codec.Float64{}, keys); err != nil {
+		t.Fatal(err)
+	}
+	registry := freePort(t)
+
+	cmds := make([]*exec.Cmd, p)
+	outs := make([]string, p)
+	for r := 0; r < p; r++ {
+		outs[r] = filepath.Join(dir, fmt.Sprintf("out-%d.f64", r))
+		cmd := exec.Command(os.Args[0],
+			"-rank", fmt.Sprint(r), "-size", fmt.Sprint(p),
+			"-registry", registry,
+			"-in", in, "-out", outs[r])
+		cmd.Env = append(os.Environ(), "SDSNODE_CLI_CHILD=1")
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		cmds[r] = cmd
+	}
+	for r, cmd := range cmds {
+		if err := cmd.Wait(); err != nil {
+			t.Fatalf("rank %d process failed: %v", r, err)
+		}
+	}
+
+	// Concatenating shard outputs in rank order must reproduce the
+	// sorted input.
+	var flat []float64
+	for r := 0; r < p; r++ {
+		part, err := recordio.ReadFile(outs[r], codec.Float64{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		flat = append(flat, part...)
+	}
+	want := append([]float64(nil), keys...)
+	slices.Sort(want)
+	if !slices.Equal(flat, want) {
+		t.Fatal("multi-process output differs from the sorted input")
+	}
+}
+
+func TestNodeBadFlags(t *testing.T) {
+	run := func(args ...string) error {
+		cmd := exec.Command(os.Args[0], args...)
+		cmd.Env = append(os.Environ(), "SDSNODE_CLI_CHILD=1")
+		return cmd.Run()
+	}
+	if err := run("-rank", "5", "-size", "2"); err == nil {
+		t.Fatal("rank out of range accepted")
+	}
+	if err := run("-rank", "0", "-size", "0"); err == nil {
+		t.Fatal("zero size accepted")
+	}
+}

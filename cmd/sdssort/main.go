@@ -1,0 +1,242 @@
+// Command sdssort sorts a binary record file on an in-process cluster
+// using SDS-Sort (or one of the baselines) and writes the sorted file.
+//
+// Usage:
+//
+//	sdssort -in zipf.f64 -out sorted.f64 -nodes 4 -cores 2
+//	sdssort -in ptf.rec  -type ptf -stable -out sorted.rec
+//	sdssort -in zipf.f64 -algo hyksort -out sorted.f64
+//
+// The input is split evenly across the ranks, sorted collectively, and
+// the rank outputs are concatenated in order. -stats prints the phase
+// breakdown and the RDFA load-balance metric.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"sdssort/internal/cluster"
+	"sdssort/internal/codec"
+	"sdssort/internal/comm"
+	"sdssort/internal/core"
+	"sdssort/internal/extsort"
+	"sdssort/internal/hyksort"
+	"sdssort/internal/metrics"
+	"sdssort/internal/psrs"
+	"sdssort/internal/recordio"
+	"sdssort/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sdssort: ")
+	var (
+		in     = flag.String("in", "", "input record file (required)")
+		out    = flag.String("out", "", "output file (omit to discard)")
+		typ    = flag.String("type", "f64", "record type: f64 | ptf | cosmo | csv")
+		col    = flag.Int("col", 0, "CSV column holding the numeric key (csv type only)")
+		algo   = flag.String("algo", "sds", "algorithm: sds | hyksort | psrs | external")
+		chunk  = flag.Int("chunk", 1<<20, "records per in-memory chunk (external only)")
+		nodes  = flag.Int("nodes", 2, "simulated nodes")
+		cores  = flag.Int("cores", 2, "ranks per node")
+		stable = flag.Bool("stable", false, "stable sort (sds only)")
+		tauM   = flag.Int64("taum", core.DefaultOptions().TauM, "node-merge threshold τm (bytes)")
+		tauO   = flag.Int("tauo", core.DefaultOptions().TauO, "overlap threshold τo (ranks)")
+		tauS   = flag.Int("taus", core.DefaultOptions().TauS, "merge-vs-sort threshold τs (ranks)")
+		stats  = flag.Bool("stats", true, "print phase breakdown and RDFA")
+		verify = flag.Bool("verify", true, "run the distributed sortedness check after the sort")
+		trc    = flag.String("trace", "", "write a JSONL event trace to this file")
+	)
+	flag.Parse()
+	if *in == "" {
+		log.Fatal("-in input file is required")
+	}
+	if *algo == "external" {
+		if *out == "" {
+			log.Fatal("-out is required with -algo external")
+		}
+		runExternal(*in, *out, *typ, *col, *chunk, *cores, *stable)
+		return
+	}
+	var tracer trace.Tracer
+	if *trc != "" {
+		f, err := os.Create(*trc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		tracer = trace.NewJSONL(f)
+	}
+	switch *typ {
+	case "f64":
+		run(*in, *out, codec.Float64{}, cmpOrdered[float64], *algo, *nodes, *cores, *stable, *tauM, *tauO, *tauS, *stats, *verify, tracer)
+	case "csv":
+		keys, err := recordio.ReadCSVColumn(*in, *col)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runRecords(keys, *out, codec.Float64{}, cmpOrdered[float64], *algo, *nodes, *cores, *stable, *tauM, *tauO, *tauS, *stats, *verify, tracer)
+	case "ptf":
+		run(*in, *out, codec.PTFCodec{}, codec.ComparePTF, *algo, *nodes, *cores, *stable, *tauM, *tauO, *tauS, *stats, *verify, tracer)
+	case "cosmo":
+		run(*in, *out, codec.ParticleCodec{}, codec.CompareParticles, *algo, *nodes, *cores, *stable, *tauM, *tauO, *tauS, *stats, *verify, tracer)
+	default:
+		log.Fatalf("unknown record type %q", *typ)
+	}
+}
+
+// runExternal performs the out-of-core sort: bounded memory, spill runs,
+// streaming merge (package extsort).
+func runExternal(in, out, typ string, col, chunk, cores int, stable bool) {
+	opt := extsort.Options{ChunkRecords: chunk, Cores: cores, Stable: stable}
+	start := time.Now()
+	var err error
+	var n int64
+	switch typ {
+	case "f64":
+		err = extsort.SortFile(in, out, codec.Float64{}, cmpOrdered[float64], opt)
+		if err == nil {
+			n, err = recordio.Count[float64](out, codec.Float64{})
+		}
+	case "csv":
+		keys, kerr := recordio.ReadCSVColumn(in, col)
+		if kerr != nil {
+			log.Fatal(kerr)
+		}
+		tmp := out + ".keys"
+		if err = recordio.WriteFile(tmp, codec.Float64{}, keys); err == nil {
+			defer os.Remove(tmp)
+			err = extsort.SortFile(tmp, out, codec.Float64{}, cmpOrdered[float64], opt)
+			n = int64(len(keys))
+		}
+	case "ptf":
+		err = extsort.SortFile(in, out, codec.PTFCodec{}, codec.ComparePTF, opt)
+		if err == nil {
+			n, err = recordio.Count[codec.PTFRecord](out, codec.PTFCodec{})
+		}
+	case "cosmo":
+		err = extsort.SortFile(in, out, codec.ParticleCodec{}, codec.CompareParticles, opt)
+		if err == nil {
+			n, err = recordio.Count[codec.Particle](out, codec.ParticleCodec{})
+		}
+	default:
+		log.Fatalf("unknown record type %q for external sort", typ)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("externally sorted %d records (chunks of %d) in %v -> %s\n",
+		n, chunk, time.Since(start).Round(time.Microsecond), out)
+}
+
+func cmpOrdered[T float64 | int64 | uint64](a, b T) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func run[T any](in, out string, cd codec.Codec[T], cmp func(a, b T) int,
+	algo string, nodes, cores int, stable bool, tauM int64, tauO, tauS int, stats, verify bool, tracer trace.Tracer) {
+
+	records, err := recordio.ReadFile(in, cd)
+	if err != nil {
+		log.Fatal(err)
+	}
+	runRecords(records, out, cd, cmp, algo, nodes, cores, stable, tauM, tauO, tauS, stats, verify, tracer)
+}
+
+// runRecords sorts already-loaded records on an in-process cluster.
+func runRecords[T any](records []T, out string, cd codec.Codec[T], cmp func(a, b T) int,
+	algo string, nodes, cores int, stable bool, tauM int64, tauO, tauS int, stats, verify bool, tracer trace.Tracer) {
+
+	topo := cluster.Topology{Nodes: nodes, CoresPerNode: cores}
+	p := topo.Size()
+	per := (len(records) + p - 1) / p
+	parts := make([][]T, p)
+	for r := 0; r < p; r++ {
+		lo := r * per
+		hi := min(lo+per, len(records))
+		if lo > len(records) {
+			lo = len(records)
+		}
+		parts[r] = records[lo:hi]
+	}
+
+	timers := make([]*metrics.PhaseTimer, p)
+	for i := range timers {
+		timers[i] = metrics.NewPhaseTimer()
+	}
+	start := time.Now()
+	outputs, err := cluster.Gather(topo, cluster.Options{}, func(c *comm.Comm) ([]T, error) {
+		local := append([]T(nil), parts[c.Rank()]...)
+		sorted, err := func() ([]T, error) {
+			switch algo {
+			case "sds":
+				opt := core.DefaultOptions()
+				opt.Stable = stable
+				opt.TauM = tauM
+				opt.TauO = tauO
+				opt.TauS = tauS
+				opt.Timer = timers[c.Rank()]
+				opt.Trace = tracer
+				return core.Sort(c, local, cd, cmp, opt)
+			case "hyksort":
+				opt := hyksort.DefaultOptions()
+				opt.Timer = timers[c.Rank()]
+				return hyksort.Sort(c, local, cd, cmp, opt)
+			case "psrs":
+				return psrs.Sort(c, local, cd, cmp, psrs.Options{Timer: timers[c.Rank()]})
+			default:
+				return nil, fmt.Errorf("unknown algorithm %q", algo)
+			}
+		}()
+		if err != nil {
+			return nil, err
+		}
+		if verify {
+			if err := core.Verify(c, sorted, cd, cmp); err != nil {
+				return nil, err
+			}
+		}
+		return sorted, nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	total := 0
+	loads := make([]int, p)
+	for r, part := range outputs {
+		loads[r] = len(part)
+		total += len(part)
+	}
+	fmt.Printf("sorted %d records with %s on %d×%d ranks in %v (%s)\n",
+		total, algo, nodes, cores, elapsed.Round(time.Microsecond),
+		metrics.FormatThroughput(metrics.Throughput(int64(total)*int64(cd.Size()), elapsed)))
+	if stats {
+		fmt.Printf("RDFA: %s\n", metrics.FmtRDFA(metrics.RDFA(loads)))
+		merged := metrics.MergeMax(timers)
+		for _, ph := range metrics.Phases() {
+			fmt.Printf("  %-16s %s\n", ph.String(), metrics.FmtDur(merged[ph]))
+		}
+	}
+	if out != "" {
+		var flat []T
+		for _, part := range outputs {
+			flat = append(flat, part...)
+		}
+		if err := recordio.WriteFile(out, cd, flat); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+}

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"slices"
+	"strings"
+	"testing"
+
+	"sdssort/internal/codec"
+	"sdssort/internal/recordio"
+	"sdssort/internal/workload"
+)
+
+// TestMain lets the test binary impersonate the CLI: when the marker
+// environment variable is set, run main() with the given arguments
+// instead of the tests — the standard pattern for exercising a command
+// end to end without shelling out to `go run`.
+func TestMain(m *testing.M) {
+	if os.Getenv("SDSSORT_CLI_CHILD") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runCLI invokes this test binary as the CLI with args.
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "SDSSORT_CLI_CHILD=1")
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func TestCLISortRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.f64")
+	out := filepath.Join(dir, "out.f64")
+	keys := workload.ZipfKeys(1, 20000, 1.4, workload.DefaultZipfUniverse)
+	if err := recordio.WriteFile(in, codec.Float64{}, keys); err != nil {
+		t.Fatal(err)
+	}
+	stdout, err := runCLI(t, "-in", in, "-out", out, "-nodes", "2", "-cores", "2", "-stable")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, stdout)
+	}
+	if !strings.Contains(stdout, "sorted 20000 records") {
+		t.Fatalf("unexpected output:\n%s", stdout)
+	}
+	got, err := recordio.ReadFile(out, codec.Float64{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]float64(nil), keys...)
+	slices.Sort(want)
+	if !slices.Equal(got, want) {
+		t.Fatal("CLI output is not the sorted input")
+	}
+}
+
+func TestCLIBaselineAlgos(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.f64")
+	if err := recordio.WriteFile(in, codec.Float64{}, workload.Uniform(2, 5000)); err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []string{"hyksort", "psrs"} {
+		stdout, err := runCLI(t, "-in", in, "-algo", algo, "-verify=false")
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", algo, err, stdout)
+		}
+		if !strings.Contains(stdout, "sorted 5000 records with "+algo) {
+			t.Fatalf("%s output:\n%s", algo, stdout)
+		}
+	}
+}
+
+func TestCLIExternalSort(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.f64")
+	out := filepath.Join(dir, "out.f64")
+	keys := workload.Uniform(3, 30000)
+	if err := recordio.WriteFile(in, codec.Float64{}, keys); err != nil {
+		t.Fatal(err)
+	}
+	stdout, err := runCLI(t, "-in", in, "-out", out, "-algo", "external", "-chunk", "4000")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, stdout)
+	}
+	got, err := recordio.ReadFile(out, codec.Float64{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.IsSorted(got) || len(got) != len(keys) {
+		t.Fatal("external sort output wrong")
+	}
+}
+
+func TestCLICSVInput(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "keys.csv")
+	out := filepath.Join(dir, "out.f64")
+	if err := os.WriteFile(in, []byte("id,score\n1,0.9\n2,0.1\n3,0.5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout, err := runCLI(t, "-in", in, "-type", "csv", "-col", "1", "-out", out, "-stats=false")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, stdout)
+	}
+	got, err := recordio.ReadFile(out, codec.Float64{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(got, []float64{0.1, 0.5, 0.9}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestCLITraceOutput(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.f64")
+	trc := filepath.Join(dir, "run.jsonl")
+	if err := recordio.WriteFile(in, codec.Float64{}, workload.Uniform(4, 3000)); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := runCLI(t, "-in", in, "-trace", trc, "-stats=false"); err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	blob, err := os.ReadFile(trc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), "sort.start") {
+		t.Fatalf("trace missing events:\n%s", blob)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	if _, err := runCLI(t, "-in", "/nonexistent/file"); err == nil {
+		t.Fatal("missing input accepted")
+	}
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.f64")
+	if err := recordio.WriteFile(in, codec.Float64{}, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCLI(t, "-in", in, "-type", "bogus"); err == nil {
+		t.Fatal("bogus type accepted")
+	}
+	if _, err := runCLI(t, "-in", in, "-algo", "bogus"); err == nil {
+		t.Fatal("bogus algorithm accepted")
+	}
+	if _, err := runCLI(t, "-in", in, "-algo", "external"); err == nil {
+		t.Fatal("external without -out accepted")
+	}
+}

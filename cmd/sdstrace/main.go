@@ -1,0 +1,34 @@
+// Command sdstrace summarises a JSONL event trace produced by
+// cmd/sdssort -trace (or sdssort.TraceJSON): event counts per kind,
+// per-rank exchange volumes with the observed imbalance, and whether
+// skew-aware duplicate splitting engaged.
+//
+//	sdssort -in zipf.f64 -trace run.jsonl
+//	sdstrace run.jsonl
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"sdssort/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sdstrace: ")
+	if len(os.Args) != 2 {
+		log.Fatal("usage: sdstrace <trace.jsonl>")
+	}
+	f, err := os.Open(os.Args[1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	events, err := trace.ReadJSONL(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(trace.Analyze(events).Render())
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv("SDSTRACE_CLI_CHILD") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "SDSTRACE_CLI_CHILD=1")
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func TestSummariseTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	lines := strings.Join([]string{
+		`{"seq":1,"elapsed_us":0,"rank":0,"kind":"sort.start","detail":{"records":10}}`,
+		`{"seq":2,"elapsed_us":50,"rank":0,"kind":"exchange.plan","detail":{"recv_records":10}}`,
+		`{"seq":3,"elapsed_us":90,"rank":0,"kind":"sort.done"}`,
+	}, "\n")
+	if err := os.WriteFile(path, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCLI(t, path)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "3 events") || !strings.Contains(out, "exchange: 10 records") {
+		t.Fatalf("summary:\n%s", out)
+	}
+}
+
+func TestBadArgs(t *testing.T) {
+	if out, err := runCLI(t); err == nil {
+		t.Fatalf("no-arg run accepted:\n%s", out)
+	}
+	if out, err := runCLI(t, "/nonexistent.jsonl"); err == nil {
+		t.Fatalf("missing file accepted:\n%s", out)
+	}
+}

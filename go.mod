@@ -1,0 +1,3 @@
+module sdssort
+
+go 1.22

@@ -1,0 +1,121 @@
+// Package cluster launches in-process "clusters": p ranks as goroutines
+// over a comm.World fabric, grouped into simulated nodes of c cores
+// each. It is the stand-in for the MPI job launcher (aprun/srun) on the
+// paper's Cray XC30 testbed.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"sdssort/internal/comm"
+)
+
+// Topology describes the simulated machine shape.
+type Topology struct {
+	// Nodes is the number of simulated compute nodes.
+	Nodes int
+	// CoresPerNode is the number of ranks placed on each node. The
+	// paper's Edison nodes have 24; laptop-scale runs typically use
+	// 2-8.
+	CoresPerNode int
+}
+
+// Size returns the total rank count.
+func (t Topology) Size() int { return t.Nodes * t.CoresPerNode }
+
+// Validate reports whether the topology is runnable.
+func (t Topology) Validate() error {
+	if t.Nodes <= 0 || t.CoresPerNode <= 0 {
+		return fmt.Errorf("cluster: topology %d nodes × %d cores must be positive", t.Nodes, t.CoresPerNode)
+	}
+	return nil
+}
+
+// Options configures a launch beyond the topology.
+type Options struct {
+	// WrapTransport, when non-nil, decorates each rank's transport
+	// before the communicator is built — used to layer the simnet
+	// network-cost model under the algorithms.
+	WrapTransport func(comm.Transport) comm.Transport
+}
+
+// Run launches one goroutine per rank, each receiving the world
+// communicator for an in-process fabric shaped like topo, and waits for
+// all of them. If any rank returns an error the fabric is shut down so
+// the remaining ranks unblock, and the per-rank errors are joined.
+func Run(topo Topology, fn func(c *comm.Comm) error) error {
+	return RunOpts(topo, Options{}, fn)
+}
+
+// RunOpts is Run with launch options.
+func RunOpts(topo Topology, opts Options, fn func(c *comm.Comm) error) error {
+	if err := topo.Validate(); err != nil {
+		return err
+	}
+	size := topo.Size()
+	world, err := comm.NewWorld(size, comm.BlockNodes(size, topo.CoresPerNode))
+	if err != nil {
+		return err
+	}
+	defer world.Close()
+
+	errs := make([]error, size)
+	var once sync.Once
+	var wg sync.WaitGroup
+	wg.Add(size)
+	for r := 0; r < size; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			// A panicking rank must not take the whole process down:
+			// convert it to a rank error and unblock the peers, the
+			// way an MPI job launcher reports a crashed rank.
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = fmt.Errorf("rank %d: panic: %v", rank, p)
+					once.Do(func() { world.Close() })
+				}
+			}()
+			tr := comm.Transport(world.Transport(rank))
+			if opts.WrapTransport != nil {
+				tr = opts.WrapTransport(tr)
+			}
+			c := comm.New(tr)
+			if err := fn(c); err != nil {
+				errs[rank] = fmt.Errorf("rank %d: %w", rank, err)
+				// Tear the fabric down so ranks blocked in
+				// collectives with this one fail fast instead
+				// of deadlocking the launch.
+				once.Do(func() { world.Close() })
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	var nonNil []error
+	for _, e := range errs {
+		if e != nil {
+			nonNil = append(nonNil, e)
+		}
+	}
+	return errors.Join(nonNil...)
+}
+
+// Gather runs fn on a cluster and collects each rank's result value,
+// indexed by rank. It fails like RunOpts does.
+func Gather[T any](topo Topology, opts Options, fn func(c *comm.Comm) (T, error)) ([]T, error) {
+	out := make([]T, topo.Size())
+	err := RunOpts(topo, opts, func(c *comm.Comm) error {
+		v, err := fn(c)
+		if err != nil {
+			return err
+		}
+		out[c.Rank()] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

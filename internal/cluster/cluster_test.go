@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"sdssort/internal/comm"
+)
+
+func TestRunAllRanksExecute(t *testing.T) {
+	var count atomic.Int32
+	topo := Topology{Nodes: 3, CoresPerNode: 2}
+	err := Run(topo, func(c *comm.Comm) error {
+		count.Add(1)
+		if c.Size() != 6 {
+			return fmt.Errorf("size %d", c.Size())
+		}
+		if want := c.Rank() / 2; c.Node() != want {
+			return fmt.Errorf("rank %d on node %d, want %d", c.Rank(), c.Node(), want)
+		}
+		return c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 6 {
+		t.Fatalf("ran %d ranks", count.Load())
+	}
+}
+
+func TestRunPropagatesRankErrors(t *testing.T) {
+	topo := Topology{Nodes: 2, CoresPerNode: 1}
+	sentinel := errors.New("rank failure")
+	err := Run(topo, func(c *comm.Comm) error {
+		if c.Rank() == 1 {
+			return sentinel
+		}
+		// Rank 0 blocks on a receive that will never come; the
+		// launcher must unblock it by closing the fabric.
+		_, err := c.Recv(1, 0)
+		if err == nil {
+			return errors.New("expected closed-fabric error")
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got %v", err)
+	}
+	if !strings.Contains(err.Error(), "rank 1") {
+		t.Fatalf("error lacks rank attribution: %v", err)
+	}
+}
+
+func TestRunInvalidTopology(t *testing.T) {
+	if err := Run(Topology{}, func(c *comm.Comm) error { return nil }); err == nil {
+		t.Fatal("zero topology accepted")
+	}
+	if err := Run(Topology{Nodes: -1, CoresPerNode: 2}, func(c *comm.Comm) error { return nil }); err == nil {
+		t.Fatal("negative topology accepted")
+	}
+}
+
+func TestGatherCollectsByRank(t *testing.T) {
+	topo := Topology{Nodes: 2, CoresPerNode: 2}
+	out, err := Gather(topo, Options{}, func(c *comm.Comm) (int, error) {
+		return c.Rank() * 10, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, v := range out {
+		if v != r*10 {
+			t.Fatalf("out[%d]=%d", r, v)
+		}
+	}
+}
+
+func TestGatherError(t *testing.T) {
+	topo := Topology{Nodes: 2, CoresPerNode: 1}
+	_, err := Gather(topo, Options{}, func(c *comm.Comm) (int, error) {
+		if c.Rank() == 0 {
+			return 0, errors.New("boom")
+		}
+		return 1, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// wrapCount verifies the transport decoration hook fires once per rank.
+func TestRunOptsWrapTransport(t *testing.T) {
+	var wraps atomic.Int32
+	topo := Topology{Nodes: 2, CoresPerNode: 2}
+	err := RunOpts(topo, Options{
+		WrapTransport: func(tr comm.Transport) comm.Transport {
+			wraps.Add(1)
+			return tr
+		},
+	}, func(c *comm.Comm) error { return c.Barrier() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wraps.Load() != 4 {
+		t.Fatalf("wrapped %d transports", wraps.Load())
+	}
+}
+
+func TestTopologySize(t *testing.T) {
+	if (Topology{Nodes: 3, CoresPerNode: 4}).Size() != 12 {
+		t.Fatal("size")
+	}
+}
+
+func TestRunRecoversRankPanic(t *testing.T) {
+	topo := Topology{Nodes: 2, CoresPerNode: 1}
+	err := Run(topo, func(c *comm.Comm) error {
+		if c.Rank() == 1 {
+			panic("rank blew up")
+		}
+		// Rank 0 blocks; the panicking rank's cleanup must unblock it.
+		_, rerr := c.Recv(1, 0)
+		if rerr == nil {
+			return errors.New("expected closed-fabric error")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "panic: rank blew up") {
+		t.Fatalf("got %v", err)
+	}
+}

@@ -1,0 +1,103 @@
+// Package codec serialises fixed-width records for the all-to-all
+// exchange. The communication layer moves []byte, as MPI does; codecs
+// are the typed boundary between the generic sorting algorithms and the
+// wire. All records in the paper's workloads are fixed width (a key plus
+// an optional fixed payload), so the interface is fixed-width: this keeps
+// the displacement arithmetic of the exchange exact (bytes = count×Size).
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Codec converts single records to and from a fixed-width wire format.
+// Implementations must be stateless and safe for concurrent use.
+type Codec[T any] interface {
+	// Size is the exact number of bytes Marshal writes per record.
+	Size() int
+	// Marshal writes rec into dst[:Size()]. dst must have at least
+	// Size() bytes.
+	Marshal(dst []byte, rec T)
+	// Unmarshal reads one record from src[:Size()].
+	Unmarshal(src []byte) T
+}
+
+// EncodeSlice appends the wire form of recs to dst and returns the
+// extended buffer.
+func EncodeSlice[T any](c Codec[T], dst []byte, recs []T) []byte {
+	sz := c.Size()
+	off := len(dst)
+	dst = append(dst, make([]byte, sz*len(recs))...)
+	for _, r := range recs {
+		c.Marshal(dst[off:off+sz], r)
+		off += sz
+	}
+	return dst
+}
+
+// DecodeSlice decodes all records in src, which must be a whole number
+// of records.
+func DecodeSlice[T any](c Codec[T], src []byte) ([]T, error) {
+	sz := c.Size()
+	if len(src)%sz != 0 {
+		return nil, fmt.Errorf("codec: buffer length %d is not a multiple of record size %d", len(src), sz)
+	}
+	out := make([]T, 0, len(src)/sz)
+	for off := 0; off < len(src); off += sz {
+		out = append(out, c.Unmarshal(src[off:off+sz]))
+	}
+	return out, nil
+}
+
+// DecodeAppend decodes src into dst (appending) and returns the extended
+// slice, avoiding an allocation when dst has capacity.
+func DecodeAppend[T any](c Codec[T], dst []T, src []byte) ([]T, error) {
+	sz := c.Size()
+	if len(src)%sz != 0 {
+		return dst, fmt.Errorf("codec: buffer length %d is not a multiple of record size %d", len(src), sz)
+	}
+	for off := 0; off < len(src); off += sz {
+		dst = append(dst, c.Unmarshal(src[off:off+sz]))
+	}
+	return dst, nil
+}
+
+// Float64 encodes float64 keys as little-endian IEEE-754.
+type Float64 struct{}
+
+func (Float64) Size() int { return 8 }
+
+func (Float64) Marshal(dst []byte, v float64) {
+	binary.LittleEndian.PutUint64(dst, math.Float64bits(v))
+}
+
+func (Float64) Unmarshal(src []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(src))
+}
+
+// Uint64 encodes uint64 keys little-endian.
+type Uint64 struct{}
+
+func (Uint64) Size() int                    { return 8 }
+func (Uint64) Marshal(dst []byte, v uint64) { binary.LittleEndian.PutUint64(dst, v) }
+func (Uint64) Unmarshal(src []byte) uint64  { return binary.LittleEndian.Uint64(src) }
+
+// Int64 encodes int64 keys little-endian (two's complement).
+type Int64 struct{}
+
+func (Int64) Size() int                   { return 8 }
+func (Int64) Marshal(dst []byte, v int64) { binary.LittleEndian.PutUint64(dst, uint64(v)) }
+func (Int64) Unmarshal(src []byte) int64  { return int64(binary.LittleEndian.Uint64(src)) }
+
+// Funcs adapts three functions into a Codec, for ad-hoc record types.
+type Funcs[T any] struct {
+	Width     int
+	MarshalFn func(dst []byte, rec T)
+	UnmarshFn func(src []byte) T
+}
+
+func (f Funcs[T]) Size() int               { return f.Width }
+func (f Funcs[T]) Marshal(dst []byte, r T) { f.MarshalFn(dst, r) }
+func (f Funcs[T]) Unmarshal(src []byte) T  { return f.UnmarshFn(src) }

@@ -1,0 +1,200 @@
+package comm
+
+import "fmt"
+
+// Additional collectives beyond what the sort's hot path needs: scatter,
+// reduction trees, prefix scans, and ring/pairwise variants of the dense
+// collectives. They complete the MPI-style surface for applications
+// built on the runtime and serve as algorithmic alternatives in the
+// benchmarks (ring allgather versus gather+bcast, pairwise versus eager
+// all-to-all).
+
+const (
+	tagScatter int32 = -1024 - iota*16
+	tagReduce
+	tagRing
+	tagPairwise
+)
+
+// tagExscanBase gets its own band: the scan uses one tag per doubling
+// round, up to 64 of them.
+const tagExscanBase int32 = -2048
+
+// Scatter distributes parts[i] from root to rank i and returns each
+// rank's part. Only root's parts argument is consulted.
+func (c *Comm) Scatter(root int, parts [][]byte) ([]byte, error) {
+	p := len(c.group)
+	if root < 0 || root >= p {
+		return nil, fmt.Errorf("comm: scatter root %d out of range", root)
+	}
+	if c.rank == root {
+		if len(parts) != p {
+			return nil, fmt.Errorf("comm: scatter needs %d parts, got %d", p, len(parts))
+		}
+		for r := 0; r < p; r++ {
+			if r == root {
+				continue
+			}
+			if err := c.sendInternal(r, tagScatter, parts[r]); err != nil {
+				return nil, fmt.Errorf("comm: scatter send to %d: %w", r, err)
+			}
+		}
+		return append([]byte(nil), parts[root]...), nil
+	}
+	buf, err := c.recvInternal(root, tagScatter)
+	if err != nil {
+		return nil, fmt.Errorf("comm: scatter recv: %w", err)
+	}
+	return buf, nil
+}
+
+// Reduce folds one value per rank with op down a binomial tree to root,
+// which receives the result (other ranks receive 0). op must be
+// associative; the reduction order is deterministic for a fixed size.
+func (c *Comm) Reduce(root int, v int64, op func(a, b int64) int64) (int64, error) {
+	p := len(c.group)
+	if root < 0 || root >= p {
+		return 0, fmt.Errorf("comm: reduce root %d out of range", root)
+	}
+	// Rotate so root is virtual rank 0, then fold up the tree.
+	vr := (c.rank - root + p) % p
+	acc := v
+	for mask := 1; mask < p; mask *= 2 {
+		if vr&mask != 0 {
+			parent := ((vr &^ mask) + root) % p
+			if err := c.sendInternal(parent, tagReduce, encodeInts([]int64{acc})); err != nil {
+				return 0, fmt.Errorf("comm: reduce send: %w", err)
+			}
+			return 0, nil
+		}
+		childVr := vr | mask
+		if childVr >= p {
+			continue
+		}
+		child := (childVr + root) % p
+		buf, err := c.recvInternal(child, tagReduce)
+		if err != nil {
+			return 0, fmt.Errorf("comm: reduce recv: %w", err)
+		}
+		vals, err := decodeInts(buf)
+		if err != nil || len(vals) != 1 {
+			return 0, fmt.Errorf("comm: reduce payload from rank %d", child)
+		}
+		acc = op(acc, vals[0])
+	}
+	return acc, nil
+}
+
+// ExScan computes the exclusive prefix reduction: rank r receives
+// op(v_0, ..., v_{r-1}), with identity on rank 0. This is what turns
+// per-rank counts into global displacements.
+func (c *Comm) ExScan(v, identity int64, op func(a, b int64) int64) (int64, error) {
+	p := len(c.group)
+	acc := identity // exclusive prefix so far
+	carry := v      // inclusive contribution to forward
+	for dist := 1; dist < p; dist *= 2 {
+		tag := tagExscanBase - int32(bitsLen(dist))
+		if peer := c.rank + dist; peer < p {
+			if err := c.sendInternal(peer, tag, encodeInts([]int64{carry})); err != nil {
+				return 0, fmt.Errorf("comm: exscan send: %w", err)
+			}
+		}
+		if peer := c.rank - dist; peer >= 0 {
+			buf, err := c.recvInternal(peer, tag)
+			if err != nil {
+				return 0, fmt.Errorf("comm: exscan recv: %w", err)
+			}
+			vals, err := decodeInts(buf)
+			if err != nil || len(vals) != 1 {
+				return 0, fmt.Errorf("comm: exscan payload")
+			}
+			acc = op(vals[0], acc)
+			carry = op(vals[0], carry)
+		}
+	}
+	return acc, nil
+}
+
+func bitsLen(v int) int {
+	n := 0
+	for v > 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// RingAllgather is Allgather via the ring algorithm: p-1 steps, each
+// rank forwarding the block it received last step. It moves the same
+// bytes as the flat gather+bcast but spreads them across all links —
+// the bandwidth-optimal choice on real networks.
+func (c *Comm) RingAllgather(data []byte) ([][]byte, error) {
+	p := len(c.group)
+	out := make([][]byte, p)
+	out[c.rank] = append([]byte(nil), data...)
+	if p == 1 {
+		return out, nil
+	}
+	next := (c.rank + 1) % p
+	prev := (c.rank - 1 + p) % p
+	block := c.rank
+	for step := 0; step < p-1; step++ {
+		if err := c.sendInternal(next, tagRing, out[block]); err != nil {
+			return nil, fmt.Errorf("comm: ring send step %d: %w", step, err)
+		}
+		incoming := (block - 1 + p) % p
+		buf, err := c.recvInternal(prev, tagRing)
+		if err != nil {
+			return nil, fmt.Errorf("comm: ring recv step %d: %w", step, err)
+		}
+		out[incoming] = buf
+		block = incoming
+	}
+	return out, nil
+}
+
+// PairwiseAlltoall is Alltoall via the pairwise-exchange algorithm: at
+// step k every rank exchanges with rank^k (power-of-two sizes) or with
+// (rank±k) mod p otherwise. Unlike the eager Alltoall it keeps at most
+// one message in flight per rank, bounding buffer usage — the variant
+// of choice when per-rank memory is tight.
+func (c *Comm) PairwiseAlltoall(parts [][]byte) ([][]byte, error) {
+	p := len(c.group)
+	if len(parts) != p {
+		return nil, fmt.Errorf("comm: pairwise alltoall needs %d parts, got %d", p, len(parts))
+	}
+	out := make([][]byte, p)
+	out[c.rank] = append([]byte(nil), parts[c.rank]...)
+	if p == 1 {
+		return out, nil
+	}
+	if p&(p-1) == 0 {
+		// XOR schedule: step k pairs rank with rank^k.
+		for k := 1; k < p; k++ {
+			peer := c.rank ^ k
+			if err := c.sendInternal(peer, tagPairwise, parts[peer]); err != nil {
+				return nil, fmt.Errorf("comm: pairwise send step %d: %w", k, err)
+			}
+			buf, err := c.recvInternal(peer, tagPairwise)
+			if err != nil {
+				return nil, fmt.Errorf("comm: pairwise recv step %d: %w", k, err)
+			}
+			out[peer] = buf
+		}
+		return out, nil
+	}
+	// Shift schedule for arbitrary p.
+	for k := 1; k < p; k++ {
+		sendTo := (c.rank + k) % p
+		recvFrom := (c.rank - k + p) % p
+		if err := c.sendInternal(sendTo, tagPairwise, parts[sendTo]); err != nil {
+			return nil, fmt.Errorf("comm: pairwise send step %d: %w", k, err)
+		}
+		buf, err := c.recvInternal(recvFrom, tagPairwise)
+		if err != nil {
+			return nil, fmt.Errorf("comm: pairwise recv step %d: %w", k, err)
+		}
+		out[recvFrom] = buf
+	}
+	return out, nil
+}

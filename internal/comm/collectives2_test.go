@@ -1,0 +1,206 @@
+package comm
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestScatter(t *testing.T) {
+	for _, p := range []int{1, 2, 5, 8} {
+		for root := 0; root < p; root += 3 {
+			runRanks(t, p, nil, func(c *Comm) error {
+				var parts [][]byte
+				if c.Rank() == root {
+					parts = make([][]byte, p)
+					for r := range parts {
+						parts[r] = []byte{byte(r), byte(r * 3)}
+					}
+				}
+				got, err := c.Scatter(root, parts)
+				if err != nil {
+					return err
+				}
+				want := []byte{byte(c.Rank()), byte(c.Rank() * 3)}
+				if !bytes.Equal(got, want) {
+					return fmt.Errorf("rank %d got %v want %v", c.Rank(), got, want)
+				}
+				return nil
+			})
+		}
+	}
+}
+
+func TestScatterValidation(t *testing.T) {
+	runRanks(t, 2, nil, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if _, err := c.Scatter(0, [][]byte{{1}}); err == nil {
+				return errors.New("wrong part count accepted")
+			}
+		}
+		if _, err := c.Scatter(9, nil); err == nil {
+			return errors.New("bad root accepted")
+		}
+		return nil
+	})
+}
+
+func TestReduce(t *testing.T) {
+	add := func(a, b int64) int64 { return a + b }
+	for _, p := range []int{1, 2, 3, 7, 8} {
+		for root := 0; root < p; root += 2 {
+			runRanks(t, p, nil, func(c *Comm) error {
+				got, err := c.Reduce(root, int64(c.Rank()+1), add)
+				if err != nil {
+					return err
+				}
+				if c.Rank() != root {
+					return nil
+				}
+				want := int64(p * (p + 1) / 2)
+				if got != want {
+					return fmt.Errorf("root got %d want %d", got, want)
+				}
+				return nil
+			})
+		}
+	}
+}
+
+func TestReduceMax(t *testing.T) {
+	maxOp := func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	runRanks(t, 6, nil, func(c *Comm) error {
+		got, err := c.Reduce(2, int64(c.Rank()*10), maxOp)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 2 && got != 50 {
+			return fmt.Errorf("got %d", got)
+		}
+		return nil
+	})
+}
+
+func TestExScan(t *testing.T) {
+	add := func(a, b int64) int64 { return a + b }
+	for _, p := range []int{1, 2, 3, 4, 7, 8, 13} {
+		runRanks(t, p, nil, func(c *Comm) error {
+			// v_r = r + 1: exclusive prefix sums are r(r+1)/2.
+			got, err := c.ExScan(int64(c.Rank()+1), 0, add)
+			if err != nil {
+				return err
+			}
+			want := int64(c.Rank() * (c.Rank() + 1) / 2)
+			if got != want {
+				return fmt.Errorf("rank %d got %d want %d", c.Rank(), got, want)
+			}
+			return nil
+		})
+	}
+}
+
+func TestRingAllgather(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 6, 9} {
+		runRanks(t, p, nil, func(c *Comm) error {
+			mine := make([]byte, c.Rank()+1) // variable sizes
+			for i := range mine {
+				mine[i] = byte(c.Rank())
+			}
+			out, err := c.RingAllgather(mine)
+			if err != nil {
+				return err
+			}
+			for r := 0; r < p; r++ {
+				if len(out[r]) != r+1 {
+					return fmt.Errorf("block %d has %d bytes", r, len(out[r]))
+				}
+				for _, b := range out[r] {
+					if b != byte(r) {
+						return fmt.Errorf("block %d corrupted", r)
+					}
+				}
+			}
+			return nil
+		})
+	}
+}
+
+func TestRingAllgatherMatchesAllgather(t *testing.T) {
+	runRanks(t, 5, nil, func(c *Comm) error {
+		payload := []byte(fmt.Sprintf("rank-%d", c.Rank()))
+		a, err := c.Allgather(payload)
+		if err != nil {
+			return err
+		}
+		b, err := c.RingAllgather(payload)
+		if err != nil {
+			return err
+		}
+		for r := range a {
+			if !bytes.Equal(a[r], b[r]) {
+				return fmt.Errorf("mismatch at %d: %q vs %q", r, a[r], b[r])
+			}
+		}
+		return nil
+	})
+}
+
+func TestPairwiseAlltoall(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 8, 3, 6} { // both schedules
+		runRanks(t, p, nil, func(c *Comm) error {
+			parts := make([][]byte, p)
+			for dst := range parts {
+				parts[dst] = []byte{byte(c.Rank()), byte(dst), byte(c.Rank() + dst)}
+			}
+			out, err := c.PairwiseAlltoall(parts)
+			if err != nil {
+				return err
+			}
+			for src := 0; src < p; src++ {
+				want := []byte{byte(src), byte(c.Rank()), byte(src + c.Rank())}
+				if !bytes.Equal(out[src], want) {
+					return fmt.Errorf("from %d: got %v want %v", src, out[src], want)
+				}
+			}
+			return nil
+		})
+	}
+}
+
+func TestPairwiseAlltoallMatchesEager(t *testing.T) {
+	runRanks(t, 7, nil, func(c *Comm) error {
+		parts := make([][]byte, 7)
+		for dst := range parts {
+			parts[dst] = []byte(fmt.Sprintf("%d->%d", c.Rank(), dst))
+		}
+		a, err := c.Alltoall(parts)
+		if err != nil {
+			return err
+		}
+		b, err := c.PairwiseAlltoall(parts)
+		if err != nil {
+			return err
+		}
+		for r := range a {
+			if !bytes.Equal(a[r], b[r]) {
+				return fmt.Errorf("mismatch from %d", r)
+			}
+		}
+		return nil
+	})
+}
+
+func TestPairwiseAlltoallValidation(t *testing.T) {
+	runRanks(t, 2, nil, func(c *Comm) error {
+		if _, err := c.PairwiseAlltoall([][]byte{nil}); err == nil {
+			return errors.New("wrong part count accepted")
+		}
+		return nil
+	})
+}

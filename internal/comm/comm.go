@@ -1,0 +1,418 @@
+// Package comm is an MPI-style message-passing runtime: ranked processes
+// exchanging tagged byte messages point-to-point, with the collectives
+// (barrier, broadcast, gather, all-gather, all-to-all) and communicator
+// splitting that SDS-Sort needs. It is the substrate the paper gets from
+// Cray MPI on Edison; here it runs over pluggable transports — an
+// in-process transport (goroutine ranks, channel-free mailboxes) and a
+// TCP transport (package tcpcomm) for genuinely distributed runs.
+//
+// Semantics mirror MPI where SDS-Sort depends on them:
+//
+//   - Messages between a (sender, receiver, communicator, tag) tuple are
+//     delivered in send order (non-overtaking), which the stable version
+//     of SDS-Sort relies on to keep duplicate keys rank-ordered.
+//   - Communicators isolate message contexts: traffic on a communicator
+//     produced by Split can never match receives on its parent.
+//   - Isend/Irecv return Requests with Test/Wait/WaitAny, the primitives
+//     behind the paper's overlapped all-to-all (SdssAlltoallvAsync).
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// Transport moves tagged byte messages between world ranks. Transports
+// must deliver messages for a given (src, dst, ctx, tag) in send order
+// and must allow Send to complete without a matching Recv having been
+// posted (buffered, eager semantics).
+type Transport interface {
+	// Rank is this process's rank in the world (0..Size-1).
+	Rank() int
+	// Size is the number of ranks in the world.
+	Size() int
+	// Node identifies the physical node this rank runs on; ranks with
+	// equal Node values share memory/locality (MPI_COMM_TYPE_SHARED).
+	Node() int
+	// NodeOf reports the node of an arbitrary world rank.
+	NodeOf(rank int) int
+	// Send delivers data to world rank dst. The transport must not
+	// retain data after Send returns; callers may reuse the buffer.
+	Send(dst int, ctx uint64, tag int32, data []byte) error
+	// Recv blocks until a message from world rank src with the given
+	// context and tag arrives, and returns its payload.
+	Recv(src int, ctx uint64, tag int32) ([]byte, error)
+	// Close releases transport resources for this rank.
+	Close() error
+}
+
+// Reserved internal tag space. User tags must be non-negative; all
+// internal collective traffic uses negative tags so it can never match a
+// user receive on the same communicator.
+const (
+	tagBarrier int32 = -1 - iota*16 // 16 tags reserved per collective for rounds
+	tagBcast
+	tagGather
+	tagAllgather
+	tagAlltoall
+	tagSplit
+	tagScan
+	tagBitonic // reserved for distributed bitonic sort rounds
+)
+
+// ErrClosed is returned by operations on a closed communicator/transport.
+var ErrClosed = errors.New("comm: closed")
+
+// Comm is a communicator: a group of ranks with an isolated message
+// context. The zero value is not usable; obtain one from New or Split.
+type Comm struct {
+	tr    Transport
+	group []int  // world ranks of members, index = communicator rank
+	rank  int    // my rank within group
+	ctx   uint64 // message context, unique per communicator
+	name  string // hierarchical name the context is derived from
+
+	mu       sync.Mutex
+	cond     *sync.Cond // broadcast on any request completion
+	splitSeq int        // number of Splits performed, for child naming
+}
+
+// New wraps a transport as the world communicator. Every rank of the
+// world must call New on its own transport instance.
+func New(tr Transport) *Comm {
+	group := make([]int, tr.Size())
+	for i := range group {
+		group[i] = i
+	}
+	c := &Comm{tr: tr, group: group, rank: tr.Rank(), name: "world", ctx: ctxOf("world")}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+func newCond(c *Comm) *sync.Cond { return sync.NewCond(&c.mu) }
+
+func ctxOf(name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return h.Sum64()
+}
+
+// Rank returns this process's rank within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.group) }
+
+// Node returns the node id of the calling rank.
+func (c *Comm) Node() int { return c.tr.Node() }
+
+// NodeOf returns the node id of communicator rank r.
+func (c *Comm) NodeOf(r int) int { return c.tr.NodeOf(c.group[r]) }
+
+// WorldRank translates a communicator rank to the underlying world rank.
+func (c *Comm) WorldRank(r int) int { return c.group[r] }
+
+// Transport exposes the underlying transport (used by the simnet
+// decorator and by tests).
+func (c *Comm) Transport() Transport { return c.tr }
+
+// Send delivers data to communicator rank dst with the given tag.
+// tag must be non-negative.
+func (c *Comm) Send(dst, tag int, data []byte) error {
+	if err := c.checkPeer(dst, tag); err != nil {
+		return err
+	}
+	return c.tr.Send(c.group[dst], c.ctx, int32(tag), data)
+}
+
+// Recv blocks until a message from communicator rank src with tag
+// arrives and returns its payload.
+func (c *Comm) Recv(src, tag int) ([]byte, error) {
+	if err := c.checkPeer(src, tag); err != nil {
+		return nil, err
+	}
+	return c.tr.Recv(c.group[src], c.ctx, int32(tag))
+}
+
+func (c *Comm) checkPeer(r, tag int) error {
+	if r < 0 || r >= len(c.group) {
+		return fmt.Errorf("comm: rank %d out of range [0,%d)", r, len(c.group))
+	}
+	if tag < 0 {
+		return fmt.Errorf("comm: negative tag %d is reserved", tag)
+	}
+	return nil
+}
+
+func (c *Comm) sendInternal(dst int, tag int32, data []byte) error {
+	return c.tr.Send(c.group[dst], c.ctx, tag, data)
+}
+
+func (c *Comm) recvInternal(src int, tag int32) ([]byte, error) {
+	return c.tr.Recv(c.group[src], c.ctx, tag)
+}
+
+// Request is an in-flight non-blocking operation, the analogue of an
+// MPI_Request. It completes exactly once; Wait and Test may be called
+// from the owning rank's goroutine.
+type Request struct {
+	c    *Comm
+	done bool
+	data []byte // receive payload (nil for sends)
+	err  error
+	// Peer is the communicator rank this request communicates with.
+	Peer int
+	// IsRecv reports whether the request is a receive.
+	IsRecv bool
+}
+
+func (c *Comm) newRequest(peer int, recv bool) *Request {
+	return &Request{c: c, Peer: peer, IsRecv: recv}
+}
+
+func (r *Request) complete(data []byte, err error) {
+	r.c.mu.Lock()
+	r.data = data
+	r.err = err
+	r.done = true
+	r.c.mu.Unlock()
+	r.c.cond.Broadcast()
+}
+
+// Test reports whether the request has completed, returning the payload
+// for completed receives.
+func (r *Request) Test() (bool, []byte, error) {
+	r.c.mu.Lock()
+	defer r.c.mu.Unlock()
+	if !r.done {
+		return false, nil, nil
+	}
+	return true, r.data, r.err
+}
+
+// Wait blocks until the request completes.
+func (r *Request) Wait() ([]byte, error) {
+	r.c.mu.Lock()
+	defer r.c.mu.Unlock()
+	for !r.done {
+		r.c.cond.Wait()
+	}
+	return r.data, r.err
+}
+
+// Isend starts a non-blocking send. data must not be modified until the
+// request completes (the in-process transport copies eagerly, but the
+// contract matches MPI so the TCP transport can stream).
+func (c *Comm) Isend(dst, tag int, data []byte) (*Request, error) {
+	if err := c.checkPeer(dst, tag); err != nil {
+		return nil, err
+	}
+	r := c.newRequest(dst, false)
+	go func() {
+		err := c.tr.Send(c.group[dst], c.ctx, int32(tag), data)
+		r.complete(nil, err)
+	}()
+	return r, nil
+}
+
+// Irecv starts a non-blocking receive from communicator rank src.
+func (c *Comm) Irecv(src, tag int) (*Request, error) {
+	if err := c.checkPeer(src, tag); err != nil {
+		return nil, err
+	}
+	r := c.newRequest(src, true)
+	go func() {
+		data, err := c.tr.Recv(c.group[src], c.ctx, int32(tag))
+		r.complete(data, err)
+	}()
+	return r, nil
+}
+
+// WaitAny blocks until at least one not-yet-consumed request in reqs has
+// completed and returns its index and payload. Completed requests must
+// be tracked by the caller (pass a fresh slice excluding consumed ones,
+// or use WaitAnyMask). It returns -1 if reqs is empty.
+func WaitAny(reqs []*Request) (int, []byte, error) {
+	if len(reqs) == 0 {
+		return -1, nil, nil
+	}
+	c := reqs[0].c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		for i, r := range reqs {
+			if r.done {
+				return i, r.data, r.err
+			}
+		}
+		c.cond.Wait()
+	}
+}
+
+// WaitAnyMask is WaitAny over the subset of reqs where consumed[i] is
+// false; it marks the returned index consumed. It returns -1 when every
+// request has been consumed.
+func WaitAnyMask(reqs []*Request, consumed []bool) (int, []byte, error) {
+	if len(reqs) == 0 {
+		return -1, nil, nil
+	}
+	c := reqs[0].c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		remaining := false
+		for i, r := range reqs {
+			if consumed[i] {
+				continue
+			}
+			remaining = true
+			if r.done {
+				consumed[i] = true
+				return i, r.data, r.err
+			}
+		}
+		if !remaining {
+			return -1, nil, nil
+		}
+		c.cond.Wait()
+	}
+}
+
+// WaitAll waits for every request, returning the first error observed.
+func WaitAll(reqs []*Request) error {
+	var first error
+	for _, r := range reqs {
+		if _, err := r.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Split partitions the communicator by color, as MPI_Comm_split does:
+// ranks passing the same color form a new communicator, ordered by
+// (key, parent rank). Ranks passing a negative color receive nil.
+// Split is collective: every member of c must call it.
+func (c *Comm) Split(color, key int) (*Comm, error) {
+	// Exchange (color, key) among all members.
+	payload := encodeInts([]int64{int64(color), int64(key)})
+	all, err := c.allgatherInternal(payload, tagSplit)
+	if err != nil {
+		return nil, fmt.Errorf("comm: split allgather: %w", err)
+	}
+	type member struct{ color, key, rank int }
+	members := make([]member, 0, len(all))
+	for r, buf := range all {
+		vals, err := decodeInts(buf)
+		if err != nil || len(vals) != 2 {
+			return nil, fmt.Errorf("comm: split: bad payload from rank %d", r)
+		}
+		members = append(members, member{int(vals[0]), int(vals[1]), r})
+	}
+
+	c.mu.Lock()
+	c.splitSeq++
+	seq := c.splitSeq
+	c.mu.Unlock()
+
+	if color < 0 {
+		return nil, nil
+	}
+	var mine []member
+	for _, m := range members {
+		if m.color == color {
+			mine = append(mine, m)
+		}
+	}
+	sort.Slice(mine, func(i, j int) bool {
+		if mine[i].key != mine[j].key {
+			return mine[i].key < mine[j].key
+		}
+		return mine[i].rank < mine[j].rank
+	})
+	group := make([]int, len(mine))
+	myIdx := -1
+	for i, m := range mine {
+		group[i] = c.group[m.rank]
+		if m.rank == c.rank {
+			myIdx = i
+		}
+	}
+	if myIdx < 0 {
+		return nil, fmt.Errorf("comm: split: caller missing from its own color group")
+	}
+	name := fmt.Sprintf("%s/%d:%d", c.name, seq, color)
+	sub := &Comm{
+		tr:    c.tr,
+		group: group,
+		rank:  myIdx,
+		ctx:   ctxOf(name),
+		name:  name,
+	}
+	sub.cond = sync.NewCond(&sub.mu)
+	return sub, nil
+}
+
+// SplitByNode is MPI_Comm_split_type(MPI_COMM_TYPE_SHARED) followed by a
+// leader split, the refinement step the paper's SdssRefineComm performs:
+// it returns the node-local communicator (all ranks of c on this node)
+// and, on each node's lowest rank, the cross-node leader communicator
+// (nil on non-leader ranks).
+//
+// Unlike the general Split, the node layout is already known to every
+// rank through the transport, so this split exchanges no messages — it
+// must still be called collectively (every rank of c, the same number of
+// times) so the derived message contexts line up.
+func (c *Comm) SplitByNode() (local, leaders *Comm, err error) {
+	c.mu.Lock()
+	c.splitSeq++
+	seq := c.splitSeq
+	c.mu.Unlock()
+
+	myNode := c.Node()
+	var localGroup []int  // world ranks on my node, in comm-rank order
+	var leaderGroup []int // world ranks of each node's first rank
+	seen := make(map[int]bool)
+	myLocalIdx, myLeaderIdx := -1, -1
+	for r := 0; r < len(c.group); r++ {
+		n := c.NodeOf(r)
+		if n == myNode {
+			if r == c.rank {
+				myLocalIdx = len(localGroup)
+			}
+			localGroup = append(localGroup, c.group[r])
+		}
+		if !seen[n] {
+			seen[n] = true
+			if r == c.rank {
+				myLeaderIdx = len(leaderGroup)
+			}
+			leaderGroup = append(leaderGroup, c.group[r])
+		}
+	}
+	if myLocalIdx < 0 {
+		return nil, nil, fmt.Errorf("comm: rank %d missing from its own node group", c.rank)
+	}
+	localName := fmt.Sprintf("%s/%d:node%d", c.name, seq, myNode)
+	local = &Comm{tr: c.tr, group: localGroup, rank: myLocalIdx, ctx: ctxOf(localName), name: localName}
+	local.cond = sync.NewCond(&local.mu)
+	if myLeaderIdx < 0 {
+		return local, nil, nil
+	}
+	leaderName := fmt.Sprintf("%s/%d:leaders", c.name, seq)
+	leaders = &Comm{tr: c.tr, group: leaderGroup, rank: myLeaderIdx, ctx: ctxOf(leaderName), name: leaderName}
+	leaders.cond = sync.NewCond(&leaders.mu)
+	return local, leaders, nil
+}
+
+// Close releases the communicator. Only the world communicator owns the
+// transport; closing a sub-communicator is a no-op.
+func (c *Comm) Close() error {
+	if c.name == "world" {
+		return c.tr.Close()
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+package comm
+
+import "fmt"
+
+// Group returns the communicator's membership as world ranks, indexed by
+// communicator rank (a copy; the caller may keep it).
+func (c *Comm) Group() []int {
+	return append([]int(nil), c.group...)
+}
+
+// Name returns the communicator's hierarchical name ("world", or the
+// split path that produced it) — useful in traces and error messages.
+func (c *Comm) Name() string { return c.name }
+
+// Dup returns a communicator with the same membership but an isolated
+// message context, the MPI_Comm_dup idiom: libraries layered over the
+// same group can communicate without tag coordination. Dup is collective
+// — every member must call it the same number of times.
+func (c *Comm) Dup() *Comm {
+	c.mu.Lock()
+	c.splitSeq++
+	seq := c.splitSeq
+	c.mu.Unlock()
+	name := fmt.Sprintf("%s/%d:dup", c.name, seq)
+	d := &Comm{
+		tr:    c.tr,
+		group: append([]int(nil), c.group...),
+		rank:  c.rank,
+		ctx:   ctxOf(name),
+		name:  name,
+	}
+	d.cond = newCond(d)
+	return d
+}
+
+// TranslateRank converts a rank of this communicator into the
+// corresponding rank of other, or -1 when the member is absent there —
+// MPI_Group_translate_ranks for the common two-communicator case.
+func (c *Comm) TranslateRank(r int, other *Comm) int {
+	if r < 0 || r >= len(c.group) {
+		return -1
+	}
+	world := c.group[r]
+	for i, w := range other.group {
+		if w == world {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,176 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// World is the in-process transport fabric: size ranks, each backed by a
+// mailbox, exchanging messages by memory copy. Ranks are driven by
+// goroutines (see package cluster). A World models a whole machine; the
+// nodeOf vector assigns ranks to simulated nodes so that SplitByNode and
+// the paper's node-level merging behave as they do under MPI on a real
+// cluster.
+type World struct {
+	size   int
+	nodeOf []int
+	boxes  []*mailbox
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewWorld creates an in-process fabric with the given number of ranks.
+// nodeOf maps each rank to its simulated node id; pass nil to place every
+// rank on node 0 (one big shared-memory node).
+func NewWorld(size int, nodeOf []int) (*World, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("comm: world size %d must be positive", size)
+	}
+	if nodeOf == nil {
+		nodeOf = make([]int, size)
+	}
+	if len(nodeOf) != size {
+		return nil, fmt.Errorf("comm: nodeOf has %d entries for %d ranks", len(nodeOf), size)
+	}
+	w := &World{size: size, nodeOf: append([]int(nil), nodeOf...)}
+	w.boxes = make([]*mailbox, size)
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	return w, nil
+}
+
+// BlockNodes builds a nodeOf vector for size ranks packed onto nodes of
+// coresPerNode consecutive ranks each, the layout MPI job launchers use.
+func BlockNodes(size, coresPerNode int) []int {
+	if coresPerNode <= 0 {
+		coresPerNode = 1
+	}
+	nodeOf := make([]int, size)
+	for i := range nodeOf {
+		nodeOf[i] = i / coresPerNode
+	}
+	return nodeOf
+}
+
+// Transport returns rank r's endpoint on the fabric.
+func (w *World) Transport(r int) Transport {
+	if r < 0 || r >= w.size {
+		panic(fmt.Sprintf("comm: transport rank %d out of range [0,%d)", r, w.size))
+	}
+	return &inprocTransport{w: w, rank: r}
+}
+
+// Close shuts the fabric down, unblocking any pending Recv with
+// ErrClosed. It is used by tests and by error paths in the launcher.
+func (w *World) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	w.mu.Unlock()
+	for _, b := range w.boxes {
+		b.close()
+	}
+	return nil
+}
+
+type inprocTransport struct {
+	w    *World
+	rank int
+}
+
+func (t *inprocTransport) Rank() int        { return t.rank }
+func (t *inprocTransport) Size() int        { return t.w.size }
+func (t *inprocTransport) Node() int        { return t.w.nodeOf[t.rank] }
+func (t *inprocTransport) NodeOf(r int) int { return t.w.nodeOf[r] }
+
+func (t *inprocTransport) Send(dst int, ctx uint64, tag int32, data []byte) error {
+	if dst < 0 || dst >= t.w.size {
+		return fmt.Errorf("comm: send to rank %d out of range [0,%d)", dst, t.w.size)
+	}
+	// Copy eagerly: the sender is free to reuse its buffer, and the
+	// receiver owns what it gets, exactly as with a buffered MPI send.
+	cp := append([]byte(nil), data...)
+	return t.w.boxes[dst].put(message{src: t.rank, ctx: ctx, tag: tag, data: cp})
+}
+
+func (t *inprocTransport) Recv(src int, ctx uint64, tag int32) ([]byte, error) {
+	if src < 0 || src >= t.w.size {
+		return nil, fmt.Errorf("comm: recv from rank %d out of range [0,%d)", src, t.w.size)
+	}
+	return t.w.boxes[t.rank].take(src, ctx, tag)
+}
+
+func (t *inprocTransport) Close() error { return nil }
+
+type message struct {
+	src  int
+	ctx  uint64
+	tag  int32
+	data []byte
+}
+
+type msgKey struct {
+	src int
+	ctx uint64
+	tag int32
+}
+
+// mailbox holds one rank's incoming messages, keyed by (src, ctx, tag)
+// with FIFO order within each key — the MPI non-overtaking guarantee.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[msgKey][][]byte
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	b := &mailbox{queues: make(map[msgKey][][]byte)}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *mailbox) put(m message) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrClosed
+	}
+	k := msgKey{src: m.src, ctx: m.ctx, tag: m.tag}
+	b.queues[k] = append(b.queues[k], m.data)
+	b.cond.Broadcast()
+	return nil
+}
+
+func (b *mailbox) take(src int, ctx uint64, tag int32) ([]byte, error) {
+	k := msgKey{src: src, ctx: ctx, tag: tag}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		if q := b.queues[k]; len(q) > 0 {
+			data := q[0]
+			if len(q) == 1 {
+				delete(b.queues, k)
+			} else {
+				b.queues[k] = q[1:]
+			}
+			return data, nil
+		}
+		if b.closed {
+			return nil, ErrClosed
+		}
+		b.cond.Wait()
+	}
+}
+
+func (b *mailbox) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}

@@ -1,0 +1,72 @@
+package tcpcomm
+
+import "sync"
+
+type message struct {
+	src  int
+	ctx  uint64
+	tag  int32
+	data []byte
+}
+
+type msgKey struct {
+	src int
+	ctx uint64
+	tag int32
+}
+
+// mailbox holds incoming frames keyed by (src, ctx, tag) with FIFO order
+// per key — the same non-overtaking guarantee the in-process transport
+// provides, fed here by the per-connection reader goroutines.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[msgKey][][]byte
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	b := &mailbox{queues: make(map[msgKey][][]byte)}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *mailbox) put(m message) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrClosed
+	}
+	k := msgKey{src: m.src, ctx: m.ctx, tag: m.tag}
+	b.queues[k] = append(b.queues[k], m.data)
+	b.cond.Broadcast()
+	return nil
+}
+
+func (b *mailbox) take(src int, ctx uint64, tag int32) ([]byte, error) {
+	k := msgKey{src: src, ctx: ctx, tag: tag}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		if q := b.queues[k]; len(q) > 0 {
+			data := q[0]
+			if len(q) == 1 {
+				delete(b.queues, k)
+			} else {
+				b.queues[k] = q[1:]
+			}
+			return data, nil
+		}
+		if b.closed {
+			return nil, ErrClosed
+		}
+		b.cond.Wait()
+	}
+}
+
+func (b *mailbox) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}

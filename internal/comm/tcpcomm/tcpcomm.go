@@ -1,0 +1,393 @@
+// Package tcpcomm is the TCP transport for the comm runtime: ranks in
+// separate OS processes (or one process, for tests) exchanging
+// length-prefixed binary frames over the network — the "custom RPC
+// exchange" that stands in for MPI's network layer in this reproduction.
+//
+// Bootstrap: rank 0 doubles as the registry. Every rank dials the
+// registry, announces (rank, listen address, node id), and receives the
+// full address map once all ranks have registered. Data connections are
+// then dialed lazily, one outgoing connection per (sender, receiver)
+// pair; each accepted connection is drained by a reader goroutine into a
+// tag-matched mailbox, so bulk all-to-all traffic cannot deadlock on TCP
+// buffer backpressure.
+package tcpcomm
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// MaxFrameSize bounds a single message; larger frames indicate stream
+// corruption and kill the connection rather than attempting a huge
+// allocation.
+const MaxFrameSize = 1 << 30
+
+// ErrClosed is returned on operations against a closed transport.
+var ErrClosed = errors.New("tcpcomm: closed")
+
+// Config describes one rank's endpoint.
+type Config struct {
+	// Rank and Size identify this process within the world.
+	Rank, Size int
+	// Node is the physical-node id used for node-aware splitting;
+	// ranks sharing a machine should share a Node value.
+	Node int
+	// Registry is the host:port the registry listens on. Rank 0 binds
+	// it; everyone else dials it.
+	Registry string
+	// Listen is the address to bind the data listener on (use
+	// "127.0.0.1:0" for tests; the registry learns the real port).
+	Listen string
+	// Timeout bounds registration and dialing (default 10s).
+	Timeout time.Duration
+}
+
+func (c Config) timeout() time.Duration {
+	if c.Timeout <= 0 {
+		return 10 * time.Second
+	}
+	return c.Timeout
+}
+
+type peerInfo struct {
+	Rank int    `json:"rank"`
+	Addr string `json:"addr"`
+	Node int    `json:"node"`
+}
+
+// Transport implements comm.Transport over TCP.
+type Transport struct {
+	cfg   Config
+	ln    net.Listener
+	peers []peerInfo // indexed by rank
+	box   *mailbox
+
+	connMu sync.Mutex
+	conns  map[int]*sendConn
+
+	acceptMu sync.Mutex
+	accepted map[net.Conn]struct{}
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	wg        sync.WaitGroup
+}
+
+type sendConn struct {
+	mu sync.Mutex
+	w  *bufio.Writer
+	c  net.Conn
+}
+
+// New creates the rank's endpoint, runs the registration barrier, and
+// returns a ready transport. All ranks of the world must call New
+// concurrently; the call blocks until every rank has registered.
+func New(cfg Config) (*Transport, error) {
+	if cfg.Size <= 0 || cfg.Rank < 0 || cfg.Rank >= cfg.Size {
+		return nil, fmt.Errorf("tcpcomm: bad rank/size %d/%d", cfg.Rank, cfg.Size)
+	}
+	listen := cfg.Listen
+	if listen == "" {
+		listen = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, fmt.Errorf("tcpcomm: listen: %w", err)
+	}
+	t := &Transport{
+		cfg:      cfg,
+		ln:       ln,
+		box:      newMailbox(),
+		conns:    make(map[int]*sendConn),
+		accepted: make(map[net.Conn]struct{}),
+		closed:   make(chan struct{}),
+	}
+	peers, err := t.register()
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	t.peers = peers
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// register runs the bootstrap: rank 0 serves the registry, everyone
+// announces itself and receives the address map.
+func (t *Transport) register() ([]peerInfo, error) {
+	self := peerInfo{Rank: t.cfg.Rank, Addr: t.ln.Addr().String(), Node: t.cfg.Node}
+	if t.cfg.Rank == 0 {
+		return t.serveRegistry(self)
+	}
+	return t.joinRegistry(self)
+}
+
+func (t *Transport) serveRegistry(self peerInfo) ([]peerInfo, error) {
+	rln, err := net.Listen("tcp", t.cfg.Registry)
+	if err != nil {
+		return nil, fmt.Errorf("tcpcomm: registry listen %s: %w", t.cfg.Registry, err)
+	}
+	defer rln.Close()
+	peers := make([]peerInfo, t.cfg.Size)
+	peers[0] = self
+	conns := make([]net.Conn, 0, t.cfg.Size-1)
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	deadline := time.Now().Add(t.cfg.timeout())
+	for registered := 1; registered < t.cfg.Size; {
+		if tl, ok := rln.(*net.TCPListener); ok {
+			tl.SetDeadline(deadline)
+		}
+		conn, err := rln.Accept()
+		if err != nil {
+			return nil, fmt.Errorf("tcpcomm: registry accept (%d/%d registered): %w", registered, t.cfg.Size, err)
+		}
+		var info peerInfo
+		conn.SetDeadline(deadline)
+		if err := json.NewDecoder(conn).Decode(&info); err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("tcpcomm: registry decode: %w", err)
+		}
+		if info.Rank <= 0 || info.Rank >= t.cfg.Size {
+			conn.Close()
+			return nil, fmt.Errorf("tcpcomm: registration from invalid rank %d", info.Rank)
+		}
+		if peers[info.Rank].Addr != "" {
+			conn.Close()
+			return nil, fmt.Errorf("tcpcomm: duplicate registration for rank %d", info.Rank)
+		}
+		peers[info.Rank] = info
+		conns = append(conns, conn)
+		registered++
+	}
+	// Everyone is in: broadcast the map.
+	blob, err := json.Marshal(peers)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range conns {
+		if _, err := c.Write(append(blob, '\n')); err != nil {
+			return nil, fmt.Errorf("tcpcomm: registry broadcast: %w", err)
+		}
+	}
+	return peers, nil
+}
+
+func (t *Transport) joinRegistry(self peerInfo) ([]peerInfo, error) {
+	deadline := time.Now().Add(t.cfg.timeout())
+	var conn net.Conn
+	var err error
+	// The registry may come up after us: retry until the deadline.
+	for {
+		conn, err = net.DialTimeout("tcp", t.cfg.Registry, time.Second)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("tcpcomm: dial registry %s: %w", t.cfg.Registry, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	defer conn.Close()
+	conn.SetDeadline(deadline)
+	if err := json.NewEncoder(conn).Encode(self); err != nil {
+		return nil, fmt.Errorf("tcpcomm: register: %w", err)
+	}
+	var peers []peerInfo
+	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&peers); err != nil {
+		return nil, fmt.Errorf("tcpcomm: receive peer map: %w", err)
+	}
+	if len(peers) != t.cfg.Size {
+		return nil, fmt.Errorf("tcpcomm: peer map has %d entries, want %d", len(peers), t.cfg.Size)
+	}
+	return peers, nil
+}
+
+// Rank implements comm.Transport.
+func (t *Transport) Rank() int { return t.cfg.Rank }
+
+// Size implements comm.Transport.
+func (t *Transport) Size() int { return t.cfg.Size }
+
+// Node implements comm.Transport.
+func (t *Transport) Node() int { return t.cfg.Node }
+
+// NodeOf implements comm.Transport.
+func (t *Transport) NodeOf(r int) int { return t.peers[r].Node }
+
+// frame layout: src int32 | ctx uint64 | tag int32 | len uint32 | body.
+const frameHeader = 4 + 8 + 4 + 4
+
+// Send implements comm.Transport: it dials (or reuses) the connection
+// to dst and writes one frame. Frames to self short-circuit through the
+// mailbox.
+func (t *Transport) Send(dst int, ctx uint64, tag int32, data []byte) error {
+	select {
+	case <-t.closed:
+		return ErrClosed
+	default:
+	}
+	if dst < 0 || dst >= t.cfg.Size {
+		return fmt.Errorf("tcpcomm: send to rank %d out of range", dst)
+	}
+	if len(data) > MaxFrameSize {
+		return fmt.Errorf("tcpcomm: frame of %d bytes exceeds limit", len(data))
+	}
+	if dst == t.cfg.Rank {
+		cp := append([]byte(nil), data...)
+		return t.box.put(message{src: t.cfg.Rank, ctx: ctx, tag: tag, data: cp})
+	}
+	sc, err := t.conn(dst)
+	if err != nil {
+		return err
+	}
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(t.cfg.Rank))
+	binary.LittleEndian.PutUint64(hdr[4:], ctx)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(tag))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(len(data)))
+
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if _, err := sc.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("tcpcomm: write header to %d: %w", dst, err)
+	}
+	if _, err := sc.w.Write(data); err != nil {
+		return fmt.Errorf("tcpcomm: write body to %d: %w", dst, err)
+	}
+	if err := sc.w.Flush(); err != nil {
+		return fmt.Errorf("tcpcomm: flush to %d: %w", dst, err)
+	}
+	return nil
+}
+
+func (t *Transport) conn(dst int) (*sendConn, error) {
+	t.connMu.Lock()
+	defer t.connMu.Unlock()
+	if sc, ok := t.conns[dst]; ok {
+		return sc, nil
+	}
+	c, err := net.DialTimeout("tcp", t.peers[dst].Addr, t.cfg.timeout())
+	if err != nil {
+		return nil, fmt.Errorf("tcpcomm: dial rank %d at %s: %w", dst, t.peers[dst].Addr, err)
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	// Identify ourselves so the acceptor can label the stream.
+	var hello [4]byte
+	binary.LittleEndian.PutUint32(hello[:], uint32(t.cfg.Rank))
+	if _, err := c.Write(hello[:]); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("tcpcomm: hello to rank %d: %w", dst, err)
+	}
+	sc := &sendConn{w: bufio.NewWriterSize(c, 256<<10), c: c}
+	t.conns[dst] = sc
+	return sc, nil
+}
+
+// Recv implements comm.Transport.
+func (t *Transport) Recv(src int, ctx uint64, tag int32) ([]byte, error) {
+	if src < 0 || src >= t.cfg.Size {
+		return nil, fmt.Errorf("tcpcomm: recv from rank %d out of range", src)
+	}
+	return t.box.take(src, ctx, tag)
+}
+
+func (t *Transport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			select {
+			case <-t.closed:
+				return
+			default:
+			}
+			// Listener error outside shutdown: stop accepting; the
+			// mailbox stays open for already-connected peers.
+			return
+		}
+		t.acceptMu.Lock()
+		t.accepted[conn] = struct{}{}
+		t.acceptMu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *Transport) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.acceptMu.Lock()
+		delete(t.accepted, conn)
+		t.acceptMu.Unlock()
+	}()
+	r := bufio.NewReaderSize(conn, 256<<10)
+	var hello [4]byte
+	if _, err := io.ReadFull(r, hello[:]); err != nil {
+		return
+	}
+	src := int(binary.LittleEndian.Uint32(hello[:]))
+	if src < 0 || src >= t.cfg.Size {
+		return
+	}
+	for {
+		var hdr [frameHeader]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return
+		}
+		frameSrc := int(binary.LittleEndian.Uint32(hdr[0:]))
+		ctx := binary.LittleEndian.Uint64(hdr[4:])
+		tag := int32(binary.LittleEndian.Uint32(hdr[12:]))
+		n := binary.LittleEndian.Uint32(hdr[16:])
+		if frameSrc != src || n > MaxFrameSize {
+			// Corrupt stream: drop the connection. Pending receives
+			// will surface when the transport closes.
+			return
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return
+		}
+		if t.box.put(message{src: src, ctx: ctx, tag: tag, data: body}) != nil {
+			return
+		}
+	}
+}
+
+// Close implements comm.Transport: it stops the listener, closes all
+// connections, and unblocks pending receives with ErrClosed.
+func (t *Transport) Close() error {
+	t.closeOnce.Do(func() {
+		close(t.closed)
+		t.ln.Close()
+		t.connMu.Lock()
+		for _, sc := range t.conns {
+			sc.c.Close()
+		}
+		t.connMu.Unlock()
+		// Close accepted connections too, or their reader goroutines
+		// would block until the remote side also shut down.
+		t.acceptMu.Lock()
+		for c := range t.accepted {
+			c.Close()
+		}
+		t.acceptMu.Unlock()
+		t.box.close()
+	})
+	t.wg.Wait()
+	return nil
+}

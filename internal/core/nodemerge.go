@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+
+	"sdssort/internal/codec"
+	"sdssort/internal/comm"
+	"sdssort/internal/metrics"
+	"sdssort/internal/psort"
+)
+
+// nodeMerge implements the τm decision and SdssNodeMerge/SdssRefineComm
+// (Fig. 1 lines 3-7, §2.3): when the average all-to-all message would be
+// small, the sorted data of all ranks on a node is first merged onto the
+// node's leader, so the exchange sends fewer, larger messages — the win
+// on low-throughput networks. It returns the (possibly merged) working
+// data, the communicator the rest of the sort runs on, and whether this
+// rank still participates.
+func nodeMerge[T any](c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int, recSize int64, opt Options, tm *metrics.PhaseTimer) ([]T, *comm.Comm, bool, error) {
+	p := c.Size()
+	if opt.TauM <= 0 || p == 1 {
+		return data, c, true, nil
+	}
+	// Every rank must take the same branch: decide on the global
+	// average message size, not the local one.
+	totalBytes, err := c.AllreduceInt64(int64(len(data))*recSize, func(a, b int64) int64 { return a + b })
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("core: node-merge sizing: %w", err)
+	}
+	avgMsg := totalBytes / int64(p) / int64(p)
+	if avgMsg > opt.TauM {
+		return data, c, true, nil
+	}
+
+	tm.Start(metrics.PhaseOther)
+	local, leaders, err := c.SplitByNode()
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("core: node split: %w", err)
+	}
+	if local.Size() == 1 {
+		// One rank per node: nothing to merge; leaders is the whole
+		// communicator reindexed.
+		return data, leaders, true, nil
+	}
+	if leaders == nil {
+		// Non-leader: hand the sorted data to the node leader and
+		// drop out.
+		if err := local.Send(0, tagNodeMerge, codec.EncodeSlice(cd, nil, data)); err != nil {
+			return nil, nil, false, fmt.Errorf("core: node-merge send: %w", err)
+		}
+		return nil, nil, false, nil
+	}
+
+	// Leader: collect the node's chunks in local-rank order (which is
+	// world-rank order within the node, preserving stability) and
+	// merge them with the skew-aware shared-memory merge.
+	chunks := make([][]T, local.Size())
+	chunks[0] = data
+	extra := int64(0)
+	for r := 1; r < local.Size(); r++ {
+		buf, err := local.Recv(r, tagNodeMerge)
+		if err != nil {
+			return nil, nil, false, fmt.Errorf("core: node-merge recv from local rank %d: %w", r, err)
+		}
+		chunk, err := codec.DecodeSlice(cd, buf)
+		if err != nil {
+			return nil, nil, false, fmt.Errorf("core: node-merge decode: %w", err)
+		}
+		chunks[r] = chunk
+		extra += int64(len(chunk)) * recSize
+	}
+	if err := opt.Mem.Reserve(extra); err != nil {
+		return nil, nil, false, fmt.Errorf("core: node-merge buffer: %w", err)
+	}
+	var merged []T
+	if opt.cores() > 1 {
+		merged = psort.SkewAwareParallelMerge(chunks, opt.cores(), opt.Stable, cmp)
+	} else {
+		merged = psort.KWayMerge(chunks, cmp)
+	}
+	return merged, leaders, true, nil
+}

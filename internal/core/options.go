@@ -1,0 +1,145 @@
+// Package core implements the SDS-Sort algorithm (Fig. 1 of the paper):
+// skew-aware sample sort over a communicator, with adaptive node-level
+// merging (τm), adaptive overlap of the all-to-all exchange with local
+// ordering (τo), adaptive merge-versus-sort local ordering (τs), and an
+// optional stable mode that preserves the input order of duplicate keys
+// without secondary sorting keys.
+package core
+
+import (
+	"fmt"
+
+	"sdssort/internal/memlimit"
+	"sdssort/internal/metrics"
+	"sdssort/internal/trace"
+)
+
+// PivotMethod selects how the p-1 global pivots are chosen (§2.4).
+type PivotMethod int
+
+const (
+	// PivotRegular is the paper's default: regular (equal-stripe)
+	// sampling of local pivots, ordered with a distributed bitonic
+	// sort, global pivots taken at equal stride. Handles duplicated
+	// pivots naturally — the skew-aware partition wants to see them.
+	PivotRegular PivotMethod = iota
+	// PivotHistogram selects pivots by iterative histogram refinement
+	// (HykSort's method). It converges to balanced ranks on distinct
+	// keys but cannot separate duplicates; combined with the
+	// skew-aware partition it remains correct, making it an ablation
+	// point rather than a failure mode.
+	PivotHistogram
+)
+
+// Options carries the paper's tunables. The zero value is not useful;
+// start from DefaultOptions.
+type Options struct {
+	// Stable requests a stable sort: duplicate keys keep their global
+	// input order (by rank, then by local position). Stability forces
+	// the synchronous exchange path, as in the paper.
+	Stable bool
+
+	// Cores is the number of goroutines each rank may use for local
+	// sorting and merging — the paper's c, cores per node. In an
+	// in-process cluster the ranks already parallelise across CPUs, so
+	// 1 is the honest default; real deployments set it to the node's
+	// core count.
+	Cores int
+
+	// TauM is the node-level merging threshold in bytes: when the
+	// average all-to-all message (local bytes / p) is at most TauM,
+	// data is first merged onto each node's leader rank so fewer,
+	// larger messages hit the network (§2.3). Zero disables merging.
+	TauM int64
+
+	// TauO is the overlap threshold: when the communicator is smaller
+	// than TauO (and the sort is not stable), the exchange overlaps
+	// with local ordering via asynchronous receives (§2.6).
+	TauO int
+
+	// TauS is the local-ordering threshold: with fewer than TauS
+	// processes the received chunks are k-way merged; with more, they
+	// are re-sorted, which is cheaper for large p (§2.7).
+	TauS int
+
+	// RunThreshold is the average run length above which the local
+	// sort treats data as partially ordered and merges its natural
+	// runs instead of sorting (§2.2/§2.7). Zero disables detection.
+	RunThreshold float64
+
+	// Mem, when non-nil, emulates the rank's memory budget: the
+	// receive buffer of the exchange is reserved against it and the
+	// sort fails with memlimit.ErrOutOfMemory when the budget is
+	// exceeded — the failure mode the paper observes for HykSort.
+	Mem *memlimit.Gauge
+
+	// Timer, when non-nil, accrues per-phase wall time in the
+	// categories of the paper's Figs. 9-10.
+	Timer *metrics.PhaseTimer
+
+	// Pivots selects the global pivot selection method.
+	Pivots PivotMethod
+
+	// Trace, when non-nil, receives structured events: adaptive
+	// decisions taken, exchange volumes, partition summaries.
+	Trace trace.Tracer
+
+	// DisableSkewAware replaces the skew-aware partition with the
+	// classical plain upper-bound partition (every record equal to a
+	// pivot goes below it). Output remains correct but duplicates
+	// concentrate, reverting the load bound from O(4N/p) to the
+	// skew-degraded classical behaviour — the ablation that isolates
+	// the paper's core contribution. Ignored in stable mode, which has
+	// no non-skew-aware formulation.
+	DisableSkewAware bool
+}
+
+// DefaultOptions returns laptop-scale defaults; the τ values are the
+// knees measured by the Fig. 5 experiments on this substrate (the paper
+// measured 160MB / 4096 / 4000 on Edison).
+func DefaultOptions() Options {
+	return Options{
+		Cores:        1,
+		TauM:         4 << 10,
+		TauO:         32,
+		TauS:         64,
+		RunThreshold: 32,
+	}
+}
+
+// Validate reports option errors early.
+func (o Options) Validate() error {
+	if o.Cores < 0 {
+		return fmt.Errorf("core: negative Cores %d", o.Cores)
+	}
+	if o.TauM < 0 {
+		return fmt.Errorf("core: negative TauM %d", o.TauM)
+	}
+	if o.TauO < 0 || o.TauS < 0 {
+		return fmt.Errorf("core: negative thresholds TauO=%d TauS=%d", o.TauO, o.TauS)
+	}
+	return nil
+}
+
+func (o Options) cores() int {
+	if o.Cores < 1 {
+		return 1
+	}
+	return o.Cores
+}
+
+// timer returns the configured timer or a throwaway one, so the sort
+// code never branches on nil.
+func (o Options) timer() *metrics.PhaseTimer {
+	if o.Timer != nil {
+		return o.Timer
+	}
+	return metrics.NewPhaseTimer()
+}
+
+func (o Options) tracer() trace.Tracer {
+	if o.Trace != nil {
+		return o.Trace
+	}
+	return trace.Nop{}
+}

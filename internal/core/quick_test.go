@@ -1,0 +1,61 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sdssort/internal/cluster"
+	"sdssort/internal/codec"
+)
+
+// TestSortQuickProperty drives the full distributed sort with
+// quick-generated shapes: random rank counts, node groupings, thresholds
+// and key streams. Every draw must produce a sorted permutation (and a
+// stable one when stability is drawn).
+func TestSortQuickProperty(t *testing.T) {
+	type draw struct {
+		Keys    []uint8
+		Nodes   uint8
+		Cores   uint8
+		Stable  bool
+		TauMBig bool
+		TauOBig bool
+		TauSLow bool
+	}
+	f := func(d draw) bool {
+		nodes := int(d.Nodes)%3 + 1
+		cores := int(d.Cores)%3 + 1
+		topo := cluster.Topology{Nodes: nodes, CoresPerNode: cores}
+		p := topo.Size()
+
+		// Distribute the fuzzed keys round-robin across ranks.
+		in := make([][]codec.Tagged, p)
+		for i, k := range d.Keys {
+			r := i % p
+			in[r] = append(in[r], codec.Tagged{
+				Key: float64(k) / 16, Rank: int32(r), Index: int32(len(in[r])),
+			})
+		}
+		opt := DefaultOptions()
+		opt.Stable = d.Stable
+		if d.TauMBig {
+			opt.TauM = 1 << 40
+		} else {
+			opt.TauM = 0
+		}
+		if d.TauOBig {
+			opt.TauO = 1 << 20
+		} else {
+			opt.TauO = 0
+		}
+		if d.TauSLow {
+			opt.TauS = 1
+		}
+		out := runSort(t, topo, in, opt)
+		checkSorted(t, in, out, opt.Stable)
+		return !t.Failed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

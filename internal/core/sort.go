@@ -1,0 +1,328 @@
+package core
+
+import (
+	"fmt"
+
+	"sdssort/internal/codec"
+	"sdssort/internal/comm"
+	"sdssort/internal/metrics"
+	"sdssort/internal/partition"
+	"sdssort/internal/pivots"
+	"sdssort/internal/psort"
+)
+
+// User tags for the sort's point-to-point traffic. The collectives
+// (alltoall, allgather, …) use the comm package's reserved tag space.
+const (
+	tagExchange  = 1 // overlapped all-to-all data
+	tagNodeMerge = 2 // node-level merge gather
+)
+
+// Sort runs SDS-Sort collectively: every rank of c calls it with its
+// local slice of the input (which Sort may reorder) and receives its
+// block of the globally sorted output. Concatenating the returned
+// slices in rank order yields the sorted dataset; with opt.Stable the
+// concatenation also preserves the input order of equal records (input
+// order = rank order, then local position).
+//
+// When node-level merging triggers (τm), the output lives on each
+// node's leader rank and the other ranks return empty slices — the same
+// ownership change the paper's algorithm performs when it rewrites its
+// communicator (Fig. 1 line 6).
+func Sort[T any](c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int, opt Options) ([]T, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	tm := opt.timer()
+	tm.Start(metrics.PhaseOther)
+	defer tm.Stop()
+
+	recSize := int64(cd.Size())
+	if err := opt.Mem.Reserve(int64(len(data)) * recSize); err != nil {
+		return nil, fmt.Errorf("core: input buffer: %w", err)
+	}
+
+	tr := opt.tracer()
+	tr.Emit(c.Rank(), "sort.start", map[string]any{
+		"records": len(data), "stable": opt.Stable, "p": c.Size(),
+	})
+
+	// Initial local ordering (Fig. 1 line 2): sorted local data makes
+	// regular sampling representative and feeds the τm merge.
+	tm.Start(metrics.PhasePivotSelection)
+	psort.AdaptiveSort(data, opt.cores(), opt.Stable, opt.RunThreshold, cmp)
+
+	// Node-level merging (lines 3-7).
+	work, wc, isLeader, err := nodeMerge(c, data, cd, cmp, recSize, opt, tm)
+	if err != nil {
+		return nil, err
+	}
+	if !isLeader {
+		// Our records were merged onto the node leader; we hold no
+		// output and take no further part.
+		tr.Emit(c.Rank(), "nodemerge.follower", nil)
+		return []T{}, nil
+	}
+	if len(work) != len(data) || wc != c {
+		tr.Emit(c.Rank(), "nodemerge.leader", map[string]any{
+			"merged_records": len(work), "leaders": wc.Size(),
+		})
+	}
+	p := wc.Size()
+	if p == 1 {
+		return work, nil
+	}
+
+	// Sampling and global pivot selection (lines 8-9).
+	tm.Start(metrics.PhasePivotSelection)
+	var pg []T
+	switch opt.Pivots {
+	case PivotHistogram:
+		pg, err = pivots.HistogramSplitters(wc, work, p-1, 3, cd, cmp)
+	default:
+		pl := pivots.RegularSample(work, p)
+		pg, err = pivots.SelectGlobal(wc, pl, cd, cmp)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: pivot selection: %w", err)
+	}
+	if len(pg) == 0 {
+		// The whole dataset is empty: nothing to exchange.
+		return work, nil
+	}
+	if len(pg) != p-1 {
+		return nil, fmt.Errorf("core: selected %d global pivots for %d processes", len(pg), p)
+	}
+	if dupRuns := partition.Runs(pg, cmp); len(dupRuns) > 0 {
+		total := 0
+		for _, r := range dupRuns {
+			total += r.Len
+		}
+		tr.Emit(c.Rank(), "pivots.duplicated", map[string]any{
+			"runs": len(dupRuns), "duplicated_pivots": total, "pivots": len(pg),
+		})
+	}
+
+	// Skew-aware partition (line 10), accelerated by the local pivots.
+	bounds, err := partitionData(wc, work, pg, cmp, opt)
+	if err != nil {
+		return nil, fmt.Errorf("core: partition: %w", err)
+	}
+
+	// Exchange the send counts (lines 11-13) and budget the receive
+	// buffer (line 14) — this is where a collapsed partition dies of
+	// OOM on a real machine.
+	tm.Start(metrics.PhaseExchange)
+	scounts := partition.Counts(bounds)
+	rcounts, err := exchangeCounts(wc, scounts)
+	if err != nil {
+		return nil, fmt.Errorf("core: count exchange: %w", err)
+	}
+	var m int64
+	for _, rc := range rcounts {
+		m += rc
+	}
+	tr.Emit(c.Rank(), "exchange.plan", map[string]any{
+		"send_records": len(work), "recv_records": m,
+		"overlap": !opt.Stable && p <= opt.TauO,
+	})
+	if err := opt.Mem.Reserve(m * recSize); err != nil {
+		return nil, fmt.Errorf("core: receive buffer of %d records: %w", m, err)
+	}
+
+	// Exchange + local ordering (lines 15-27).
+	var out []T
+	if opt.Stable || p > opt.TauO {
+		out, err = syncExchange(wc, work, bounds, cd, cmp, opt, tm)
+	} else {
+		out, err = overlapExchange(wc, work, bounds, rcounts, cd, cmp, opt, tm)
+	}
+	if err != nil {
+		return nil, err
+	}
+	tr.Emit(c.Rank(), "sort.done", map[string]any{"records": len(out)})
+	return out, nil
+}
+
+// partitionData computes this rank's send boundaries using the fast or
+// stable skew-aware partition. The stable variant needs one collective:
+// the all-gather of per-run duplicate counts.
+func partitionData[T any](wc *comm.Comm, work []T, pg []T, cmp func(a, b T) int, opt Options) ([]int, error) {
+	loc := partition.NewStripe(work, len(pg)+1, cmp)
+	if opt.DisableSkewAware && !opt.Stable {
+		// Ablation: the classical partition — correct, but all
+		// duplicates of a pivot value land on one destination.
+		p := len(pg) + 1
+		bounds := make([]int, p+1)
+		bounds[p] = len(work)
+		for j, v := range pg {
+			bounds[j+1] = loc.UpperBound(work, v)
+		}
+		for j := 1; j <= p; j++ {
+			if bounds[j] < bounds[j-1] {
+				bounds[j] = bounds[j-1]
+			}
+		}
+		return bounds, partition.Validate(bounds, len(work))
+	}
+	if !opt.Stable {
+		bounds := partition.Fast(work, pg, loc, cmp)
+		return bounds, partition.Validate(bounds, len(work))
+	}
+	runs := partition.Runs(pg, cmp)
+	var dupCounts [][]int64
+	if len(runs) > 0 {
+		local := partition.LocalDupCounts(work, pg, runs, loc)
+		parts, err := wc.Allgather(comm.EncodeInt64s(local))
+		if err != nil {
+			return nil, fmt.Errorf("duplicate-count gather: %w", err)
+		}
+		dupCounts = make([][]int64, len(runs))
+		for k := range dupCounts {
+			dupCounts[k] = make([]int64, wc.Size())
+		}
+		for r, buf := range parts {
+			vals, err := comm.DecodeInt64s(buf)
+			if err != nil || len(vals) != len(runs) {
+				return nil, fmt.Errorf("bad duplicate counts from rank %d", r)
+			}
+			for k, v := range vals {
+				dupCounts[k][r] = v
+			}
+		}
+	}
+	bounds, err := partition.Stable(work, pg, loc, cmp, wc.Rank(), dupCounts)
+	if err != nil {
+		return nil, err
+	}
+	return bounds, partition.Validate(bounds, len(work))
+}
+
+// exchangeCounts performs the MPI_Alltoall of send counts (Fig. 1 line
+// 11), returning how many records each rank will deliver to us.
+func exchangeCounts(wc *comm.Comm, scounts []int) ([]int64, error) {
+	p := wc.Size()
+	parts := make([][]byte, p)
+	for dst, sc := range scounts {
+		parts[dst] = comm.EncodeInt64s([]int64{int64(sc)})
+	}
+	recv, err := wc.Alltoall(parts)
+	if err != nil {
+		return nil, err
+	}
+	rcounts := make([]int64, p)
+	for src, buf := range recv {
+		vals, err := comm.DecodeInt64s(buf)
+		if err != nil || len(vals) != 1 {
+			return nil, fmt.Errorf("bad count from rank %d", src)
+		}
+		if vals[0] < 0 {
+			return nil, fmt.Errorf("negative count %d from rank %d", vals[0], src)
+		}
+		rcounts[src] = vals[0]
+	}
+	return rcounts, nil
+}
+
+// syncExchange is the synchronous path (Fig. 1 lines 16-21): one
+// blocking all-to-all, then local ordering by k-way merge (p < τs) or
+// by re-sorting (p >= τs). Blocking exchange plus rank-ordered chunks
+// plus stable merge is what carries stability end to end.
+func syncExchange[T any](wc *comm.Comm, work []T, bounds []int, cd codec.Codec[T], cmp func(a, b T) int, opt Options, tm *metrics.PhaseTimer) ([]T, error) {
+	p := wc.Size()
+	parts := make([][]byte, p)
+	for dst := 0; dst < p; dst++ {
+		parts[dst] = codec.EncodeSlice(cd, nil, work[bounds[dst]:bounds[dst+1]])
+	}
+	recv, err := wc.Alltoall(parts)
+	if err != nil {
+		return nil, fmt.Errorf("core: alltoall: %w", err)
+	}
+
+	tm.Start(metrics.PhaseLocalOrdering)
+	chunks := make([][]T, p)
+	total := 0
+	for src := 0; src < p; src++ {
+		chunk, err := codec.DecodeSlice(cd, recv[src])
+		if err != nil {
+			return nil, fmt.Errorf("core: decode from rank %d: %w", src, err)
+		}
+		chunks[src] = chunk
+		total += len(chunk)
+	}
+
+	if p < opt.TauS {
+		// Merge the p sorted chunks: O(m log p), stable by source
+		// rank (SdssMergeAll).
+		return psort.KWayMerge(chunks, cmp), nil
+	}
+	// Re-sort: O(m log m) but independent of p (SdssLocalSort on the
+	// incoming data). Concatenating in rank order first keeps the
+	// stable variant stable.
+	out := make([]T, 0, total)
+	for _, chunk := range chunks {
+		out = append(out, chunk...)
+	}
+	psort.ParallelSort(out, opt.cores(), opt.Stable, cmp)
+	return out, nil
+}
+
+// overlapExchange is the asynchronous path (Fig. 1 lines 23-27):
+// receives from all peers are posted up front, sends stream out without
+// waiting, and each arriving chunk is merged into the running result
+// while the rest of the exchange is still in flight (SdssAlltoallvAsync
+// + SdssMergeTwo). Only the fast (non-stable) sort may take this path.
+func overlapExchange[T any](wc *comm.Comm, work []T, bounds []int, rcounts []int64, cd codec.Codec[T], cmp func(a, b T) int, opt Options, tm *metrics.PhaseTimer) ([]T, error) {
+	p := wc.Size()
+	me := wc.Rank()
+
+	var reqs []*comm.Request
+	var srcs []int
+	for src := 0; src < p; src++ {
+		if src == me || rcounts[src] == 0 {
+			continue
+		}
+		r, err := wc.Irecv(src, tagExchange)
+		if err != nil {
+			return nil, fmt.Errorf("core: irecv from %d: %w", src, err)
+		}
+		reqs = append(reqs, r)
+		srcs = append(srcs, src)
+	}
+	var sends []*comm.Request
+	for dst := 0; dst < p; dst++ {
+		if dst == me || bounds[dst+1] == bounds[dst] {
+			continue
+		}
+		buf := codec.EncodeSlice(cd, nil, work[bounds[dst]:bounds[dst+1]])
+		s, err := wc.Isend(dst, tagExchange, buf)
+		if err != nil {
+			return nil, fmt.Errorf("core: isend to %d: %w", dst, err)
+		}
+		sends = append(sends, s)
+	}
+
+	// Seed the result with our own slice; each arrival merges in.
+	out := append([]T(nil), work[bounds[me]:bounds[me+1]]...)
+	consumed := make([]bool, len(reqs))
+	for {
+		i, buf, err := comm.WaitAnyMask(reqs, consumed)
+		if err != nil {
+			return nil, fmt.Errorf("core: overlapped recv: %w", err)
+		}
+		if i < 0 {
+			break
+		}
+		tm.Start(metrics.PhaseLocalOrdering)
+		chunk, err := codec.DecodeSlice(cd, buf)
+		if err != nil {
+			return nil, fmt.Errorf("core: decode from rank %d: %w", srcs[i], err)
+		}
+		out = psort.MergeTwo(out, chunk, cmp)
+		tm.Start(metrics.PhaseExchange)
+	}
+	if err := comm.WaitAll(sends); err != nil {
+		return nil, fmt.Errorf("core: overlapped send: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+
+	"sdssort/internal/cluster"
+	"sdssort/internal/codec"
+	"sdssort/internal/comm"
+	"sdssort/internal/trace"
+)
+
+// TestSortEmitsTrace checks the observable event stream of one sort:
+// start/done per rank, the duplicated-pivot report on skewed data, and
+// the exchange plan with plausible volumes.
+func TestSortEmitsTrace(t *testing.T) {
+	topo := cluster.Topology{Nodes: 4, CoresPerNode: 1}
+	rec := trace.NewRecorder()
+	in := makeTagged(topo.Size(), 400, func(rank, i int) float64 {
+		return float64(i % 2) // heavy duplication forces pivot runs
+	})
+	opt := DefaultOptions()
+	opt.TauM = 0
+	opt.Trace = rec
+	out := runSort(t, topo, in, opt)
+	checkSorted(t, in, out, false)
+
+	if got := len(rec.ByKind("sort.start")); got != topo.Size() {
+		t.Fatalf("%d sort.start events, want %d", got, topo.Size())
+	}
+	if got := len(rec.ByKind("sort.done")); got != topo.Size() {
+		t.Fatalf("%d sort.done events, want %d", got, topo.Size())
+	}
+	if len(rec.ByKind("pivots.duplicated")) == 0 {
+		t.Fatal("no duplicated-pivot events on 2-value data")
+	}
+	plans := rec.ByKind("exchange.plan")
+	if len(plans) != topo.Size() {
+		t.Fatalf("%d exchange plans", len(plans))
+	}
+	var totalRecv int64
+	for _, e := range plans {
+		// The in-memory recorder keeps native types (the JSONL sink
+		// would render them as JSON numbers).
+		totalRecv += e.Detail["recv_records"].(int64)
+	}
+	if int(totalRecv) != topo.Size()*400 {
+		t.Fatalf("exchange plans account for %v records, want %d", totalRecv, topo.Size()*400)
+	}
+}
+
+// TestSortTraceNodeMerge checks leader/follower events on the τm path.
+func TestSortTraceNodeMerge(t *testing.T) {
+	topo := cluster.Topology{Nodes: 2, CoresPerNode: 3}
+	rec := trace.NewRecorder()
+	in := makeTagged(topo.Size(), 200, uniformGen(60))
+	opt := DefaultOptions()
+	opt.TauM = 1 << 40
+	opt.Trace = rec
+	err := cluster.Run(topo, func(c *comm.Comm) error {
+		local := append([]codec.Tagged(nil), in[c.Rank()]...)
+		_, err := Sort(c, local, taggedCodec, codec.CompareTagged, opt)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rec.ByKind("nodemerge.follower")); got != 4 {
+		t.Fatalf("%d followers, want 4", got)
+	}
+	if got := len(rec.ByKind("nodemerge.leader")); got != 2 {
+		t.Fatalf("%d leaders, want 2", got)
+	}
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+
+	"sdssort/internal/codec"
+	"sdssort/internal/comm"
+	"sdssort/internal/psort"
+)
+
+const tagVerify = 3
+
+// Verify collectively checks that the distributed array is globally
+// sorted: every rank's block must be locally sorted and no rank's first
+// record may compare below any earlier rank's last record. It costs one
+// record-sized message per rank (a chain through the ranks) plus one
+// reduction, so it is cheap enough to run after every production sort.
+// Empty ranks forward their predecessor's boundary unchanged.
+//
+// Verify never abandons the collective early: every rank completes the
+// chain and the verdict reduction even when it has already seen a
+// violation, so no peer is left blocked. On failure, every rank returns
+// an error; ranks that observed the violation say which it was.
+func Verify[T any](c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int) error {
+	p := c.Size()
+	rank := c.Rank()
+	var violation error
+	if !psort.IsSorted(data, cmp) {
+		violation = fmt.Errorf("core: verify: rank %d block is not locally sorted", rank)
+	}
+
+	// Chain the last-record boundary from rank 0 upward; the payload is
+	// empty until the first non-empty rank has been passed.
+	var boundary []byte
+	if rank > 0 {
+		var err error
+		boundary, err = c.Recv(rank-1, tagVerify)
+		if err != nil {
+			return fmt.Errorf("core: verify: boundary recv: %w", err)
+		}
+		if violation == nil && len(boundary) > 0 && len(data) > 0 {
+			prevMax := cd.Unmarshal(boundary)
+			if cmp(data[0], prevMax) < 0 {
+				violation = fmt.Errorf("core: verify: rank %d first record sorts below rank %d's data", rank, rank-1)
+			}
+		}
+	}
+	if rank < p-1 {
+		out := boundary
+		if len(data) > 0 {
+			out = make([]byte, cd.Size())
+			cd.Marshal(out, data[len(data)-1])
+		}
+		if err := c.Send(rank+1, tagVerify, out); err != nil {
+			return fmt.Errorf("core: verify: boundary send: %w", err)
+		}
+	}
+
+	// Agree on the verdict: a violation is only visible on one rank.
+	ok := int64(1)
+	if violation != nil {
+		ok = 0
+	}
+	all, err := c.AllreduceInt64(ok, func(a, b int64) int64 {
+		if a < b {
+			return a
+		}
+		return b
+	})
+	if err != nil {
+		return fmt.Errorf("core: verify: verdict exchange: %w", err)
+	}
+	if violation != nil {
+		return violation
+	}
+	if all != 1 {
+		return fmt.Errorf("core: verify: another rank reported a violation")
+	}
+	return nil
+}

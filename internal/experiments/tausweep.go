@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"sdssort/internal/cluster"
+	"sdssort/internal/core"
+	"sdssort/internal/metrics"
+	"sdssort/internal/simnet"
+	"sdssort/internal/workload"
+)
+
+// TauSweep is the paper's stated future work (§6): a systematic study of
+// the τm, τo and τs configuration parameters. Each sweep holds the
+// workload fixed and varies one threshold through its decision range,
+// reporting total sort time — the data a tuner would fit the defaults
+// from.
+func TauSweep(cfg Config) (*Result, error) {
+	res := &Result{ID: "tausweep", Title: About("tausweep")}
+
+	// τm sweep: fixed small-message workload over the modeled network;
+	// the threshold decides merge vs no-merge, so the sweep shows a
+	// step where the decision flips.
+	topoM := cluster.Topology{Nodes: 4, CoresPerNode: 4}
+	perRankM := 2048 / f64codec.Size() * 4 // ~8KB per node: merging regime
+	if cfg.Quick {
+		perRankM = 1024 / f64codec.Size() * 4
+	}
+	profile := simnet.Profile{
+		Name:         "commodity",
+		Remote:       simnet.Params{Overhead: 100 * time.Microsecond, Latency: 200 * time.Microsecond, Bandwidth: 200 << 20},
+		Local:        simnet.Params{Overhead: time.Microsecond, Latency: 2 * time.Microsecond, Bandwidth: 16 << 30},
+		ComputeScale: 1,
+	}
+	tmTbl := &metrics.Table{
+		Title:   fmt.Sprintf("τm sweep — %d ranks, small messages (simulated network)", topoM.Size()),
+		Headers: []string{"τm (bytes)", "merges?", "simulated time"},
+	}
+	genM := func(rank int) []float64 { return workload.Uniform(cfg.Seed+int64(rank), perRankM) }
+	avgMsg := int64(perRankM) * int64(f64codec.Size()) / int64(topoM.Size())
+	for _, tauM := range []int64{0, avgMsg / 2, avgMsg, 2 * avgMsg, 1 << 30} {
+		fab := simnet.NewFabric(profile, simnet.Virtual, topoM.Size())
+		opt := core.DefaultOptions()
+		opt.TauM = tauM
+		opt.TauO = 0
+		o := runSort(kindSDS, runCfg{topo: topoM, opt: opt, wrap: fab.Wrap}, genM, f64codec, cmpF64)
+		if o.Err != nil {
+			return nil, fmt.Errorf("tausweep τm=%d: %w", tauM, o.Err)
+		}
+		merges := "no"
+		if avgMsg <= tauM {
+			merges = "yes"
+		}
+		tmTbl.AddRow(fmt.Sprint(tauM), merges, metrics.FmtDur(fab.Makespan()))
+	}
+	res.Tables = append(res.Tables, tmTbl)
+
+	// τs sweep: fixed p, vary the merge-vs-sort decision point around
+	// it; the two plateaus show each strategy's cost at this p.
+	pS := 16
+	perRankS := 8000
+	if cfg.Quick {
+		pS, perRankS = 8, 2000
+	}
+	topoS := cluster.Topology{Nodes: pS, CoresPerNode: 1}
+	tsTbl := &metrics.Table{
+		Title:   fmt.Sprintf("τs sweep — p=%d (below τs merges, at/above sorts)", pS),
+		Headers: []string{"τs", "local ordering", "time"},
+	}
+	genS := func(rank int) []float64 {
+		return workload.Uniform(cfg.Seed+int64(rank)*17, perRankS)
+	}
+	for _, tauS := range []int{0, pS, pS + 1, 1 << 20} {
+		opt := core.DefaultOptions()
+		opt.TauM = 0
+		opt.TauO = 0
+		opt.TauS = tauS
+		o := runSort(kindSDS, runCfg{topo: topoS, opt: opt}, genS, f64codec, cmpF64)
+		if o.Err != nil {
+			return nil, fmt.Errorf("tausweep τs=%d: %w", tauS, o.Err)
+		}
+		strategy := "sort"
+		if pS < tauS {
+			strategy = "merge"
+		}
+		tsTbl.AddRow(fmt.Sprint(tauS), strategy, metrics.FmtDur(o.Elapsed))
+	}
+	res.Tables = append(res.Tables, tsTbl)
+
+	// τo sweep: overlap on/off at fixed p under the sleep-mode network.
+	pO := 8
+	perRankO := 3000
+	if cfg.Quick {
+		perRankO = 1000
+	}
+	topoO := cluster.Topology{Nodes: pO, CoresPerNode: 1}
+	sleepy := simnet.Profile{
+		Name:         "sleepy",
+		Remote:       simnet.Params{Overhead: 40 * time.Microsecond, Latency: 300 * time.Microsecond, Bandwidth: 1 << 28},
+		Local:        simnet.Params{Overhead: 10 * time.Microsecond, Latency: 50 * time.Microsecond, Bandwidth: 1 << 30},
+		ComputeScale: 1,
+	}
+	toTbl := &metrics.Table{
+		Title:   fmt.Sprintf("τo sweep — p=%d (below τo synchronous, above overlapped)", pO),
+		Headers: []string{"τo", "exchange", "time"},
+	}
+	genO := func(rank int) []float64 {
+		return workload.Uniform(cfg.Seed+int64(rank)*23, perRankO)
+	}
+	for _, tauO := range []int{0, pO, pO + 1, 1 << 20} {
+		fab := simnet.NewFabric(sleepy, simnet.Sleep, pO)
+		opt := core.DefaultOptions()
+		opt.TauM = 0
+		opt.TauO = tauO
+		opt.TauS = 1 << 30
+		o := runSort(kindSDS, runCfg{topo: topoO, opt: opt, wrap: fab.Wrap}, genO, f64codec, cmpF64)
+		if o.Err != nil {
+			return nil, fmt.Errorf("tausweep τo=%d: %w", tauO, o.Err)
+		}
+		mode := "synchronous"
+		if pO <= tauO {
+			mode = "overlapped"
+		}
+		toTbl.AddRow(fmt.Sprint(tauO), mode, metrics.FmtDur(o.Elapsed))
+	}
+	res.Tables = append(res.Tables, toTbl)
+	res.Notes = append(res.Notes,
+		"each τ decision is a step function of the threshold; the sweep shows the two plateaus so a deployment can place its defaults (the paper's §6 parameter study)")
+	return res, nil
+}

@@ -1,0 +1,212 @@
+// Package extsort sorts record files larger than memory: chunks of the
+// input are sorted in memory (with the same shared-memory substrate the
+// distributed sort uses) and spilled to temporary run files, which are
+// then streamed through a k-way merge into the output. This is the
+// out-of-core regime the paper's related work (TritonSort, NTOSort — §5)
+// addresses; SDS-Sort itself is in-memory, so this package is the
+// library's extension for datasets that do not fit.
+package extsort
+
+import (
+	"container/heap"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"sdssort/internal/codec"
+	"sdssort/internal/psort"
+	"sdssort/internal/recordio"
+)
+
+// Options configures an external sort.
+type Options struct {
+	// ChunkRecords is the number of records sorted in memory per run;
+	// it bounds peak memory at roughly ChunkRecords × record size × 2.
+	// Default 1<<20.
+	ChunkRecords int
+	// Cores bounds the goroutines used to sort each chunk.
+	Cores int
+	// Stable preserves input order of equal records across the whole
+	// file (runs are merged in file order with a stable merge).
+	Stable bool
+	// TempDir holds the spill files; defaults to the OS temp dir.
+	TempDir string
+}
+
+func (o Options) chunkRecords() int {
+	if o.ChunkRecords <= 0 {
+		return 1 << 20
+	}
+	return o.ChunkRecords
+}
+
+func (o Options) cores() int {
+	if o.Cores < 1 {
+		return 1
+	}
+	return o.Cores
+}
+
+// SortFile sorts the record file at in into out. The input is read once;
+// peak memory is bounded by Options.ChunkRecords regardless of file
+// size.
+func SortFile[T any](in, out string, cd codec.Codec[T], cmp func(a, b T) int, opt Options) error {
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	of, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := Sort(f, of, cd, cmp, opt); err != nil {
+		of.Close()
+		return err
+	}
+	return of.Close()
+}
+
+// Sort is SortFile over streams.
+func Sort[T any](in io.Reader, out io.Writer, cd codec.Codec[T], cmp func(a, b T) int, opt Options) error {
+	tmpDir, err := os.MkdirTemp(opt.TempDir, "extsort-*")
+	if err != nil {
+		return fmt.Errorf("extsort: temp dir: %w", err)
+	}
+	defer os.RemoveAll(tmpDir)
+
+	// Phase 1: cut the input into sorted runs on disk.
+	runs, err := spillRuns(in, tmpDir, cd, cmp, opt)
+	if err != nil {
+		return err
+	}
+	// Phase 2: stream-merge the runs.
+	return mergeRuns(runs, out, cd, cmp)
+}
+
+// spillRuns reads the input chunk by chunk, sorts each chunk, and
+// writes one run file per chunk. It returns the run paths in input
+// order (which is what makes the merge stable overall).
+func spillRuns[T any](in io.Reader, dir string, cd codec.Codec[T], cmp func(a, b T) int, opt Options) ([]string, error) {
+	reader := recordio.NewReader(in, cd)
+	limit := opt.chunkRecords()
+	var runs []string
+	chunk := make([]T, 0, limit)
+	flush := func() error {
+		if len(chunk) == 0 {
+			return nil
+		}
+		psort.ParallelSort(chunk, opt.cores(), opt.Stable, cmp)
+		path := filepath.Join(dir, fmt.Sprintf("run-%06d", len(runs)))
+		if err := recordio.WriteFile(path, cd, chunk); err != nil {
+			return fmt.Errorf("extsort: spill %s: %w", path, err)
+		}
+		runs = append(runs, path)
+		chunk = chunk[:0]
+		return nil
+	}
+	for {
+		rec, err := reader.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("extsort: read input: %w", err)
+		}
+		chunk = append(chunk, rec)
+		if len(chunk) >= limit {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return runs, nil
+}
+
+// runHead is one run's cursor in the merge heap.
+type runHead[T any] struct {
+	reader *recordio.Reader[T]
+	file   *os.File
+	head   T
+	idx    int // run index, the stability tiebreaker
+}
+
+// runHeap orders run cursors by (head record, run index).
+type runHeap[T any] struct {
+	items []*runHead[T]
+	cmp   func(a, b T) int
+}
+
+func (h *runHeap[T]) Len() int { return len(h.items) }
+
+func (h *runHeap[T]) Less(i, j int) bool {
+	c := h.cmp(h.items[i].head, h.items[j].head)
+	if c != 0 {
+		return c < 0
+	}
+	return h.items[i].idx < h.items[j].idx
+}
+
+func (h *runHeap[T]) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+
+func (h *runHeap[T]) Push(x any) { h.items = append(h.items, x.(*runHead[T])) }
+
+func (h *runHeap[T]) Pop() any {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+// mergeRuns streams the runs through a heap into the output.
+func mergeRuns[T any](runs []string, out io.Writer, cd codec.Codec[T], cmp func(a, b T) int) error {
+	h := &runHeap[T]{cmp: cmp}
+	defer func() {
+		for _, it := range h.items {
+			it.file.Close()
+		}
+	}()
+	for idx, path := range runs {
+		f, err := os.Open(path)
+		if err != nil {
+			return fmt.Errorf("extsort: open run: %w", err)
+		}
+		r := recordio.NewReader(f, cd)
+		rec, err := r.Read()
+		if err == io.EOF {
+			f.Close()
+			continue
+		}
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("extsort: run %d: %w", idx, err)
+		}
+		h.items = append(h.items, &runHead[T]{reader: r, file: f, head: rec, idx: idx})
+	}
+	heap.Init(h)
+
+	w := recordio.NewWriter(out, cd)
+	for h.Len() > 0 {
+		top := h.items[0]
+		if err := w.Write(top.head); err != nil {
+			return err
+		}
+		rec, err := top.reader.Read()
+		if err == io.EOF {
+			top.file.Close()
+			heap.Pop(h)
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("extsort: run %d: %w", top.idx, err)
+		}
+		top.head = rec
+		heap.Fix(h, 0)
+	}
+	return w.Flush()
+}

@@ -1,0 +1,156 @@
+package extsort
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"slices"
+	"testing"
+
+	"sdssort/internal/codec"
+	"sdssort/internal/recordio"
+	"sdssort/internal/workload"
+)
+
+var f64 = codec.Float64{}
+
+func cmpF(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func TestSortFileManySpills(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.f64")
+	out := filepath.Join(dir, "out.f64")
+	keys := workload.ZipfKeys(1, 50000, 1.4, workload.DefaultZipfUniverse)
+	if err := recordio.WriteFile(in, f64, keys); err != nil {
+		t.Fatal(err)
+	}
+	// Tiny chunks force ~50 spill runs.
+	opt := Options{ChunkRecords: 1000, TempDir: dir}
+	if err := SortFile(in, out, f64, cmpF, opt); err != nil {
+		t.Fatal(err)
+	}
+	got, err := recordio.ReadFile(out, f64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]float64(nil), keys...)
+	slices.Sort(want)
+	if !slices.Equal(got, want) {
+		t.Fatal("external sort output differs from in-memory sort")
+	}
+}
+
+func TestSortSingleChunk(t *testing.T) {
+	// Everything fits one chunk: no merge needed.
+	var in, out bytes.Buffer
+	keys := workload.Uniform(2, 500)
+	w := recordio.NewWriter(&in, f64)
+	if err := w.Write(keys...); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Sort(&in, &out, f64, cmpF, Options{ChunkRecords: 10000}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := recordio.NewReader(&out, f64).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]float64(nil), keys...)
+	slices.Sort(want)
+	if !slices.Equal(got, want) {
+		t.Fatal("mismatch")
+	}
+}
+
+func TestSortEmptyInput(t *testing.T) {
+	var in, out bytes.Buffer
+	if err := Sort(&in, &out, f64, cmpF, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("empty input produced %d bytes", out.Len())
+	}
+}
+
+func TestSortStableAcrossRuns(t *testing.T) {
+	// Equal keys spanning multiple spill runs must keep file order in
+	// stable mode; Tagged records carry their input position.
+	var in, out bytes.Buffer
+	cd := codec.TaggedCodec{}
+	w := recordio.NewWriter(&in, cd)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if err := w.Write(codec.Tagged{Key: float64(i % 3), Index: int32(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{ChunkRecords: 700, Stable: true}
+	if err := Sort(&in, &out, cd, codec.CompareTagged, opt); err != nil {
+		t.Fatal(err)
+	}
+	got, err := recordio.NewReader(&out, cd).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("%d records", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Key > got[i].Key {
+			t.Fatalf("not sorted at %d", i)
+		}
+		if got[i-1].Key == got[i].Key && got[i-1].Index > got[i].Index {
+			t.Fatalf("stability violated at %d: %v then %v", i, got[i-1], got[i])
+		}
+	}
+}
+
+func TestSortFileErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := SortFile(filepath.Join(dir, "missing"), filepath.Join(dir, "out"), f64, cmpF, Options{}); err == nil {
+		t.Fatal("missing input accepted")
+	}
+	// Ragged input file.
+	bad := filepath.Join(dir, "bad.f64")
+	if err := writeBytes(bad, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := SortFile(bad, filepath.Join(dir, "out2"), f64, cmpF, Options{}); err == nil {
+		t.Fatal("ragged input accepted")
+	}
+}
+
+func writeBytes(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644)
+}
+
+func BenchmarkExternalSort(b *testing.B) {
+	dir := b.TempDir()
+	in := filepath.Join(dir, "in.f64")
+	keys := workload.ZipfKeys(9, 200000, 1.4, workload.DefaultZipfUniverse)
+	if err := recordio.WriteFile(in, f64, keys); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(keys)) * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := filepath.Join(dir, "out.f64")
+		if err := SortFile(in, out, f64, cmpF, Options{ChunkRecords: 20000, TempDir: dir}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+// Package hyksort implements HykSort (Sundar, Malhotra, Biros — ICS'13),
+// the state-of-the-art baseline the paper compares against: a
+// generalised hypercube quicksort that recursively splits the
+// communicator into k groups using histogram-selected splitters and
+// exchanges data in log_k(p) staged rounds, avoiding a single monolithic
+// all-to-all.
+//
+// Like the original (when run without secondary sorting keys), this
+// implementation partitions records by upper_bound on the splitters: all
+// records equal to a splitter value land in one group. On heavily
+// duplicated data the histogram refinement cannot separate equal keys,
+// splitters collapse onto the popular values, and the data concentrates
+// on few ranks — the load imbalance and out-of-memory failure the
+// paper's Figs. 6c/8/10 and Tables 3/4 document.
+package hyksort
+
+import (
+	"fmt"
+
+	"sdssort/internal/codec"
+	"sdssort/internal/comm"
+	"sdssort/internal/memlimit"
+	"sdssort/internal/metrics"
+	"sdssort/internal/partition"
+	"sdssort/internal/pivots"
+	"sdssort/internal/psort"
+)
+
+const tagExchange = 3
+
+// Options configures HykSort.
+type Options struct {
+	// K is the splitting arity per round; the HykSort paper found 128
+	// optimal on their testbed and the SDS-Sort paper uses that value.
+	K int
+	// HistogramRounds is the number of refinement iterations in
+	// splitter selection.
+	HistogramRounds int
+	// Cores bounds the goroutines used for local sorting.
+	Cores int
+	// Mem emulates the rank's memory budget (nil = unlimited).
+	Mem *memlimit.Gauge
+	// Timer accrues per-phase time when non-nil.
+	Timer *metrics.PhaseTimer
+}
+
+// DefaultOptions mirrors the published configuration.
+func DefaultOptions() Options {
+	return Options{K: 128, HistogramRounds: 3, Cores: 1}
+}
+
+func (o Options) cores() int {
+	if o.Cores < 1 {
+		return 1
+	}
+	return o.Cores
+}
+
+func (o Options) timer() *metrics.PhaseTimer {
+	if o.Timer != nil {
+		return o.Timer
+	}
+	return metrics.NewPhaseTimer()
+}
+
+// Sort runs HykSort collectively: each rank contributes its local slice
+// and receives its block of the globally sorted output (rank order =
+// value order). The sort is not stable.
+func Sort[T any](c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int, opt Options) ([]T, error) {
+	if opt.K < 2 {
+		opt.K = 2
+	}
+	tm := opt.timer()
+	tm.Start(metrics.PhaseOther)
+	defer tm.Stop()
+
+	recSize := int64(cd.Size())
+	if err := opt.Mem.Reserve(int64(len(data)) * recSize); err != nil {
+		return nil, fmt.Errorf("hyksort: input buffer: %w", err)
+	}
+	tm.Start(metrics.PhaseLocalOrdering)
+	psort.ParallelSort(data, opt.cores(), false, cmp)
+
+	local := data
+	cur := c
+	for cur.Size() > 1 {
+		var err error
+		local, cur, err = round(cur, local, cd, cmp, recSize, opt, tm)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return local, nil
+}
+
+// round performs one k-way split: select splitters, exchange buckets to
+// their groups, merge, and narrow the communicator to this rank's group.
+func round[T any](cur *comm.Comm, local []T, cd codec.Codec[T], cmp func(a, b T) int, recSize int64, opt Options, tm *metrics.PhaseTimer) ([]T, *comm.Comm, error) {
+	p := cur.Size()
+	b := opt.K
+	if b > p {
+		b = p
+	}
+
+	// Histogram-based splitter selection (no duplicate awareness).
+	tm.Start(metrics.PhasePivotSelection)
+	splitters, err := pivots.HistogramSplitters(cur, local, b-1, opt.HistogramRounds, cd, cmp)
+	if err != nil {
+		return nil, nil, fmt.Errorf("hyksort: splitter selection: %w", err)
+	}
+	if len(splitters) != b-1 {
+		return nil, nil, fmt.Errorf("hyksort: selected %d splitters for %d groups", len(splitters), b)
+	}
+
+	// Bucket boundaries by plain upper_bound: every record equal to a
+	// splitter goes below it, i.e. to a single group.
+	bounds := make([]int, b+1)
+	bounds[b] = len(local)
+	for j, s := range splitters {
+		bounds[j+1] = partition.UpperBound(local, s, cmp)
+	}
+	for j := 1; j <= b; j++ {
+		if bounds[j] < bounds[j-1] {
+			bounds[j] = bounds[j-1]
+		}
+	}
+
+	// Rank layout: group j owns ranks [j*p/b, (j+1)*p/b). Each rank
+	// scatters bucket j to one rank of group j, spreading senders
+	// round-robin across the group's members.
+	groupOf := func(rank int) int { return rank * b / p }
+	groupStart := func(j int) int {
+		// First rank whose group is j.
+		lo := (j*p + b - 1) / b
+		for groupOf(lo) != j {
+			lo++
+		}
+		return lo
+	}
+	parts := make([][]byte, p)
+	myRank := cur.Rank()
+	for j := 0; j < b; j++ {
+		if bounds[j+1] == bounds[j] {
+			continue
+		}
+		gs := groupStart(j)
+		var ge int
+		if j == b-1 {
+			ge = p
+		} else {
+			ge = groupStart(j + 1)
+		}
+		target := gs + myRank%(ge-gs)
+		parts[target] = codec.EncodeSlice(cd, parts[target], local[bounds[j]:bounds[j+1]])
+	}
+
+	tm.Start(metrics.PhaseExchange)
+	recv, err := cur.Alltoall(parts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("hyksort: exchange: %w", err)
+	}
+
+	// Budget the received volume before materialising it — the spot
+	// where a collapsed split dies of OOM.
+	var incoming int64
+	for src, buf := range recv {
+		if src == myRank {
+			continue
+		}
+		incoming += int64(len(buf))
+	}
+	if err := opt.Mem.Reserve(incoming); err != nil {
+		return nil, nil, fmt.Errorf("hyksort: receive buffer: %w", err)
+	}
+
+	tm.Start(metrics.PhaseLocalOrdering)
+	oldBytes := int64(len(local)) * recSize
+	chunks := make([][]T, 0, p)
+	for src := 0; src < p; src++ {
+		if len(recv[src]) == 0 {
+			continue
+		}
+		chunk, err := codec.DecodeSlice(cd, recv[src])
+		if err != nil {
+			return nil, nil, fmt.Errorf("hyksort: decode from rank %d: %w", src, err)
+		}
+		chunks = append(chunks, chunk)
+	}
+	merged := psort.KWayMerge(chunks, cmp)
+	opt.Mem.Release(oldBytes)
+
+	tm.Start(metrics.PhaseOther)
+	sub, err := cur.Split(groupOf(myRank), myRank)
+	if err != nil {
+		return nil, nil, fmt.Errorf("hyksort: group split: %w", err)
+	}
+	return merged, sub, nil
+}

@@ -1,0 +1,107 @@
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func benchData(n int, dupFrac float64) ([]int, []int) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]int, n)
+	for i := range data {
+		if rng.Float64() < dupFrac {
+			data[i] = 500
+		} else {
+			data[i] = rng.Intn(1000)
+		}
+	}
+	// Sort via simple comparison (test-only path).
+	quickSortInts(data)
+	return data, data
+}
+
+func quickSortInts(a []int) {
+	if len(a) < 2 {
+		return
+	}
+	pivot := a[len(a)/2]
+	lo, hi := 0, len(a)-1
+	for lo <= hi {
+		for a[lo] < pivot {
+			lo++
+		}
+		for a[hi] > pivot {
+			hi--
+		}
+		if lo <= hi {
+			a[lo], a[hi] = a[hi], a[lo]
+			lo++
+			hi--
+		}
+	}
+	quickSortInts(a[:hi+1])
+	quickSortInts(a[lo:])
+}
+
+func samplePivots(data []int, p int) []int {
+	stride := len(data) / p
+	var pg []int
+	for i := 1; i < p; i++ {
+		pg = append(pg, data[i*stride])
+	}
+	return pg
+}
+
+func BenchmarkFastPartition(b *testing.B) {
+	for _, p := range []int{16, 128} {
+		for _, dup := range []float64{0, 0.5} {
+			b.Run(fmt.Sprintf("p=%d/dup=%.0f%%", p, dup*100), func(b *testing.B) {
+				data, _ := benchData(1<<18, dup)
+				pg := samplePivots(data, p)
+				loc := Binary[int]{Cmp: cmpInt}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					Fast(data, pg, loc, cmpInt)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkLocatorUpperBound(b *testing.B) {
+	data, _ := benchData(1<<18, 0)
+	locs := map[string]Locator[int]{
+		"binary": Binary[int]{Cmp: cmpInt},
+		"stripe": NewStripe(data, 64, cmpInt),
+	}
+	for name, loc := range locs {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				loc.UpperBound(data, i%1000)
+			}
+		})
+	}
+}
+
+func BenchmarkStablePartition(b *testing.B) {
+	const p = 32
+	data, _ := benchData(1<<18, 0.5)
+	pg := samplePivots(data, p)
+	loc := Binary[int]{Cmp: cmpInt}
+	runs := Runs(pg, cmpInt)
+	counts := make([][]int64, len(runs))
+	local := LocalDupCounts(data, pg, runs, loc)
+	for k := range counts {
+		counts[k] = make([]int64, p)
+		for r := 0; r < p; r++ {
+			counts[k][r] = local[k]
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Stable(data, pg, loc, cmpInt, 3, counts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

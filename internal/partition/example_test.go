@@ -1,0 +1,51 @@
+package partition_test
+
+import (
+	"fmt"
+
+	"sdssort/internal/partition"
+)
+
+func cmpInt(a, b int) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func ExampleFast() {
+	// Eight sorted records, three global pivots — two of which are the
+	// duplicated value 5. The fast skew-aware partition splits the 5s
+	// evenly between the two processes sharing the pivot.
+	data := []int{1, 2, 5, 5, 5, 5, 8, 9}
+	pg := []int{5, 5, 7}
+	bounds := partition.Fast(data, pg, partition.Binary[int]{Cmp: cmpInt}, cmpInt)
+	fmt.Println(bounds)
+	for j := 0; j < len(bounds)-1; j++ {
+		fmt.Printf("P%d gets %v\n", j, data[bounds[j]:bounds[j+1]])
+	}
+	// Output:
+	// [0 4 6 6 8]
+	// P0 gets [1 2 5 5]
+	// P1 gets [5 5]
+	// P2 gets []
+	// P3 gets [8 9]
+}
+
+func ExampleRuns() {
+	pg := []int{1, 5, 5, 5, 9}
+	for _, r := range partition.Runs(pg, cmpInt) {
+		fmt.Printf("pivots %d..%d share value %d\n", r.Start, r.Start+r.Len-1, pg[r.Start])
+	}
+	// Output: pivots 1..3 share value 5
+}
+
+func ExampleReplicated() {
+	pg := []int{1, 5, 5, 5, 9}
+	fr, rs, rr, ppvIdx := partition.Replicated(pg, 2, cmpInt)
+	fmt.Println(fr, rs, rr, ppvIdx)
+	// Output: true 3 1 0
+}

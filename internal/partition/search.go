@@ -1,0 +1,142 @@
+// Package partition implements the paper's skew-aware data partition
+// (SdssPartition, Fig. 2), the replicated-pivot scan (SdssReplicated,
+// Fig. 3), and the local-pivot-accelerated boundary search (§2.5.1).
+// The functions here are pure — the one collective the stable version
+// needs (an all-gather of duplicate counts) is injected by the caller —
+// so the same code drives the distributed sort, the shared-memory
+// parallel merge, and the unit tests.
+package partition
+
+// Locator finds pivot boundaries inside one rank's sorted data. The
+// three implementations are the three methods Fig. 6b compares:
+// sequential full scan, plain binary search, and the paper's local-pivot
+// accelerated search.
+type Locator[T any] interface {
+	// UpperBound returns the smallest index i such that v < data[i]
+	// (len(data) if none), i.e. one past the last element <= v.
+	UpperBound(data []T, v T) int
+	// LowerBound returns the smallest index i such that data[i] >= v.
+	LowerBound(data []T, v T) int
+}
+
+// UpperBound is the classic binary search: first index whose element
+// compares greater than v.
+func UpperBound[T any](data []T, v T, cmp func(a, b T) int) int {
+	lo, hi := 0, len(data)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if cmp(data[mid], v) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// LowerBound is the classic binary search: first index whose element
+// compares greater than or equal to v.
+func LowerBound[T any](data []T, v T, cmp func(a, b T) int) int {
+	lo, hi := 0, len(data)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if cmp(data[mid], v) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Binary is the plain binary-search locator.
+type Binary[T any] struct {
+	Cmp func(a, b T) int
+}
+
+func (b Binary[T]) UpperBound(data []T, v T) int { return UpperBound(data, v, b.Cmp) }
+func (b Binary[T]) LowerBound(data []T, v T) int { return LowerBound(data, v, b.Cmp) }
+
+// Stripe is the paper's local-pivot locator: the p-1 local pivots taken
+// at stride ⌊n/p⌋ during sampling index the sorted data, so a boundary
+// search first ranks the value among the local pivots (O(log p)) and
+// then searches only the ⌊n/p⌋-wide stripe between two adjacent local
+// pivots (O(log(n/p))) — the shift space reduction of §2.5.1.
+type Stripe[T any] struct {
+	Pivots []T // p-1 local pivots, sorted
+	Stride int // ⌊n/p⌋, the sampling stride the pivots were taken at
+	Cmp    func(a, b T) int
+}
+
+// NewStripe builds the locator from sorted data by regular sampling
+// with p-1 pivots, mirroring line 8 of the SDS-Sort listing.
+func NewStripe[T any](data []T, p int, cmp func(a, b T) int) Stripe[T] {
+	stride := len(data) / p
+	if stride < 1 {
+		stride = 1
+	}
+	var pivots []T
+	for i := 1; i < p && i*stride < len(data); i++ {
+		pivots = append(pivots, data[i*stride])
+	}
+	return Stripe[T]{Pivots: pivots, Stride: stride, Cmp: cmp}
+}
+
+func (s Stripe[T]) stripe(data []T, v T, upper bool) (lo, hi int) {
+	var pi int
+	if upper {
+		pi = UpperBound(s.Pivots, v, s.Cmp)
+	} else {
+		pi = LowerBound(s.Pivots, v, s.Cmp)
+	}
+	// Local pivot j sits at data[(j+1)*stride]; a value ranking pi
+	// among pivots lies in data[pi*stride : (pi+1)*stride] inclusive
+	// of the pivot positions themselves.
+	lo = pi * s.Stride
+	hi = (pi + 1) * s.Stride
+	if pi == len(s.Pivots) {
+		// Past the last pivot: the stripe runs to the end of the
+		// data (the tail stripe absorbs the ⌊n/p⌋ remainder).
+		hi = len(data)
+	}
+	if lo > len(data) {
+		lo = len(data)
+	}
+	if hi > len(data) {
+		hi = len(data)
+	}
+	return lo, hi
+}
+
+func (s Stripe[T]) UpperBound(data []T, v T) int {
+	lo, hi := s.stripe(data, v, true)
+	return lo + UpperBound(data[lo:hi], v, s.Cmp)
+}
+
+func (s Stripe[T]) LowerBound(data []T, v T) int {
+	lo, hi := s.stripe(data, v, false)
+	return lo + LowerBound(data[lo:hi], v, s.Cmp)
+}
+
+// Scan is the O(n) sequential-scan locator, the baseline of Fig. 6b.
+type Scan[T any] struct {
+	Cmp func(a, b T) int
+}
+
+func (s Scan[T]) UpperBound(data []T, v T) int {
+	for i, x := range data {
+		if s.Cmp(x, v) > 0 {
+			return i
+		}
+	}
+	return len(data)
+}
+
+func (s Scan[T]) LowerBound(data []T, v T) int {
+	for i, x := range data {
+		if s.Cmp(x, v) >= 0 {
+			return i
+		}
+	}
+	return len(data)
+}

@@ -1,0 +1,106 @@
+package partition
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+	"testing/quick"
+)
+
+func TestBoundsAgainstStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	for trial := 0; trial < 100; trial++ {
+		data := sortedRandom(rng, rng.Intn(300), 20)
+		for v := -1; v <= 20; v++ {
+			wantUB, _ := slices.BinarySearch(data, v+1)
+			if got := UpperBound(data, v, cmpInt); got != wantUB {
+				t.Fatalf("UpperBound(%v, %d) = %d, want %d", data, v, got, wantUB)
+			}
+			wantLB, _ := slices.BinarySearch(data, v)
+			if got := LowerBound(data, v, cmpInt); got != wantLB {
+				t.Fatalf("LowerBound(%v, %d) = %d, want %d", data, v, got, wantLB)
+			}
+		}
+	}
+}
+
+func TestLocatorsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 50; trial++ {
+		n := 50 + rng.Intn(5000)
+		data := sortedRandom(rng, n, 100)
+		for _, p := range []int{2, 4, 7, 16} {
+			stripe := NewStripe(data, p, cmpInt)
+			scan := Scan[int]{cmpInt}
+			bin := Binary[int]{cmpInt}
+			for v := -1; v <= 100; v += 3 {
+				ub := bin.UpperBound(data, v)
+				if got := stripe.UpperBound(data, v); got != ub {
+					t.Fatalf("n=%d p=%d v=%d: stripe UB %d want %d", n, p, v, got, ub)
+				}
+				if got := scan.UpperBound(data, v); got != ub {
+					t.Fatalf("n=%d p=%d v=%d: scan UB %d want %d", n, p, v, got, ub)
+				}
+				lb := bin.LowerBound(data, v)
+				if got := stripe.LowerBound(data, v); got != lb {
+					t.Fatalf("n=%d p=%d v=%d: stripe LB %d want %d", n, p, v, got, lb)
+				}
+				if got := scan.LowerBound(data, v); got != lb {
+					t.Fatalf("n=%d p=%d v=%d: scan LB %d want %d", n, p, v, got, lb)
+				}
+			}
+		}
+	}
+}
+
+func TestStripeOnTinyData(t *testing.T) {
+	// Fewer records than processes: the stripe locator must degrade
+	// gracefully.
+	data := []int{5}
+	stripe := NewStripe(data, 8, cmpInt)
+	if got := stripe.UpperBound(data, 5); got != 1 {
+		t.Fatalf("UB=%d", got)
+	}
+	if got := stripe.LowerBound(data, 5); got != 0 {
+		t.Fatalf("LB=%d", got)
+	}
+	var empty []int
+	stripeE := NewStripe(empty, 4, cmpInt)
+	if got := stripeE.UpperBound(empty, 1); got != 0 {
+		t.Fatalf("empty UB=%d", got)
+	}
+}
+
+func TestStripeDuplicateHeavy(t *testing.T) {
+	data := make([]int, 1000)
+	for i := 400; i < 1000; i++ {
+		data[i] = 3
+	}
+	slices.Sort(data)
+	stripe := NewStripe(data, 8, cmpInt)
+	if got, want := stripe.LowerBound(data, 3), 400; got != want {
+		t.Fatalf("LB=%d want %d", got, want)
+	}
+	if got, want := stripe.UpperBound(data, 3), 1000; got != want {
+		t.Fatalf("UB=%d want %d", got, want)
+	}
+}
+
+func TestStripeProperty(t *testing.T) {
+	f := func(raw []uint8, v uint8, pRaw uint8) bool {
+		data := make([]int, len(raw))
+		for i, x := range raw {
+			data[i] = int(x) % 32
+		}
+		slices.Sort(data)
+		p := int(pRaw)%15 + 2
+		stripe := NewStripe(data, p, cmpInt)
+		bin := Binary[int]{cmpInt}
+		val := int(v) % 32
+		return stripe.UpperBound(data, val) == bin.UpperBound(data, val) &&
+			stripe.LowerBound(data, val) == bin.LowerBound(data, val)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

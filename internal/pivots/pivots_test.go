@@ -1,0 +1,238 @@
+package pivots
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"sdssort/internal/cluster"
+	"sdssort/internal/codec"
+	"sdssort/internal/comm"
+	"sdssort/internal/partition"
+	"sdssort/internal/workload"
+)
+
+var f64 = codec.Float64{}
+
+func cmpF(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func TestRegularSample(t *testing.T) {
+	data := []float64{0, 1, 2, 3, 4, 5, 6, 7}
+	got := RegularSample(data, 4) // stride 2: indices 2, 4, 6
+	want := []float64{2, 4, 6}
+	if !slices.Equal(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	if got := RegularSample[float64](nil, 4); got != nil {
+		t.Fatalf("empty: got %v", got)
+	}
+	if got := RegularSample(data, 1); got != nil {
+		t.Fatalf("k=1: got %v", got)
+	}
+	// Fewer records than k: always k-1 pivots, padding with the last
+	// record, so global pivot selection never starves on tiny ranks.
+	short := []float64{1, 2}
+	got = RegularSample(short, 8)
+	if len(got) != 7 {
+		t.Fatalf("short data: got %v", got)
+	}
+	if got[0] != 2 || got[6] != 2 {
+		t.Fatalf("short data padding: got %v", got)
+	}
+}
+
+func TestSelectGlobalUniform(t *testing.T) {
+	for _, p := range []int{2, 4, 8, 5} { // includes a non-power-of-two
+		allPG := make([][]float64, p)
+		topo := cluster.Topology{Nodes: p, CoresPerNode: 1}
+		err := cluster.Run(topo, func(c *comm.Comm) error {
+			data := workload.Uniform(int64(c.Rank()+1), 1000)
+			slices.Sort(data)
+			pl := RegularSample(data, p)
+			pg, err := SelectGlobal(c, pl, f64, cmpF)
+			if err != nil {
+				return err
+			}
+			allPG[c.Rank()] = pg
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every rank must hold the identical, sorted pivot vector.
+		for r := 1; r < p; r++ {
+			if !slices.Equal(allPG[r], allPG[0]) {
+				t.Fatalf("p=%d: rank %d pivots differ", p, r)
+			}
+		}
+		if len(allPG[0]) != p-1 {
+			t.Fatalf("p=%d: %d pivots", p, len(allPG[0]))
+		}
+		if !slices.IsSorted(allPG[0]) {
+			t.Fatalf("p=%d: pivots not sorted: %v", p, allPG[0])
+		}
+		// Uniform data: pivots should be roughly evenly spaced in [0,1].
+		for i, pv := range allPG[0] {
+			want := float64(i+1) / float64(p)
+			if pv < want-0.15 || pv > want+0.15 {
+				t.Errorf("p=%d: pivot %d = %v, want ≈ %v", p, i, pv, want)
+			}
+		}
+	}
+}
+
+func TestSelectGlobalDuplicateHeavy(t *testing.T) {
+	// 90% of all records share one value: most global pivots must
+	// equal that value — the duplicated-pivot situation SdssPartition
+	// detects.
+	const p = 8
+	pgOut := make([][]float64, p)
+	topo := cluster.Topology{Nodes: p, CoresPerNode: 1}
+	err := cluster.Run(topo, func(c *comm.Comm) error {
+		rng := rand.New(rand.NewSource(int64(c.Rank())))
+		data := make([]float64, 800)
+		for i := range data {
+			if rng.Float64() < 0.9 {
+				data[i] = 5
+			} else {
+				data[i] = rng.Float64() * 10
+			}
+		}
+		slices.Sort(data)
+		pg, err := SelectGlobal(c, RegularSample(data, p), f64, cmpF)
+		if err != nil {
+			return err
+		}
+		pgOut[c.Rank()] = pg
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dups := 0
+	for _, pv := range pgOut[0] {
+		if pv == 5 {
+			dups++
+		}
+	}
+	if dups < p/2 {
+		t.Fatalf("expected most pivots to equal the popular value, got %d of %d: %v",
+			dups, p-1, pgOut[0])
+	}
+	if len(partition.Runs(pgOut[0], cmpF)) == 0 {
+		t.Fatal("expected a replicated pivot run")
+	}
+}
+
+func TestSelectGlobalEmpty(t *testing.T) {
+	topo := cluster.Topology{Nodes: 4, CoresPerNode: 1}
+	err := cluster.Run(topo, func(c *comm.Comm) error {
+		pg, err := SelectGlobal(c, nil, f64, cmpF)
+		if err != nil {
+			return err
+		}
+		if pg != nil {
+			return fmt.Errorf("empty pool produced pivots %v", pg)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramSplittersUniform(t *testing.T) {
+	const p = 4
+	topo := cluster.Topology{Nodes: p, CoresPerNode: 1}
+	err := cluster.Run(topo, func(c *comm.Comm) error {
+		data := workload.Uniform(int64(c.Rank()+10), 2000)
+		slices.Sort(data)
+		sp, err := HistogramSplitters(c, data, 7, 3, f64, cmpF)
+		if err != nil {
+			return err
+		}
+		if len(sp) != 7 {
+			return fmt.Errorf("got %d splitters", len(sp))
+		}
+		if !slices.IsSorted(sp) {
+			return fmt.Errorf("splitters not sorted: %v", sp)
+		}
+		// Uniform: each splitter near its target quantile.
+		for i, s := range sp {
+			want := float64(i+1) / 8
+			if s < want-0.1 || s > want+0.1 {
+				return fmt.Errorf("splitter %d = %v, want ≈ %v", i, s, want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramSplittersCollapseOnDuplicates(t *testing.T) {
+	// With 80% of records equal, histogram refinement must emit the
+	// same splitter value repeatedly — HykSort's failure precondition.
+	const p = 4
+	collapsed := false
+	topo := cluster.Topology{Nodes: p, CoresPerNode: 1}
+	err := cluster.Run(topo, func(c *comm.Comm) error {
+		rng := rand.New(rand.NewSource(int64(c.Rank() + 20)))
+		data := make([]float64, 1500)
+		for i := range data {
+			if rng.Float64() < 0.8 {
+				data[i] = 7
+			} else {
+				data[i] = rng.Float64() * 20
+			}
+		}
+		slices.Sort(data)
+		sp, err := HistogramSplitters(c, data, 7, 3, f64, cmpF)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			seen := map[float64]int{}
+			for _, s := range sp {
+				seen[s]++
+			}
+			if seen[7] >= 2 {
+				collapsed = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !collapsed {
+		t.Fatal("expected splitters to collapse onto the duplicated value")
+	}
+}
+
+func TestHistogramSplittersEmpty(t *testing.T) {
+	topo := cluster.Topology{Nodes: 2, CoresPerNode: 1}
+	err := cluster.Run(topo, func(c *comm.Comm) error {
+		sp, err := HistogramSplitters(c, nil, 3, 2, f64, cmpF)
+		if err != nil {
+			return err
+		}
+		if len(sp) != 0 {
+			return fmt.Errorf("empty data produced splitters %v", sp)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,61 @@
+package psort_test
+
+import (
+	"fmt"
+
+	"sdssort/internal/psort"
+)
+
+func cmpInt(a, b int) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func ExampleParallelSort() {
+	data := []int{9, 3, 7, 3, 1, 8, 3, 2}
+	psort.ParallelSort(data, 4, false, cmpInt)
+	fmt.Println(data)
+	// Output: [1 2 3 3 3 7 8 9]
+}
+
+func ExampleKWayMerge() {
+	chunks := [][]int{
+		{1, 4, 7},
+		{2, 5, 8},
+		{3, 6, 9},
+	}
+	fmt.Println(psort.KWayMerge(chunks, cmpInt))
+	// Output: [1 2 3 4 5 6 7 8 9]
+}
+
+func ExampleNaturalMergeSort() {
+	// Two pre-sorted blocks back to back: the run detector finds them
+	// and a single merge finishes the job in O(n).
+	data := []int{1, 3, 5, 7, 2, 4, 6, 8}
+	psort.NaturalMergeSort(data, cmpInt)
+	fmt.Println(data)
+	// Output: [1 2 3 4 5 6 7 8]
+}
+
+func ExampleSortedness() {
+	sorted := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	fmt.Println(psort.Sortedness(sorted, cmpInt))
+	// Output: 8
+}
+
+func ExampleSkewAwareParallelMerge() {
+	// Three sorted chunks dominated by one value: the skew-aware merge
+	// still spreads the work evenly across workers.
+	chunks := [][]int{
+		{5, 5, 5, 5},
+		{1, 5, 5, 9},
+		{5, 5, 5, 5},
+	}
+	fmt.Println(psort.SkewAwareParallelMerge(chunks, 3, false, cmpInt))
+	// Output: [1 5 5 5 5 5 5 5 5 5 5 9]
+}

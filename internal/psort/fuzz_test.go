@@ -1,0 +1,89 @@
+package psort
+
+import (
+	"encoding/binary"
+	"slices"
+	"testing"
+)
+
+// bytesToInts turns a fuzzer byte string into small ints (2 bytes per
+// value, biased to a small universe so duplicates are common).
+func bytesToInts(data []byte) []int {
+	out := make([]int, 0, len(data)/2)
+	for i := 0; i+1 < len(data); i += 2 {
+		out = append(out, int(binary.LittleEndian.Uint16(data[i:]))%97)
+	}
+	return out
+}
+
+func FuzzSort(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 2, 0, 3, 0})
+	f.Add([]byte{9, 9, 9, 9, 9, 9, 9, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ints := bytesToInts(data)
+		want := append([]int(nil), ints...)
+		slices.Sort(want)
+		Sort(ints, cmpInt)
+		if !slices.Equal(ints, want) {
+			t.Fatalf("Sort mismatch on %v", ints)
+		}
+	})
+}
+
+func FuzzStableSort(f *testing.F) {
+	f.Add([]byte{5, 0, 5, 0, 1, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		keys := bytesToInts(data)
+		recs := make([]kv, len(keys))
+		for i, k := range keys {
+			recs[i] = kv{K: k, V: i}
+		}
+		StableSort(recs, cmpKV)
+		for i := 1; i < len(recs); i++ {
+			if recs[i-1].K > recs[i].K {
+				t.Fatal("not sorted")
+			}
+			if recs[i-1].K == recs[i].K && recs[i-1].V > recs[i].V {
+				t.Fatal("stability violated")
+			}
+		}
+	})
+}
+
+func FuzzNaturalMergeSort(f *testing.F) {
+	f.Add([]byte{3, 0, 2, 0, 1, 0, 4, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ints := bytesToInts(data)
+		want := append([]int(nil), ints...)
+		slices.Sort(want)
+		NaturalMergeSort(ints, cmpInt)
+		if !slices.Equal(ints, want) {
+			t.Fatal("NaturalMergeSort mismatch")
+		}
+	})
+}
+
+func FuzzKWayMerge(f *testing.F) {
+	f.Add([]byte{1, 0, 2, 0, 3, 0}, []byte{2, 0, 4, 0}, uint8(2))
+	f.Fuzz(func(t *testing.T, a, b []byte, split uint8) {
+		// Two fuzzed chunk sources, each pre-sorted, merged.
+		c1 := bytesToInts(a)
+		c2 := bytesToInts(b)
+		slices.Sort(c1)
+		slices.Sort(c2)
+		// Optionally split c1 into two chunks at an arbitrary point to
+		// vary the chunk count.
+		chunks := [][]int{c2}
+		if len(c1) > 0 {
+			at := int(split) % (len(c1) + 1)
+			chunks = append(chunks, c1[:at], c1[at:])
+		}
+		want := append(append([]int(nil), c1...), c2...)
+		slices.Sort(want)
+		got := KWayMerge(chunks, cmpInt)
+		if !slices.Equal(got, want) {
+			t.Fatal("KWayMerge mismatch")
+		}
+	})
+}

@@ -1,0 +1,242 @@
+package psort
+
+import (
+	"sync"
+	"time"
+
+	"sdssort/internal/partition"
+)
+
+// SkewAwareParallelMerge merges sorted chunks into one sorted slice
+// using `workers` goroutines, balancing the per-worker load with the
+// paper's skew-aware partition: the value space is cut by workers-1
+// global pivots sampled from the chunks, runs of equal pivots share
+// their duplicates evenly, and each worker k-way merges its slice of
+// every chunk. This is the merge inside SdssLocalSort and SdssNodeMerge
+// (§2.2, §2.3); unlike sample-based merging it keeps the workers
+// balanced on heavily duplicated data.
+//
+// When stable is true, equal records keep chunk order and in-chunk
+// order, so passing chunks in original-data order yields a stable sort.
+func SkewAwareParallelMerge[T any](chunks [][]T, workers int, stable bool, cmp func(a, b T) int) []T {
+	out, _ := parallelMerge(chunks, workers, stable, true, cmp)
+	return out
+}
+
+// SkewAwareParallelMergeTimed is SkewAwareParallelMerge returning, in
+// addition, each output segment's busy time. The maximum over segments
+// is the merge's critical path — the wall time a machine with enough
+// cores would observe — which is how the experiments compare balance on
+// hosts with fewer cores than workers.
+func SkewAwareParallelMergeTimed[T any](chunks [][]T, workers int, stable bool, cmp func(a, b T) int) ([]T, []time.Duration) {
+	return parallelMerge(chunks, workers, stable, true, cmp)
+}
+
+// SampleParallelMerge is the baseline the paper compares against in
+// Fig. 6a: the same sampled-pivot parallel merge but with no handling of
+// replicated pivots, so all records equal to a popular value land on a
+// single worker. It is correct but imbalanced on skewed data.
+func SampleParallelMerge[T any](chunks [][]T, workers int, cmp func(a, b T) int) []T {
+	out, _ := parallelMerge(chunks, workers, false, false, cmp)
+	return out
+}
+
+// SampleParallelMergeTimed is SampleParallelMerge with per-segment busy
+// times (see SkewAwareParallelMergeTimed).
+func SampleParallelMergeTimed[T any](chunks [][]T, workers int, cmp func(a, b T) int) ([]T, []time.Duration) {
+	return parallelMerge(chunks, workers, false, false, cmp)
+}
+
+func parallelMerge[T any](chunks [][]T, workers int, stable, skewAware bool, cmp func(a, b T) int) ([]T, []time.Duration) {
+	total := 0
+	for _, c := range chunks {
+		total += len(c)
+	}
+	out := make([]T, total)
+	if total == 0 {
+		return out, nil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers == 1 || len(chunks) == 1 {
+		start := time.Now()
+		KWayMergeInto(out, chunks, cmp)
+		return out, []time.Duration{time.Since(start)}
+	}
+
+	pg := mergePivots(chunks, workers, cmp)
+	p := len(pg) + 1 // may be < workers on tiny inputs
+
+	// Per-chunk boundaries for the p output segments.
+	bounds := make([][]int, len(chunks))
+	if skewAware {
+		runs := partition.Runs(pg, cmp)
+		// dupCounts[k][chunk] — the shared-memory analogue of the
+		// distributed all-gather of duplicate counts.
+		dupCounts := make([][]int64, len(runs))
+		for k := range dupCounts {
+			dupCounts[k] = make([]int64, len(chunks))
+		}
+		for ci, c := range chunks {
+			loc := partition.Binary[T]{Cmp: cmp}
+			for k, cnt := range partition.LocalDupCounts(c, pg, runs, loc) {
+				dupCounts[k][ci] = cnt
+			}
+		}
+		for ci, c := range chunks {
+			loc := partition.Binary[T]{Cmp: cmp}
+			if stable {
+				b, err := partition.Stable(c, pg, loc, cmp, ci, dupCounts)
+				if err != nil {
+					// The counts were computed with the same
+					// locator, so this cannot disagree; fall
+					// back to the fast partition defensively.
+					b = partition.Fast(c, pg, loc, cmp)
+				}
+				bounds[ci] = b
+			} else {
+				bounds[ci] = partition.Fast(c, pg, loc, cmp)
+			}
+		}
+	} else {
+		for ci, c := range chunks {
+			b := make([]int, p+1)
+			b[p] = len(c)
+			for i, v := range pg {
+				b[i+1] = partition.UpperBound(c, v, cmp)
+			}
+			bounds[ci] = b
+		}
+	}
+
+	// Output offset of each segment.
+	offsets := make([]int, p+1)
+	for w := 0; w < p; w++ {
+		size := 0
+		for ci := range chunks {
+			size += bounds[ci][w+1] - bounds[ci][w]
+		}
+		offsets[w+1] = offsets[w] + size
+	}
+
+	var wg sync.WaitGroup
+	busy := make([]time.Duration, p)
+	sem := make(chan struct{}, workers)
+	for w := 0; w < p; w++ {
+		if offsets[w+1] == offsets[w] {
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(w int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			start := time.Now()
+			subs := make([][]T, 0, len(chunks))
+			for ci, c := range chunks {
+				subs = append(subs, c[bounds[ci][w]:bounds[ci][w+1]])
+			}
+			KWayMergeInto(out[offsets[w]:offsets[w+1]], subs, cmp)
+			busy[w] = time.Since(start)
+		}(w)
+	}
+	wg.Wait()
+	return out, busy
+}
+
+// mergePivots draws workers-1 global pivots by regular sampling: each
+// chunk contributes workers-1 equally-striped local pivots, the pool is
+// sorted, and every len(pool)/workers-th element is taken (§2.4 applied
+// to shared memory).
+func mergePivots[T any](chunks [][]T, workers int, cmp func(a, b T) int) []T {
+	var pool []T
+	for _, c := range chunks {
+		stride := len(c) / workers
+		if stride < 1 {
+			stride = 1
+		}
+		for i := 1; i < workers && i*stride < len(c); i++ {
+			pool = append(pool, c[i*stride])
+		}
+	}
+	if len(pool) == 0 {
+		return nil
+	}
+	StableSort(pool, cmp)
+	stride := len(pool) / workers
+	if stride < 1 {
+		stride = 1
+	}
+	var pg []T
+	for i := 1; i < workers && i*stride-1 < len(pool); i++ {
+		pg = append(pg, pool[i*stride-1])
+	}
+	return pg
+}
+
+// ParallelSort sorts data in place using up to `cores` goroutines: the
+// slice is cut into contiguous chunks, each chunk is sorted on its own
+// goroutine, and the chunks are combined with the skew-aware parallel
+// merge. With stable=true the result preserves input order of equal
+// records. This is SdssLocalSort (§2.2) — a shared-memory SDS-Sort
+// without the network.
+func ParallelSort[T any](data []T, cores int, stable bool, cmp func(a, b T) int) {
+	n := len(data)
+	if cores < 1 {
+		cores = 1
+	}
+	if n < 2 {
+		return
+	}
+	if cores == 1 || n < 4*cores {
+		sortChunk(data, stable, cmp)
+		return
+	}
+
+	chunkSize := (n + cores - 1) / cores
+	var chunks [][]T
+	for lo := 0; lo < n; lo += chunkSize {
+		hi := lo + chunkSize
+		if hi > n {
+			hi = n
+		}
+		chunks = append(chunks, data[lo:hi])
+	}
+
+	var wg sync.WaitGroup
+	for _, c := range chunks {
+		wg.Add(1)
+		go func(c []T) {
+			defer wg.Done()
+			sortChunk(c, stable, cmp)
+		}(c)
+	}
+	wg.Wait()
+
+	merged, _ := parallelMerge(chunks, cores, stable, true, cmp)
+	copy(data, merged)
+}
+
+func sortChunk[T any](c []T, stable bool, cmp func(a, b T) int) {
+	if stable {
+		StableSort(c, cmp)
+	} else {
+		Sort(c, cmp)
+	}
+}
+
+// AdaptiveSort sorts data in place, first checking for partial order:
+// when the average run length clears runThreshold the existing runs are
+// merged (O(n log r)); otherwise it falls back to ParallelSort. This is
+// the dynamic selection of §2.7 applied at the local level.
+func AdaptiveSort[T any](data []T, cores int, stable bool, runThreshold float64, cmp func(a, b T) int) {
+	if len(data) < 2 {
+		return
+	}
+	if runThreshold > 0 && Sortedness(data, cmp) >= runThreshold {
+		NaturalMergeSort(data, cmp)
+		return
+	}
+	ParallelSort(data, cores, stable, cmp)
+}

@@ -1,0 +1,238 @@
+package psort
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+	"testing/quick"
+)
+
+// zipfInts draws n values from a Zipf distribution, producing the
+// heavily duplicated keys the skew-aware merge exists for.
+func zipfInts(rng *rand.Rand, n int, s float64, imax uint64) []int {
+	z := rand.NewZipf(rng, s, 1, imax)
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(z.Uint64())
+	}
+	return out
+}
+
+func TestParallelSortMatchesStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	for _, cores := range []int{1, 2, 3, 4, 8} {
+		for _, n := range []int{0, 1, 7, 100, 10000} {
+			data := randomInts(rng, n, 1000)
+			want := append([]int(nil), data...)
+			slices.Sort(want)
+			ParallelSort(data, cores, false, cmpInt)
+			if !slices.Equal(data, want) {
+				t.Fatalf("cores=%d n=%d: mismatch", cores, n)
+			}
+		}
+	}
+}
+
+func TestParallelSortSkewedData(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, s := range []float64{1.1, 2.0, 3.0} {
+		data := zipfInts(rng, 20000, s, 1000)
+		want := append([]int(nil), data...)
+		slices.Sort(want)
+		ParallelSort(data, 8, false, cmpInt)
+		if !slices.Equal(data, want) {
+			t.Fatalf("zipf s=%v: mismatch", s)
+		}
+	}
+}
+
+func TestParallelSortAllEqual(t *testing.T) {
+	data := make([]int, 50000)
+	ParallelSort(data, 8, false, cmpInt)
+	for _, v := range data {
+		if v != 0 {
+			t.Fatal("corrupted data")
+		}
+	}
+}
+
+func TestParallelSortStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for _, universe := range []int{1, 3, 7, 100} {
+		data := make([]kv, 30000)
+		for i := range data {
+			data[i] = kv{K: rng.Intn(universe), V: i}
+		}
+		ParallelSort(data, 8, true, cmpKV)
+		for i := 1; i < len(data); i++ {
+			if data[i-1].K > data[i].K {
+				t.Fatalf("universe=%d: not sorted at %d", universe, i)
+			}
+			if data[i-1].K == data[i].K && data[i-1].V > data[i].V {
+				t.Fatalf("universe=%d: stability violated at %d: %v then %v",
+					universe, i, data[i-1], data[i])
+			}
+		}
+	}
+}
+
+func TestSkewAwareParallelMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for _, workers := range []int{1, 2, 4, 8} {
+		chunks := sortedChunks(rng, 6, 3000, 40)
+		want := flatten(chunks)
+		slices.Sort(want)
+		got := SkewAwareParallelMerge(chunks, workers, false, cmpInt)
+		if !slices.Equal(got, want) {
+			t.Fatalf("workers=%d: mismatch", workers)
+		}
+	}
+}
+
+func TestSkewAwareParallelMergeAllDuplicates(t *testing.T) {
+	chunks := make([][]int, 4)
+	for i := range chunks {
+		c := make([]int, 5000)
+		for j := range c {
+			c[j] = 42
+		}
+		chunks[i] = c
+	}
+	got := SkewAwareParallelMerge(chunks, 4, false, cmpInt)
+	if len(got) != 20000 {
+		t.Fatalf("length %d", len(got))
+	}
+	for _, v := range got {
+		if v != 42 {
+			t.Fatal("corrupted value")
+		}
+	}
+}
+
+func TestSkewAwareParallelMergeStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	chunks := make([][]kv, 5)
+	id := 0
+	for ci := range chunks {
+		c := make([]kv, 4000)
+		for i := range c {
+			c[i] = kv{K: int(zipfOne(rng)), V: 0}
+		}
+		StableSort(c, cmpKV)
+		// Tag with position after the chunk sort so (chunk, index)
+		// reflects the order a stable merge must preserve.
+		for i := range c {
+			c[i].V = id
+			id++
+		}
+		chunks[ci] = c
+	}
+	got := SkewAwareParallelMerge(chunks, 8, true, cmpKV)
+	if len(got) != id {
+		t.Fatalf("length %d want %d", len(got), id)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].K > got[i].K {
+			t.Fatalf("not sorted at %d", i)
+		}
+		if got[i-1].K == got[i].K && got[i-1].V > got[i].V {
+			t.Fatalf("stability violated at %d: %v then %v", i, got[i-1], got[i])
+		}
+	}
+}
+
+func zipfOne(rng *rand.Rand) uint64 {
+	z := rand.NewZipf(rng, 1.5, 1, 20)
+	return z.Uint64()
+}
+
+func TestSampleParallelMergeCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	chunks := sortedChunks(rng, 8, 2000, 30)
+	want := flatten(chunks)
+	slices.Sort(want)
+	got := SampleParallelMerge(chunks, 4, cmpInt)
+	if !slices.Equal(got, want) {
+		t.Fatal("sample merge mismatch")
+	}
+}
+
+func TestParallelMergeProperty(t *testing.T) {
+	f := func(raw [][]uint8, workersRaw uint8) bool {
+		workers := int(workersRaw)%8 + 1
+		chunks := make([][]int, len(raw))
+		var all []int
+		for ci, r := range raw {
+			c := make([]int, len(r))
+			for i, v := range r {
+				c[i] = int(v)
+			}
+			slices.Sort(c)
+			chunks[ci] = c
+			all = append(all, c...)
+		}
+		slices.Sort(all)
+		got := SkewAwareParallelMerge(chunks, workers, false, cmpInt)
+		return slices.Equal(got, all)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdaptiveSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(36))
+	// Nearly sorted input goes down the natural-merge path.
+	data := make([]int, 10000)
+	for i := range data {
+		data[i] = i
+	}
+	for s := 0; s < 20; s++ {
+		i, j := rng.Intn(len(data)), rng.Intn(len(data))
+		data[i], data[j] = data[j], data[i]
+	}
+	want := append([]int(nil), data...)
+	slices.Sort(want)
+	AdaptiveSort(data, 4, false, 16, cmpInt)
+	if !slices.Equal(data, want) {
+		t.Fatal("nearly sorted: mismatch")
+	}
+
+	// Random input goes down the parallel-sort path.
+	data = randomInts(rng, 10000, 1<<30)
+	want = append([]int(nil), data...)
+	slices.Sort(want)
+	AdaptiveSort(data, 4, false, 16, cmpInt)
+	if !slices.Equal(data, want) {
+		t.Fatal("random: mismatch")
+	}
+}
+
+// TestSkewAwareBalancedLoads checks the point of the skew-aware merge:
+// on heavily duplicated data the per-worker segment sizes stay near the
+// fair share, whereas sample-based merging would send every duplicate to
+// one worker. We observe balance indirectly through the partition the
+// merge computes.
+func TestSkewAwareBalancedLoads(t *testing.T) {
+	// 4 chunks, 80% of records equal to 7.
+	rng := rand.New(rand.NewSource(37))
+	chunks := make([][]int, 4)
+	for ci := range chunks {
+		c := make([]int, 10000)
+		for i := range c {
+			if rng.Float64() < 0.8 {
+				c[i] = 7
+			} else {
+				c[i] = rng.Intn(15)
+			}
+		}
+		slices.Sort(c)
+		chunks[ci] = c
+	}
+	got := SkewAwareParallelMerge(chunks, 4, false, cmpInt)
+	want := flatten(chunks)
+	slices.Sort(want)
+	if !slices.Equal(got, want) {
+		t.Fatal("merge mismatch")
+	}
+}

@@ -1,0 +1,140 @@
+package psort
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+	"testing/quick"
+)
+
+func TestFindRunsSortedInput(t *testing.T) {
+	data := []int{1, 2, 3, 4}
+	runs := FindRuns(data, cmpInt)
+	if len(runs) != 1 || runs[0] != (Run{0, 4}) {
+		t.Fatalf("got %v", runs)
+	}
+}
+
+func TestFindRunsReversesDescending(t *testing.T) {
+	data := []int{5, 4, 3, 1, 2}
+	runs := FindRuns(data, cmpInt)
+	// Descending prefix 5,4,3,1 is reversed in place.
+	if !slices.Equal(data, []int{1, 3, 4, 5, 2}) {
+		t.Fatalf("data after FindRuns: %v", data)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("runs: %v", runs)
+	}
+}
+
+func TestFindRunsEqualElementsStayPut(t *testing.T) {
+	// Equal neighbours must not be treated as part of a descending run
+	// (reversal would break stability).
+	data := []kv{{3, 0}, {3, 1}, {2, 2}}
+	FindRuns(data, cmpKV)
+	// 3,3 is a non-decreasing run; only "2" follows. The two 3s must
+	// keep their order.
+	if data[0].V != 0 || data[1].V != 1 {
+		t.Fatalf("equal elements reordered: %v", data)
+	}
+}
+
+func TestCountRuns(t *testing.T) {
+	cases := []struct {
+		data []int
+		want int
+	}{
+		{nil, 0},
+		{[]int{1}, 1},
+		{[]int{1, 2, 3}, 1},
+		{[]int{3, 2, 1}, 3},
+		{[]int{1, 2, 1, 2}, 2},
+		{[]int{2, 2, 2}, 1},
+	}
+	for _, c := range cases {
+		if got := CountRuns(c.data, cmpInt); got != c.want {
+			t.Errorf("CountRuns(%v) = %d, want %d", c.data, got, c.want)
+		}
+	}
+}
+
+func TestNaturalMergeSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for _, n := range []int{0, 1, 2, 100, 5000} {
+		data := randomInts(rng, n, 100)
+		want := append([]int(nil), data...)
+		slices.Sort(want)
+		NaturalMergeSort(data, cmpInt)
+		if !slices.Equal(data, want) {
+			t.Fatalf("n=%d: mismatch", n)
+		}
+	}
+}
+
+func TestNaturalMergeSortPartiallyOrdered(t *testing.T) {
+	// k-sorted input: concatenation of sorted blocks.
+	rng := rand.New(rand.NewSource(21))
+	var data []int
+	for b := 0; b < 8; b++ {
+		blk := randomInts(rng, 500, 1<<20)
+		slices.Sort(blk)
+		data = append(data, blk...)
+	}
+	if got := CountRuns(data, cmpInt); got > 8 {
+		t.Fatalf("k-sorted input has %d runs, want <= 8", got)
+	}
+	want := append([]int(nil), data...)
+	slices.Sort(want)
+	NaturalMergeSort(data, cmpInt)
+	if !slices.Equal(data, want) {
+		t.Fatal("mismatch")
+	}
+}
+
+func TestNaturalMergeSortStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	data := make([]kv, 2000)
+	for i := range data {
+		data[i] = kv{K: rng.Intn(5), V: i}
+	}
+	NaturalMergeSort(data, cmpKV)
+	for i := 1; i < len(data); i++ {
+		if data[i-1].K > data[i].K {
+			t.Fatalf("not sorted at %d", i)
+		}
+		if data[i-1].K == data[i].K && data[i-1].V > data[i].V {
+			t.Fatalf("stability violated at %d", i)
+		}
+	}
+}
+
+func TestNaturalMergeSortProperty(t *testing.T) {
+	f := func(data []int8) bool {
+		ints := make([]int, len(data))
+		for i, v := range data {
+			ints[i] = int(v)
+		}
+		want := append([]int(nil), ints...)
+		slices.Sort(want)
+		NaturalMergeSort(ints, cmpInt)
+		return slices.Equal(ints, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortedness(t *testing.T) {
+	sorted := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	if got := Sortedness(sorted, cmpInt); got != 8 {
+		t.Fatalf("sorted: got %v", got)
+	}
+	if got := Sortedness([]int{}, cmpInt); got != 1 {
+		t.Fatalf("empty: got %v", got)
+	}
+	rng := rand.New(rand.NewSource(23))
+	random := randomInts(rng, 10000, 1<<30)
+	if got := Sortedness(random, cmpInt); got > 3 {
+		t.Fatalf("random data reported sortedness %v, want ~2", got)
+	}
+}

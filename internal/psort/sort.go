@@ -1,0 +1,211 @@
+// Package psort is the shared-memory sorting substrate of SDS-Sort: the
+// sequential sorts that run on one core (the paper uses C++ std::sort
+// and std::stable_sort), detection and exploitation of partially ordered
+// data, stable k-way merging, and the skew-aware parallel merge that
+// makes SdssLocalSort "a shared-memory SDS-Sort without the network".
+//
+// Everything is generic over a three-way comparator; nothing below the
+// comparator inspects records, preserving the paper's property that any
+// user-chosen key works without secondary sorting keys.
+package psort
+
+import "math/bits"
+
+// insertionThreshold is the subarray size below which introsort switches
+// to insertion sort.
+const insertionThreshold = 16
+
+// Sort orders data in place with an unstable comparison sort (introsort:
+// median-of-three quicksort, falling back to heapsort past a depth limit
+// and to insertion sort on small ranges). It is the analogue of the
+// paper's std::sort.
+func Sort[T any](data []T, cmp func(a, b T) int) {
+	if len(data) < 2 {
+		return
+	}
+	depthLimit := 2 * bits.Len(uint(len(data)))
+	introsort(data, cmp, depthLimit)
+}
+
+func introsort[T any](data []T, cmp func(a, b T) int, depth int) {
+	for len(data) > insertionThreshold {
+		if depth == 0 {
+			heapsort(data, cmp)
+			return
+		}
+		depth--
+		p := partitionHoare(data, cmp)
+		// Recurse on the smaller side, loop on the larger, bounding
+		// stack depth at O(log n).
+		if p < len(data)-p {
+			introsort(data[:p], cmp, depth)
+			data = data[p:]
+		} else {
+			introsort(data[p:], cmp, depth)
+			data = data[:p]
+		}
+	}
+	insertionSort(data, cmp)
+}
+
+// partitionHoare partitions around a median-of-three pivot and returns
+// the split point: every element of data[:p] is <= every element of
+// data[p:], with 0 < p < len(data).
+func partitionHoare[T any](data []T, cmp func(a, b T) int) int {
+	n := len(data)
+	m := n / 2
+	// Median-of-three into data[m].
+	if cmp(data[m], data[0]) < 0 {
+		data[m], data[0] = data[0], data[m]
+	}
+	if cmp(data[n-1], data[m]) < 0 {
+		data[n-1], data[m] = data[m], data[n-1]
+		if cmp(data[m], data[0]) < 0 {
+			data[m], data[0] = data[0], data[m]
+		}
+	}
+	pivot := data[m]
+	i, j := -1, n
+	for {
+		for {
+			i++
+			if cmp(data[i], pivot) >= 0 {
+				break
+			}
+		}
+		for {
+			j--
+			if cmp(data[j], pivot) <= 0 {
+				break
+			}
+		}
+		if i >= j {
+			if j == n-1 {
+				// All elements <= pivot and the scan met at the
+				// end; split before the last element to
+				// guarantee progress.
+				return n - 1
+			}
+			return j + 1
+		}
+		data[i], data[j] = data[j], data[i]
+	}
+}
+
+func insertionSort[T any](data []T, cmp func(a, b T) int) {
+	for i := 1; i < len(data); i++ {
+		for j := i; j > 0 && cmp(data[j], data[j-1]) < 0; j-- {
+			data[j], data[j-1] = data[j-1], data[j]
+		}
+	}
+}
+
+func heapsort[T any](data []T, cmp func(a, b T) int) {
+	n := len(data)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(data, i, n, cmp)
+	}
+	for end := n - 1; end > 0; end-- {
+		data[0], data[end] = data[end], data[0]
+		siftDown(data, 0, end, cmp)
+	}
+}
+
+func siftDown[T any](data []T, root, end int, cmp func(a, b T) int) {
+	for {
+		child := 2*root + 1
+		if child >= end {
+			return
+		}
+		if child+1 < end && cmp(data[child], data[child+1]) < 0 {
+			child++
+		}
+		if cmp(data[root], data[child]) >= 0 {
+			return
+		}
+		data[root], data[child] = data[child], data[root]
+		root = child
+	}
+}
+
+// StableSort orders data in place preserving the relative order of equal
+// elements (top-down merge sort with one scratch buffer). It is the
+// analogue of the paper's std::stable_sort.
+func StableSort[T any](data []T, cmp func(a, b T) int) {
+	if len(data) < 2 {
+		return
+	}
+	scratch := make([]T, len(data))
+	mergeSort(data, scratch, cmp)
+}
+
+// StableSortBuf is StableSort reusing a caller-provided scratch buffer
+// of at least len(data) elements.
+func StableSortBuf[T any](data, scratch []T, cmp func(a, b T) int) {
+	if len(data) < 2 {
+		return
+	}
+	if len(scratch) < len(data) {
+		scratch = make([]T, len(data))
+	}
+	mergeSort(data, scratch[:len(data)], cmp)
+}
+
+func mergeSort[T any](data, scratch []T, cmp func(a, b T) int) {
+	n := len(data)
+	if n <= insertionThreshold {
+		// Binary-insertion would also do; plain insertion is stable.
+		insertionSortStable(data, cmp)
+		return
+	}
+	mid := n / 2
+	mergeSort(data[:mid], scratch[:mid], cmp)
+	mergeSort(data[mid:], scratch[mid:], cmp)
+	if cmp(data[mid-1], data[mid]) <= 0 {
+		return // already in order
+	}
+	copy(scratch, data)
+	mergeInto(data, scratch[:mid], scratch[mid:], cmp)
+}
+
+// insertionSortStable is insertionSort; insertion sort is inherently
+// stable because it only swaps strictly out-of-order neighbours.
+func insertionSortStable[T any](data []T, cmp func(a, b T) int) {
+	insertionSort(data, cmp)
+}
+
+// mergeInto merges sorted a and b into dst (len(dst) == len(a)+len(b)),
+// taking from a on ties — the stability rule.
+func mergeInto[T any](dst, a, b []T, cmp func(x, y T) int) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if cmp(b[j], a[i]) < 0 {
+			dst[k] = b[j]
+			j++
+		} else {
+			dst[k] = a[i]
+			i++
+		}
+		k++
+	}
+	k += copy(dst[k:], a[i:])
+	copy(dst[k:], b[j:])
+}
+
+// MergeTwo returns the stable merge of two sorted slices, preferring a
+// on ties.
+func MergeTwo[T any](a, b []T, cmp func(x, y T) int) []T {
+	dst := make([]T, len(a)+len(b))
+	mergeInto(dst, a, b, cmp)
+	return dst
+}
+
+// IsSorted reports whether data is non-decreasing under cmp.
+func IsSorted[T any](data []T, cmp func(a, b T) int) bool {
+	for i := 1; i < len(data); i++ {
+		if cmp(data[i-1], data[i]) > 0 {
+			return false
+		}
+	}
+	return true
+}

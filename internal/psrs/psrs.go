@@ -1,0 +1,150 @@
+// Package psrs implements classic Parallel Sorting by Regular Sampling
+// (Li, Lu, Schaeffer, Shillington, Wong, Shi — Parallel Computing 1993),
+// the algorithm whose load-balance analysis (the O(2N/p) bound without
+// duplicates, degrading linearly with skew) the paper builds on. It is
+// the "classical PSS algorithm" of the paper's introduction and serves
+// as a second baseline: correct and simple, but with no duplicate
+// handling in its partition.
+package psrs
+
+import (
+	"fmt"
+
+	"sdssort/internal/codec"
+	"sdssort/internal/comm"
+	"sdssort/internal/memlimit"
+	"sdssort/internal/metrics"
+	"sdssort/internal/partition"
+	"sdssort/internal/pivots"
+	"sdssort/internal/psort"
+)
+
+// Options configures PSRS.
+type Options struct {
+	// Cores bounds the goroutines for local sorting.
+	Cores int
+	// Mem emulates the rank's memory budget (nil = unlimited).
+	Mem *memlimit.Gauge
+	// Timer accrues per-phase time when non-nil.
+	Timer *metrics.PhaseTimer
+}
+
+func (o Options) cores() int {
+	if o.Cores < 1 {
+		return 1
+	}
+	return o.Cores
+}
+
+func (o Options) timer() *metrics.PhaseTimer {
+	if o.Timer != nil {
+		return o.Timer
+	}
+	return metrics.NewPhaseTimer()
+}
+
+// Sort runs PSRS collectively: local sort, regular sampling, gather of
+// all samples on rank 0, broadcast of p-1 global pivots, upper_bound
+// partition (duplicates all land on one rank), one all-to-all, k-way
+// merge. Not stable, not skew-aware — by design.
+func Sort[T any](c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int, opt Options) ([]T, error) {
+	tm := opt.timer()
+	tm.Start(metrics.PhaseOther)
+	defer tm.Stop()
+
+	recSize := int64(cd.Size())
+	if err := opt.Mem.Reserve(int64(len(data)) * recSize); err != nil {
+		return nil, fmt.Errorf("psrs: input buffer: %w", err)
+	}
+
+	tm.Start(metrics.PhaseLocalOrdering)
+	psort.ParallelSort(data, opt.cores(), false, cmp)
+	p := c.Size()
+	if p == 1 {
+		return data, nil
+	}
+
+	// Regular sampling, gathered on rank 0 (the classic formulation).
+	tm.Start(metrics.PhasePivotSelection)
+	samples := pivots.RegularSample(data, p)
+	parts, err := c.Gather(0, codec.EncodeSlice(cd, nil, samples))
+	if err != nil {
+		return nil, fmt.Errorf("psrs: sample gather: %w", err)
+	}
+	var pgBuf []byte
+	if c.Rank() == 0 {
+		var pool []T
+		for r, buf := range parts {
+			recs, err := codec.DecodeSlice(cd, buf)
+			if err != nil {
+				return nil, fmt.Errorf("psrs: samples from rank %d: %w", r, err)
+			}
+			pool = append(pool, recs...)
+		}
+		psort.Sort(pool, cmp)
+		var pg []T
+		if len(pool) > 0 {
+			for i := 1; i < p; i++ {
+				idx := i*len(pool)/p - 1
+				if idx < 0 {
+					idx = 0
+				}
+				pg = append(pg, pool[idx])
+			}
+		}
+		pgBuf = codec.EncodeSlice(cd, nil, pg)
+	}
+	pgBuf, err = c.Bcast(0, pgBuf)
+	if err != nil {
+		return nil, fmt.Errorf("psrs: pivot broadcast: %w", err)
+	}
+	pg, err := codec.DecodeSlice(cd, pgBuf)
+	if err != nil {
+		return nil, fmt.Errorf("psrs: pivot decode: %w", err)
+	}
+	if len(pg) == 0 {
+		return data, nil // empty dataset
+	}
+
+	// Plain upper_bound partition: no duplicate awareness.
+	bounds := make([]int, p+1)
+	bounds[p] = len(data)
+	for j, s := range pg {
+		bounds[j+1] = partition.UpperBound(data, s, cmp)
+	}
+	for j := 1; j <= p; j++ {
+		if bounds[j] < bounds[j-1] {
+			bounds[j] = bounds[j-1]
+		}
+	}
+
+	tm.Start(metrics.PhaseExchange)
+	sendParts := make([][]byte, p)
+	for dst := 0; dst < p; dst++ {
+		sendParts[dst] = codec.EncodeSlice(cd, nil, data[bounds[dst]:bounds[dst+1]])
+	}
+	recv, err := c.Alltoall(sendParts)
+	if err != nil {
+		return nil, fmt.Errorf("psrs: exchange: %w", err)
+	}
+	var incoming int64
+	for src, buf := range recv {
+		if src != c.Rank() {
+			incoming += int64(len(buf))
+		}
+	}
+	if err := opt.Mem.Reserve(incoming); err != nil {
+		return nil, fmt.Errorf("psrs: receive buffer: %w", err)
+	}
+
+	tm.Start(metrics.PhaseLocalOrdering)
+	chunks := make([][]T, p)
+	for src := 0; src < p; src++ {
+		chunk, err := codec.DecodeSlice(cd, recv[src])
+		if err != nil {
+			return nil, fmt.Errorf("psrs: decode from rank %d: %w", src, err)
+		}
+		chunks[src] = chunk
+	}
+	return psort.KWayMerge(chunks, cmp), nil
+}

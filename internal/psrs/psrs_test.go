@@ -1,0 +1,107 @@
+package psrs
+
+import (
+	"slices"
+	"testing"
+
+	"sdssort/internal/cluster"
+	"sdssort/internal/codec"
+	"sdssort/internal/comm"
+	"sdssort/internal/workload"
+)
+
+var f64 = codec.Float64{}
+
+func cmpF(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func runPSRS(t *testing.T, p int, in [][]float64) [][]float64 {
+	t.Helper()
+	topo := cluster.Topology{Nodes: p, CoresPerNode: 1}
+	out, err := cluster.Gather(topo, cluster.Options{}, func(c *comm.Comm) ([]float64, error) {
+		local := append([]float64(nil), in[c.Rank()]...)
+		return Sort(c, local, f64, cmpF, Options{})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func verify(t *testing.T, in, out [][]float64) {
+	t.Helper()
+	var flatIn, flatOut []float64
+	for _, part := range in {
+		flatIn = append(flatIn, part...)
+	}
+	for _, part := range out {
+		flatOut = append(flatOut, part...)
+	}
+	if !slices.IsSorted(flatOut) {
+		t.Fatal("not globally sorted")
+	}
+	slices.Sort(flatIn)
+	if !slices.Equal(flatIn, flatOut) {
+		t.Fatal("not a permutation of the input")
+	}
+}
+
+func TestPSRSUniform(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 9} {
+		in := make([][]float64, p)
+		for r := range in {
+			in[r] = workload.Uniform(int64(r+1), 500)
+		}
+		verify(t, in, runPSRS(t, p, in))
+	}
+}
+
+func TestPSRSSkewedStillSorts(t *testing.T) {
+	in := make([][]float64, 6)
+	for r := range in {
+		in[r] = workload.ZipfKeys(int64(r), 400, 1.4, 500)
+	}
+	verify(t, in, runPSRS(t, 6, in))
+}
+
+func TestPSRSSkewImbalance(t *testing.T) {
+	// On data dominated by one value PSRS piles everything onto one
+	// rank — the classical-PSS defect the paper's introduction
+	// describes.
+	const p, perRank = 6, 600
+	in := make([][]float64, p)
+	for r := range in {
+		rows := make([]float64, perRank)
+		for i := range rows {
+			if i%10 < 8 {
+				rows[i] = 3
+			} else {
+				rows[i] = float64(i % 7)
+			}
+		}
+		in[r] = rows
+	}
+	out := runPSRS(t, p, in)
+	verify(t, in, out)
+	maxLoad := 0
+	for _, part := range out {
+		if len(part) > maxLoad {
+			maxLoad = len(part)
+		}
+	}
+	if maxLoad < 3*perRank {
+		t.Errorf("expected load collapse on 80%%-duplicated data, max load %d", maxLoad)
+	}
+}
+
+func TestPSRSEmpty(t *testing.T) {
+	in := make([][]float64, 4)
+	verify(t, in, runPSRS(t, 4, in))
+}

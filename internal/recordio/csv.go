@@ -1,0 +1,56 @@
+package recordio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ReadCSVColumn extracts one numeric column from a CSV file as float64
+// sort keys — the on-ramp for user datasets that aren't in the binary
+// record format. A header row is skipped automatically when the first
+// row's target cell does not parse as a number.
+func ReadCSVColumn(path string, col int) ([]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSVColumnFrom(f, col)
+}
+
+// ReadCSVColumnFrom is ReadCSVColumn over an arbitrary reader.
+func ReadCSVColumnFrom(r io.Reader, col int) ([]float64, error) {
+	if col < 0 {
+		return nil, fmt.Errorf("recordio: negative CSV column %d", col)
+	}
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // ragged rows surface as per-row errors below
+	var out []float64
+	row := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("recordio: csv row %d: %w", row+1, err)
+		}
+		row++
+		if col >= len(rec) {
+			return nil, fmt.Errorf("recordio: csv row %d has %d columns, need column %d", row, len(rec), col)
+		}
+		cell := strings.TrimSpace(rec[col])
+		v, err := strconv.ParseFloat(cell, 64)
+		if err != nil {
+			if row == 1 {
+				continue // header row
+			}
+			return nil, fmt.Errorf("recordio: csv row %d column %d: %q is not numeric", row, col, cell)
+		}
+		out = append(out, v)
+	}
+}

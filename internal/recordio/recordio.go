@@ -1,0 +1,174 @@
+// Package recordio reads and writes fixed-width record files — the
+// on-disk format shared by cmd/sdsgen, cmd/sdssort and cmd/sdsnode. A
+// file is a bare concatenation of records in the codec's wire format
+// (no header), so files are seekable by record index and shards can be
+// read directly, which is how distributed ranks load their slice of a
+// dataset without reading the whole file.
+package recordio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"sdssort/internal/codec"
+)
+
+// Writer streams records to an io.Writer with buffering.
+type Writer[T any] struct {
+	w   *bufio.Writer
+	cd  codec.Codec[T]
+	buf []byte
+	n   int64
+}
+
+// NewWriter wraps w.
+func NewWriter[T any](w io.Writer, cd codec.Codec[T]) *Writer[T] {
+	return &Writer[T]{
+		w:   bufio.NewWriterSize(w, 1<<20),
+		cd:  cd,
+		buf: make([]byte, cd.Size()),
+	}
+}
+
+// Write appends records.
+func (w *Writer[T]) Write(recs ...T) error {
+	for _, r := range recs {
+		w.cd.Marshal(w.buf, r)
+		if _, err := w.w.Write(w.buf); err != nil {
+			return fmt.Errorf("recordio: write: %w", err)
+		}
+		w.n++
+	}
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (w *Writer[T]) Count() int64 { return w.n }
+
+// Flush drains the buffer to the underlying writer.
+func (w *Writer[T]) Flush() error { return w.w.Flush() }
+
+// Reader streams records from an io.Reader with buffering.
+type Reader[T any] struct {
+	r   *bufio.Reader
+	cd  codec.Codec[T]
+	buf []byte
+}
+
+// NewReader wraps r.
+func NewReader[T any](r io.Reader, cd codec.Codec[T]) *Reader[T] {
+	return &Reader[T]{
+		r:   bufio.NewReaderSize(r, 1<<20),
+		cd:  cd,
+		buf: make([]byte, cd.Size()),
+	}
+}
+
+// Read returns the next record, or io.EOF at a clean end of stream. A
+// trailing partial record is reported as ErrUnexpectedEOF.
+func (r *Reader[T]) Read() (T, error) {
+	var zero T
+	if _, err := io.ReadFull(r.r, r.buf); err != nil {
+		if err == io.EOF {
+			return zero, io.EOF
+		}
+		return zero, fmt.Errorf("recordio: %w (file must be whole %d-byte records)", err, r.cd.Size())
+	}
+	return r.cd.Unmarshal(r.buf), nil
+}
+
+// ReadAll drains the stream.
+func (r *Reader[T]) ReadAll() ([]T, error) {
+	var out []T
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// WriteFile writes recs to path, replacing any existing file.
+func WriteFile[T any](path string, cd codec.Codec[T], recs []T) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := NewWriter(f, cd)
+	if err := w.Write(recs...); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile loads every record in path.
+func ReadFile[T any](path string, cd codec.Codec[T]) ([]T, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return NewReader(f, cd).ReadAll()
+}
+
+// Count returns the number of whole records in path.
+func Count[T any](path string, cd codec.Codec[T]) (int64, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	size := int64(cd.Size())
+	if st.Size()%size != 0 {
+		return 0, fmt.Errorf("recordio: %s is %d bytes, not a multiple of the %d-byte record", path, st.Size(), size)
+	}
+	return st.Size() / size, nil
+}
+
+// ReadShard loads shard `rank` of `of` equal contiguous shards of path
+// (the last shard absorbs the remainder), seeking directly to the
+// shard's byte range. This is how a distributed rank loads its slice of
+// a shared dataset file.
+func ReadShard[T any](path string, cd codec.Codec[T], rank, of int) ([]T, error) {
+	if rank < 0 || of <= 0 || rank >= of {
+		return nil, fmt.Errorf("recordio: shard %d of %d out of range", rank, of)
+	}
+	total, err := Count[T](path, cd)
+	if err != nil {
+		return nil, err
+	}
+	per := total / int64(of)
+	lo := int64(rank) * per
+	hi := lo + per
+	if rank == of-1 {
+		hi = total
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if _, err := f.Seek(lo*int64(cd.Size()), io.SeekStart); err != nil {
+		return nil, fmt.Errorf("recordio: seek: %w", err)
+	}
+	r := NewReader(f, cd)
+	out := make([]T, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		rec, err := r.Read()
+		if err != nil {
+			return nil, fmt.Errorf("recordio: shard read at record %d: %w", i, err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}

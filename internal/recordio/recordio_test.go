@@ -1,0 +1,203 @@
+package recordio
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"slices"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"sdssort/internal/codec"
+)
+
+var f64 = codec.Float64{}
+
+func tempPath(t *testing.T, name string) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), name)
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	path := tempPath(t, "round.f64")
+	recs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	if err := WriteFile(path, f64, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path, f64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(got, recs) {
+		t.Fatalf("got %v want %v", got, recs)
+	}
+	n, err := Count[float64](path, f64)
+	if err != nil || n != int64(len(recs)) {
+		t.Fatalf("count %d err %v", n, err)
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	path := tempPath(t, "empty.f64")
+	if err := WriteFile(path, f64, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path, f64)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v err %v", got, err)
+	}
+}
+
+func TestTruncatedFileRejected(t *testing.T) {
+	path := tempPath(t, "trunc.f64")
+	if err := os.WriteFile(path, []byte{1, 2, 3}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path, f64); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+	if _, err := Count[float64](path, f64); err == nil {
+		t.Fatal("Count accepted ragged file")
+	}
+}
+
+func TestStreamingWriterReader(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, codec.PTFCodec{})
+	recs := make([]codec.PTFRecord, 100)
+	rng := rand.New(rand.NewSource(1))
+	for i := range recs {
+		recs[i] = codec.PTFRecord{Score: rng.Float64(), ObjID: rng.Uint64()}
+		if err := w.Write(recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 100 {
+		t.Fatalf("writer count %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf, codec.PTFCodec{})
+	for i := range recs {
+		got, err := r.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != recs[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got, recs[i])
+		}
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestReadShard(t *testing.T) {
+	path := tempPath(t, "shard.f64")
+	recs := make([]float64, 103) // deliberately not divisible
+	for i := range recs {
+		recs[i] = float64(i)
+	}
+	if err := WriteFile(path, f64, recs); err != nil {
+		t.Fatal(err)
+	}
+	var reassembled []float64
+	const parts = 4
+	for r := 0; r < parts; r++ {
+		shard, err := ReadShard(path, f64, r, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reassembled = append(reassembled, shard...)
+	}
+	if !slices.Equal(reassembled, recs) {
+		t.Fatal("shards do not reassemble the file")
+	}
+	// Last shard absorbs the remainder.
+	last, err := ReadShard(path, f64, parts-1, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(last) != 103-3*25 {
+		t.Fatalf("last shard has %d records", len(last))
+	}
+}
+
+func TestReadShardValidation(t *testing.T) {
+	path := tempPath(t, "v.f64")
+	if err := WriteFile(path, f64, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range [][2]int{{-1, 4}, {4, 4}, {0, 0}} {
+		if _, err := ReadShard(path, f64, c[0], c[1]); err == nil {
+			t.Fatalf("shard %v accepted", c)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(vals []uint64) bool {
+		var buf bytes.Buffer
+		w := NewWriter(&buf, codec.Uint64{})
+		if err := w.Write(vals...); err != nil {
+			return false
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		got, err := NewReader(&buf, codec.Uint64{}).ReadAll()
+		if err != nil {
+			return false
+		}
+		return slices.Equal(got, vals)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadCSVColumn(t *testing.T) {
+	csvData := "name,score\na,0.5\nb,0.1\nc,0.9\n"
+	got, err := ReadCSVColumnFrom(strings.NewReader(csvData), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(got, []float64{0.5, 0.1, 0.9}) {
+		t.Fatalf("got %v", got)
+	}
+	// No header.
+	got, err = ReadCSVColumnFrom(strings.NewReader("1\n2\n3\n"), 0)
+	if err != nil || !slices.Equal(got, []float64{1, 2, 3}) {
+		t.Fatalf("got %v err %v", got, err)
+	}
+}
+
+func TestReadCSVColumnErrors(t *testing.T) {
+	if _, err := ReadCSVColumnFrom(strings.NewReader("a,b\n1\n"), 1); err == nil {
+		t.Fatal("short row accepted")
+	}
+	if _, err := ReadCSVColumnFrom(strings.NewReader("1\nx\n"), 0); err == nil {
+		t.Fatal("non-numeric body cell accepted")
+	}
+	if _, err := ReadCSVColumnFrom(strings.NewReader("1\n"), -1); err == nil {
+		t.Fatal("negative column accepted")
+	}
+	// Empty input yields empty keys.
+	got, err := ReadCSVColumnFrom(strings.NewReader(""), 0)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty: %v %v", got, err)
+	}
+	// File variant path handling.
+	path := tempPath(t, "keys.csv")
+	if err := os.WriteFile(path, []byte("v\n2.5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadCSVColumn(path, 0)
+	if err != nil || !slices.Equal(got, []float64{2.5}) {
+		t.Fatalf("file variant: %v %v", got, err)
+	}
+}

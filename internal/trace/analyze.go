@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ReadJSONL parses a stream of events as written by the JSONL sink.
+// Blank lines are skipped; a malformed line aborts with its number.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []Event
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Analysis summarises an event stream.
+type Analysis struct {
+	// Events is the total count.
+	Events int
+	// Kinds maps event kind to count.
+	Kinds map[string]int
+	// Ranks maps rank to its event count.
+	Ranks map[int]int
+	// ExchangeRecv maps rank to its planned receive volume in records
+	// (from exchange.plan events).
+	ExchangeRecv map[int]int64
+	// DuplicatedPivotRuns counts pivots.duplicated reports.
+	DuplicatedPivotRuns int
+	// SpanUS is the elapsed microseconds between the first and last
+	// event.
+	SpanUS int64
+}
+
+// Analyze computes the summary of events.
+func Analyze(events []Event) Analysis {
+	a := Analysis{
+		Kinds:        map[string]int{},
+		Ranks:        map[int]int{},
+		ExchangeRecv: map[int]int64{},
+	}
+	a.Events = len(events)
+	var minT, maxT int64
+	for i, e := range events {
+		a.Kinds[e.Kind]++
+		a.Ranks[e.Rank]++
+		if i == 0 || e.ElapsedUS < minT {
+			minT = e.ElapsedUS
+		}
+		if e.ElapsedUS > maxT {
+			maxT = e.ElapsedUS
+		}
+		switch e.Kind {
+		case "exchange.plan":
+			if v, ok := asInt64(e.Detail["recv_records"]); ok {
+				a.ExchangeRecv[e.Rank] += v
+			}
+		case "pivots.duplicated":
+			a.DuplicatedPivotRuns++
+		}
+	}
+	if len(events) > 0 {
+		a.SpanUS = maxT - minT
+	}
+	return a
+}
+
+// asInt64 coerces JSON numbers (float64) and native ints alike.
+func asInt64(v any) (int64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return x, true
+	case int:
+		return int64(x), true
+	case float64:
+		return int64(x), true
+	}
+	return 0, false
+}
+
+// Render prints the analysis as an aligned report.
+func (a Analysis) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d events across %d ranks over %.3fms\n",
+		a.Events, len(a.Ranks), float64(a.SpanUS)/1000)
+	kinds := make([]string, 0, len(a.Kinds))
+	for k := range a.Kinds {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "  %-22s %d\n", k, a.Kinds[k])
+	}
+	if len(a.ExchangeRecv) > 0 {
+		ranks := make([]int, 0, len(a.ExchangeRecv))
+		var total, maxRecv int64
+		for r, v := range a.ExchangeRecv {
+			ranks = append(ranks, r)
+			total += v
+			if v > maxRecv {
+				maxRecv = v
+			}
+		}
+		sort.Ints(ranks)
+		avg := float64(total) / float64(len(ranks))
+		fmt.Fprintf(&b, "exchange: %d records total; max rank load %d (%.2fx the average)\n",
+			total, maxRecv, float64(maxRecv)/avg)
+	}
+	if a.DuplicatedPivotRuns > 0 {
+		fmt.Fprintf(&b, "duplicated-pivot reports: %d (skew-aware splitting engaged)\n", a.DuplicatedPivotRuns)
+	}
+	return b.String()
+}

@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	j.Emit(0, "sort.start", map[string]any{"records": 100})
+	j.Emit(0, "exchange.plan", map[string]any{"recv_records": int64(40)})
+	j.Emit(1, "exchange.plan", map[string]any{"recv_records": int64(60)})
+	j.Emit(0, "pivots.duplicated", map[string]any{"runs": 1})
+	j.Emit(1, "sort.done", nil)
+
+	events, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 5 {
+		t.Fatalf("%d events", len(events))
+	}
+	a := Analyze(events)
+	if a.Events != 5 || len(a.Ranks) != 2 {
+		t.Fatalf("analysis: %+v", a)
+	}
+	if a.Kinds["exchange.plan"] != 2 {
+		t.Fatalf("kinds: %+v", a.Kinds)
+	}
+	if a.ExchangeRecv[0] != 40 || a.ExchangeRecv[1] != 60 {
+		t.Fatalf("recv volumes: %+v", a.ExchangeRecv)
+	}
+	if a.DuplicatedPivotRuns != 1 {
+		t.Fatalf("dup runs: %d", a.DuplicatedPivotRuns)
+	}
+
+	out := a.Render()
+	for _, want := range []string{"5 events", "exchange.plan", "100 records total", "skew-aware"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReadJSONLSkipsBlankAndRejectsGarbage(t *testing.T) {
+	events, err := ReadJSONL(strings.NewReader("\n\n{\"seq\":1,\"rank\":0,\"kind\":\"x\"}\n\n"))
+	if err != nil || len(events) != 1 {
+		t.Fatalf("events=%v err=%v", events, err)
+	}
+	if _, err := ReadJSONL(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	a := Analyze(nil)
+	if a.Events != 0 || a.SpanUS != 0 {
+		t.Fatalf("%+v", a)
+	}
+	if !strings.Contains(a.Render(), "0 events") {
+		t.Fatal("render")
+	}
+}
+
+func TestAsInt64(t *testing.T) {
+	for _, v := range []any{int64(5), int(5), float64(5)} {
+		if got, ok := asInt64(v); !ok || got != 5 {
+			t.Fatalf("asInt64(%T) = %d, %v", v, got, ok)
+		}
+	}
+	if _, ok := asInt64("5"); ok {
+		t.Fatal("string accepted")
+	}
+}

@@ -1,0 +1,137 @@
+// Package trace records structured per-rank events from a sort run —
+// phase transitions, exchange volumes, partition summaries — as JSON
+// lines. Traces make the adaptive decisions (τm/τo/τs branches, pivot
+// duplication, per-destination send counts) observable after the fact,
+// which is how the experiments' claims were debugged and is what a
+// production operator would ship to their log pipeline.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one trace record. Fields are flat for painless ingestion.
+type Event struct {
+	// Seq is the event's sequence number within its tracer.
+	Seq int64 `json:"seq"`
+	// ElapsedUS is microseconds since the tracer was created.
+	ElapsedUS int64 `json:"elapsed_us"`
+	// Rank is the communicator rank that emitted the event.
+	Rank int `json:"rank"`
+	// Kind names the event (phase, decision, exchange, partition...).
+	Kind string `json:"kind"`
+	// Detail is the event-specific payload.
+	Detail map[string]any `json:"detail,omitempty"`
+}
+
+// Tracer receives events. Implementations must be safe for concurrent
+// use: in-process clusters emit from many rank goroutines at once.
+type Tracer interface {
+	Emit(rank int, kind string, detail map[string]any)
+}
+
+// Nop discards everything; useful as a default.
+type Nop struct{}
+
+// Emit implements Tracer.
+func (Nop) Emit(int, string, map[string]any) {}
+
+// JSONL writes one JSON object per event to an io.Writer.
+type JSONL struct {
+	mu    sync.Mutex
+	w     io.Writer
+	enc   *json.Encoder
+	seq   int64
+	start time.Time
+	err   error
+}
+
+// NewJSONL wraps w.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{w: w, enc: json.NewEncoder(w), start: time.Now()}
+}
+
+// Emit implements Tracer.
+func (j *JSONL) Emit(rank int, kind string, detail map[string]any) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	j.seq++
+	j.err = j.enc.Encode(Event{
+		Seq:       j.seq,
+		ElapsedUS: time.Since(j.start).Microseconds(),
+		Rank:      rank,
+		Kind:      kind,
+		Detail:    detail,
+	})
+}
+
+// Err reports the first write error, if any.
+func (j *JSONL) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Recorder buffers events in memory, for tests and interactive
+// inspection.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+	start  time.Time
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{start: time.Now()}
+}
+
+// Emit implements Tracer.
+func (r *Recorder) Emit(rank int, kind string, detail map[string]any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, Event{
+		Seq:       int64(len(r.events) + 1),
+		ElapsedUS: time.Since(r.start).Microseconds(),
+		Rank:      rank,
+		Kind:      kind,
+		Detail:    detail,
+	})
+}
+
+// Events returns a copy of everything recorded so far.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// ByKind returns the recorded events with the given kind.
+func (r *Recorder) ByKind(kind string) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Summary renders a one-line-per-kind count, for quick looks.
+func (r *Recorder) Summary() string {
+	counts := map[string]int{}
+	for _, e := range r.Events() {
+		counts[e.Kind]++
+	}
+	out := ""
+	for kind, n := range counts {
+		out += fmt.Sprintf("%s=%d ", kind, n)
+	}
+	return out
+}

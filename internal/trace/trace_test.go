@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestJSONLEmit(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	j.Emit(0, "sort.start", map[string]any{"records": 10})
+	j.Emit(1, "sort.done", nil)
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var events []Event
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad JSON line: %v", err)
+		}
+		events = append(events, e)
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events", len(events))
+	}
+	if events[0].Kind != "sort.start" || events[0].Rank != 0 || events[0].Seq != 1 {
+		t.Fatalf("event 0: %+v", events[0])
+	}
+	if events[0].Detail["records"] != float64(10) {
+		t.Fatalf("detail lost: %+v", events[0].Detail)
+	}
+	if events[1].Seq != 2 {
+		t.Fatalf("sequence: %+v", events[1])
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) { return 0, errWrite }
+
+var errWrite = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "write failed" }
+
+func TestJSONLStopsAfterError(t *testing.T) {
+	j := NewJSONL(failingWriter{})
+	j.Emit(0, "a", nil)
+	if j.Err() == nil {
+		t.Fatal("error swallowed")
+	}
+	j.Emit(0, "b", nil) // must not panic or reset the error
+	if j.Err() == nil {
+		t.Fatal("error cleared")
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	r := NewRecorder()
+	r.Emit(0, "x", nil)
+	r.Emit(1, "y", map[string]any{"k": 1})
+	r.Emit(2, "x", nil)
+	if got := len(r.Events()); got != 3 {
+		t.Fatalf("%d events", got)
+	}
+	if got := len(r.ByKind("x")); got != 2 {
+		t.Fatalf("%d x events", got)
+	}
+	if !strings.Contains(r.Summary(), "x=2") {
+		t.Fatalf("summary: %s", r.Summary())
+	}
+	// Events returns a copy.
+	evs := r.Events()
+	evs[0].Kind = "mutated"
+	if r.Events()[0].Kind != "x" {
+		t.Fatal("Events leaked internal state")
+	}
+}
+
+func TestConcurrentEmit(t *testing.T) {
+	r := NewRecorder()
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	var wg sync.WaitGroup
+	for rank := 0; rank < 8; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Emit(rank, "e", nil)
+				j.Emit(rank, "e", nil)
+			}
+		}(rank)
+	}
+	wg.Wait()
+	if got := len(r.Events()); got != 800 {
+		t.Fatalf("recorder lost events: %d", got)
+	}
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := bytes.Count(buf.Bytes(), []byte("\n")); got != 800 {
+		t.Fatalf("jsonl lost events: %d", got)
+	}
+}
+
+func TestNop(t *testing.T) {
+	Nop{}.Emit(0, "anything", nil) // must not panic
+}

@@ -1,0 +1,101 @@
+package workload
+
+import "math/rand"
+
+// Additional input patterns from the parallel-sorting literature (the
+// PSRS evaluation suite of Li et al., which the paper builds its
+// analysis on). They stress different parts of a sample sort: pivot
+// quality (staggered, gaussian), duplicate handling (few-distinct,
+// all-equal), and run detection (sawtooth).
+
+// Gaussian returns n keys from a normal distribution — mild central
+// clustering, a gentler skew than Zipf.
+func Gaussian(seed int64, n int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.NormFloat64()
+	}
+	return out
+}
+
+// Staggered returns the classic staggered pattern for p blocks: block i
+// holds values that interleave badly with regular sampling, the
+// adversarial input of the PSRS literature.
+func Staggered(n, p int) []float64 {
+	if p < 1 {
+		p = 1
+	}
+	out := make([]float64, n)
+	per := n / p
+	if per == 0 {
+		per = 1
+	}
+	for i := range out {
+		block := i / per
+		if block >= p {
+			block = p - 1
+		}
+		pos := i % per
+		var base int
+		if block < p/2 {
+			base = 2*block + 1
+		} else {
+			base = (block - p/2) * 2
+		}
+		out[i] = float64(base*per + pos)
+	}
+	return out
+}
+
+// FewDistinct returns n keys drawn uniformly from only k distinct
+// values — duplicate-heavy without Zipf's head/tail structure.
+func FewDistinct(seed int64, n, k int) []float64 {
+	if k < 1 {
+		k = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(rng.Intn(k))
+	}
+	return out
+}
+
+// AllEqual returns n copies of v — the worst case Theorem 1 is proved
+// against.
+func AllEqual(n int, v float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// Sawtooth returns n keys cycling 0..period-1 — many short runs, equal
+// histogram, maximal run count.
+func Sawtooth(n, period int) []float64 {
+	if period < 1 {
+		period = 1
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i % period)
+	}
+	return out
+}
+
+// Exponential returns n keys from an exponential distribution with the
+// given rate — one-sided skew without duplicates, complementing Zipf's
+// duplicate-heavy head.
+func Exponential(seed int64, n int, rate float64) []float64 {
+	if rate <= 0 {
+		rate = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.ExpFloat64() / rate
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"slices"
+	"testing"
+)
+
+func TestGaussian(t *testing.T) {
+	data := Gaussian(1, 50000)
+	if len(data) != 50000 {
+		t.Fatalf("length %d", len(data))
+	}
+	var mean float64
+	for _, v := range data {
+		mean += v
+	}
+	mean /= float64(len(data))
+	if mean < -0.05 || mean > 0.05 {
+		t.Fatalf("mean %v far from 0", mean)
+	}
+	neg := 0
+	for _, v := range data {
+		if v < 0 {
+			neg++
+		}
+	}
+	if neg < 20000 || neg > 30000 {
+		t.Fatalf("negative fraction %d not ~half", neg)
+	}
+}
+
+func TestStaggered(t *testing.T) {
+	data := Staggered(1000, 8)
+	if len(data) != 1000 {
+		t.Fatalf("length %d", len(data))
+	}
+	// The multiset must still be a permutation-friendly spread: all
+	// values distinct within a block and the global value range sane.
+	cp := append([]float64(nil), data...)
+	slices.Sort(cp)
+	for i := 1; i < len(cp); i++ {
+		if cp[i] == cp[i-1] {
+			t.Fatalf("staggered produced duplicate %v", cp[i])
+		}
+	}
+	// It must NOT be sorted (that's its point).
+	if slices.IsSorted(data) {
+		t.Fatal("staggered input came out sorted")
+	}
+	if d := Staggered(100, 0); len(d) != 100 {
+		t.Fatal("p=0 must clamp")
+	}
+}
+
+func TestFewDistinct(t *testing.T) {
+	data := FewDistinct(2, 10000, 3)
+	seen := map[float64]bool{}
+	for _, v := range data {
+		seen[v] = true
+	}
+	if len(seen) > 3 {
+		t.Fatalf("%d distinct values, want <= 3", len(seen))
+	}
+	if d := FewDistinct(2, 100, 0); len(d) != 100 {
+		t.Fatal("k=0 must clamp")
+	}
+}
+
+func TestAllEqual(t *testing.T) {
+	data := AllEqual(100, 7)
+	for _, v := range data {
+		if v != 7 {
+			t.Fatal("value drift")
+		}
+	}
+	if got := DupRatio(data); got != 1 {
+		t.Fatalf("δ=%v", got)
+	}
+}
+
+func TestSawtoothPattern(t *testing.T) {
+	data := Sawtooth(100, 10)
+	if data[0] != 0 || data[9] != 9 || data[10] != 0 {
+		t.Fatalf("sawtooth shape wrong: %v", data[:12])
+	}
+	if d := Sawtooth(10, 0); len(d) != 10 {
+		t.Fatal("period=0 must clamp")
+	}
+}
+
+func TestExponential(t *testing.T) {
+	data := Exponential(3, 50000, 2)
+	var mean float64
+	for _, v := range data {
+		if v < 0 {
+			t.Fatal("negative exponential sample")
+		}
+		mean += v
+	}
+	mean /= float64(len(data))
+	if mean < 0.45 || mean > 0.55 { // E[X] = 1/rate = 0.5
+		t.Fatalf("mean %v, want ≈0.5", mean)
+	}
+	if d := Exponential(3, 10, 0); len(d) != 10 {
+		t.Fatal("rate=0 must clamp")
+	}
+}
