@@ -1,8 +1,9 @@
 # Convenience targets; everything is plain `go` underneath.
 
 GO ?= go
+FAULTNET_SEED ?= 1
 
-.PHONY: all build test race vet bench experiments experiments-quick fuzz clean
+.PHONY: all build test race vet lint bench bench-json soak experiments experiments-quick fuzz clean
 
 all: build test
 
@@ -18,8 +19,22 @@ race:
 vet:
 	$(GO) vet ./...
 
+# Mirrors the CI lint job; requires golangci-lint on PATH.
+lint:
+	golangci-lint run
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Single-iteration benchmark pass in JSON form, as the CI bench-smoke
+# job publishes it.
+bench-json:
+	$(GO) test -bench=. -benchtime=1x -run xxx -json ./... | tee BENCH_ci.json
+
+# Fault-injection soak: repeat the Fault|Retry|Reconnect test families
+# under the race detector. Vary the schedule with FAULTNET_SEED=n.
+soak:
+	FAULTNET_SEED=$(FAULTNET_SEED) $(GO) test -race -run 'Fault|Retry|Reconnect' -count=3 -timeout 15m ./internal/...
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:
@@ -37,4 +52,4 @@ fuzz:
 
 clean:
 	$(GO) clean ./...
-	rm -f test_output.txt bench_output.txt
+	rm -f BENCH_ci.json

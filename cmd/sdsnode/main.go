@@ -45,6 +45,13 @@ func main() {
 		stable   = flag.Bool("stable", false, "stable sort")
 		seed     = flag.Int64("seed", 1, "workload seed (combined with rank)")
 		timeout  = flag.Duration("timeout", 30*time.Second, "bootstrap timeout")
+
+		retries   = flag.Int("retries", 5, "per-frame send attempts before declaring the peer lost")
+		retryBase = flag.Duration("retry-base", 2*time.Millisecond, "initial send retry backoff (doubles per attempt)")
+		retryMax  = flag.Duration("retry-max", 250*time.Millisecond, "send retry backoff cap")
+		sendTO    = flag.Duration("send-timeout", 30*time.Second, "per-frame connection write deadline")
+		recvTO    = flag.Duration("recv-timeout", 0, "receive failure-detector timeout (0 = wait forever, as MPI does)")
+		gapTO     = flag.Duration("gap-timeout", 5*time.Second, "how long a sequence gap may persist after a reconnect before the peer is declared lost")
 	)
 	flag.Parse()
 	if *rank < 0 || *size <= 0 || *rank >= *size {
@@ -59,6 +66,13 @@ func main() {
 	tr, err := tcpcomm.New(tcpcomm.Config{
 		Rank: *rank, Size: *size, Node: nodeID,
 		Registry: *registry, Listen: *listen, Timeout: *timeout,
+		Retry: comm.RetryPolicy{
+			MaxAttempts: *retries, BaseDelay: *retryBase, MaxDelay: *retryMax,
+			Seed: *seed + int64(*rank),
+		},
+		SendTimeout: *sendTO,
+		RecvTimeout: *recvTO,
+		GapTimeout:  *gapTO,
 	})
 	if err != nil {
 		log.Fatalf("bootstrap: %v", err)
@@ -92,6 +106,11 @@ func main() {
 	start := time.Now()
 	sorted, err := core.Sort(c, data, codec.Float64{}, cmpF, opt)
 	if err != nil {
+		if lost, ok := comm.PeerLost(err); ok {
+			// Degrade with a clear verdict rather than a hang: the
+			// retry budget for this peer is spent, the run is dead.
+			log.Fatalf("sort: peer rank %d lost (retry budget exhausted): %v", lost, err)
+		}
 		log.Fatalf("sort: %v", err)
 	}
 	elapsed := time.Since(start)
@@ -109,6 +128,9 @@ func main() {
 	// Leave together: a final barrier keeps rank 0's process alive
 	// until everyone has finished sending.
 	if err := c.Barrier(); err != nil {
+		if lost, ok := comm.PeerLost(err); ok {
+			log.Fatalf("final barrier: peer rank %d lost: %v", lost, err)
+		}
 		log.Fatalf("final barrier: %v", err)
 	}
 }

@@ -7,6 +7,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 
 	"sdssort/internal/comm"
@@ -100,6 +101,36 @@ func RunOpts(topo Topology, opts Options, fn func(c *comm.Comm) error) error {
 		}
 	}
 	return errors.Join(nonNil...)
+}
+
+// Report renders the joined error from Run/RunOpts as a per-rank
+// failure report, flagging ranks that abandoned a peer after
+// exhausting their retry budget (comm.ErrPeerLost). It is what
+// launchers print when a distributed sort degrades instead of
+// deadlocking.
+func Report(err error) string {
+	if err == nil {
+		return "cluster: all ranks completed"
+	}
+	var b strings.Builder
+	b.WriteString("cluster: failed ranks:")
+	for _, e := range flatten(err) {
+		if r, ok := comm.PeerLost(e); ok {
+			fmt.Fprintf(&b, "\n  %v [gave up on peer rank %d]", e, r)
+		} else {
+			fmt.Fprintf(&b, "\n  %v", e)
+		}
+	}
+	return b.String()
+}
+
+// flatten splits an errors.Join result into its members (or wraps a
+// plain error in a singleton slice).
+func flatten(err error) []error {
+	if u, ok := err.(interface{ Unwrap() []error }); ok {
+		return u.Unwrap()
+	}
+	return []error{err}
 }
 
 // Gather runs fn on a cluster and collects each rank's result value,

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"sdssort/internal/comm"
 )
@@ -130,5 +131,63 @@ func TestRunRecoversRankPanic(t *testing.T) {
 	})
 	if err == nil || !strings.Contains(err.Error(), "panic: rank blew up") {
 		t.Fatalf("got %v", err)
+	}
+}
+
+// faultySend decorates a transport so every send from selected ranks
+// fails transiently — the minimal stand-in for a dead network path.
+type faultySend struct {
+	comm.Transport
+	fail bool
+}
+
+func (f *faultySend) Send(dst int, ctx uint64, tag int32, data []byte) error {
+	if f.fail {
+		return comm.Transient(errors.New("cluster_test: injected send failure"))
+	}
+	return f.Transport.Send(dst, ctx, tag, data)
+}
+
+// TestFaultPeerLostPropagatesThroughRun: when one rank's sends all fail
+// and the retry budget runs out, RunOpts must return a joined error
+// carrying comm.ErrPeerLost — and the fabric teardown must unblock the
+// healthy ranks instead of deadlocking the launch.
+func TestFaultPeerLostPropagatesThroughRun(t *testing.T) {
+	topo := Topology{Nodes: 2, CoresPerNode: 2}
+	policy := comm.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond}
+	opts := Options{
+		WrapTransport: func(tr comm.Transport) comm.Transport {
+			return comm.WithRetry(&faultySend{Transport: tr, fail: tr.Rank() == 1}, policy)
+		},
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- RunOpts(topo, opts, func(c *comm.Comm) error { return c.Barrier() })
+	}()
+	var err error
+	select {
+	case err = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("launch still blocked — lost peer deadlocked the cluster")
+	}
+	if err == nil {
+		t.Fatal("launch succeeded with rank 1's sends failing")
+	}
+	if _, ok := comm.PeerLost(err); !ok {
+		t.Fatalf("want comm.ErrPeerLost in the joined error, got: %v", err)
+	}
+	report := Report(err)
+	if !strings.Contains(report, "gave up on peer rank") {
+		t.Fatalf("report does not flag the lost peer:\n%s", report)
+	}
+}
+
+func TestReportNilAndPlainErrors(t *testing.T) {
+	if got := Report(nil); !strings.Contains(got, "all ranks completed") {
+		t.Fatalf("nil report: %q", got)
+	}
+	plain := errors.New("rank 3: something else")
+	if got := Report(plain); !strings.Contains(got, "something else") {
+		t.Fatalf("plain report: %q", got)
 	}
 }

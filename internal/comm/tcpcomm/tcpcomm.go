@@ -4,12 +4,27 @@
 // exchange" that stands in for MPI's network layer in this reproduction.
 //
 // Bootstrap: rank 0 doubles as the registry. Every rank dials the
-// registry, announces (rank, listen address, node id), and receives the
-// full address map once all ranks have registered. Data connections are
+// registry (with backoff, since the registry may come up late),
+// announces (rank, listen address, node id), and receives the full
+// address map once all ranks have registered. Data connections are
 // then dialed lazily, one outgoing connection per (sender, receiver)
 // pair; each accepted connection is drained by a reader goroutine into a
 // tag-matched mailbox, so bulk all-to-all traffic cannot deadlock on TCP
 // buffer backpressure.
+//
+// Robustness: the send path retries under Config.Retry — a failed dial
+// or frame write closes the connection, backs off (capped exponential
+// with jitter) and reconnects transparently. Every frame carries a
+// per-destination sequence number; the receiver drops sequences it has
+// already delivered (a frame retransmitted across a reconnect arrives
+// exactly once) and reorders frames that the racing old- and
+// new-connection readers deliver out of order. A sequence gap that
+// persists past Config.GapTimeout means frames the kernel accepted
+// were never delivered; that poisons the peer's mailbox with
+// comm.ErrPeerLost instead of hanging receives. When the send budget
+// is exhausted, Send fails with comm.ErrPeerLost naming the peer.
+// Config.RecvTimeout optionally bounds Recv as a crude failure
+// detector for peers that die silently.
 package tcpcomm
 
 import (
@@ -22,6 +37,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"sdssort/internal/comm"
 )
 
 // MaxFrameSize bounds a single message; larger frames indicate stream
@@ -31,6 +48,10 @@ const MaxFrameSize = 1 << 30
 
 // ErrClosed is returned on operations against a closed transport.
 var ErrClosed = errors.New("tcpcomm: closed")
+
+// errRecvTimeout marks a Recv that outwaited Config.RecvTimeout; it is
+// surfaced wrapped in comm.ErrPeerLost.
+var errRecvTimeout = errors.New("tcpcomm: receive timed out")
 
 // Config describes one rank's endpoint.
 type Config struct {
@@ -45,8 +66,29 @@ type Config struct {
 	// Listen is the address to bind the data listener on (use
 	// "127.0.0.1:0" for tests; the registry learns the real port).
 	Listen string
-	// Timeout bounds registration and dialing (default 10s).
+	// Timeout bounds registration and each data dial (default 10s).
 	Timeout time.Duration
+	// Retry is the per-frame retry budget for the data send path:
+	// dial failures and write errors reconnect and retransmit under
+	// this policy, and exhausting it yields comm.ErrPeerLost. Zero
+	// fields take comm.DefaultRetryPolicy values.
+	Retry comm.RetryPolicy
+	// SendTimeout is the per-connection write deadline applied to each
+	// frame (default 30s). A stalled peer therefore consumes at most
+	// SendTimeout × Retry.MaxAttempts before the sender gives up.
+	SendTimeout time.Duration
+	// RecvTimeout, when positive, bounds how long Recv waits for a
+	// matching frame before failing with comm.ErrPeerLost — a crude
+	// failure detector for silently dead peers. The default 0 waits
+	// forever, matching MPI semantics.
+	RecvTimeout time.Duration
+	// GapTimeout bounds how long a sequence gap may persist (default
+	// 5s). Across a reconnect the old and new connections' readers
+	// race, so frames can arrive out of order; they are reordered in a
+	// per-source buffer. A gap that outlives GapTimeout means frames
+	// the old connection's kernel accepted were never delivered — the
+	// source is declared lost rather than letting receives hang.
+	GapTimeout time.Duration
 }
 
 func (c Config) timeout() time.Duration {
@@ -54,6 +96,20 @@ func (c Config) timeout() time.Duration {
 		return 10 * time.Second
 	}
 	return c.Timeout
+}
+
+func (c Config) sendTimeout() time.Duration {
+	if c.SendTimeout <= 0 {
+		return 30 * time.Second
+	}
+	return c.SendTimeout
+}
+
+func (c Config) gapTimeout() time.Duration {
+	if c.GapTimeout <= 0 {
+		return 5 * time.Second
+	}
+	return c.GapTimeout
 }
 
 type peerInfo struct {
@@ -65,12 +121,16 @@ type peerInfo struct {
 // Transport implements comm.Transport over TCP.
 type Transport struct {
 	cfg   Config
+	retry *comm.Retrier
 	ln    net.Listener
 	peers []peerInfo // indexed by rank
 	box   *mailbox
 
 	connMu sync.Mutex
 	conns  map[int]*sendConn
+
+	seqMu   sync.Mutex
+	streams map[int]*srcStream // per-source reorder/dedup state
 
 	acceptMu sync.Mutex
 	accepted map[net.Conn]struct{}
@@ -80,10 +140,24 @@ type Transport struct {
 	wg        sync.WaitGroup
 }
 
+// srcStream is the receive-side state for one source rank: the next
+// expected frame sequence, frames that arrived ahead of it (old and
+// new connections race across a reconnect), and the timer that turns
+// a persistent gap into a lost-peer verdict.
+type srcStream struct {
+	expected uint64
+	pending  map[uint64]message
+	gap      *time.Timer
+}
+
+// sendConn is the persistent per-destination sender state. The
+// connection inside it may die and be redialed; the frame sequence
+// counter survives reconnects so the receiver can dedup retransmits.
 type sendConn struct {
-	mu sync.Mutex
-	w  *bufio.Writer
-	c  net.Conn
+	mu  sync.Mutex
+	c   net.Conn // nil while disconnected
+	w   *bufio.Writer
+	seq uint64 // next frame sequence on this stream
 }
 
 // New creates the rank's endpoint, runs the registration barrier, and
@@ -103,9 +177,11 @@ func New(cfg Config) (*Transport, error) {
 	}
 	t := &Transport{
 		cfg:      cfg,
+		retry:    comm.NewRetrier(cfg.Retry),
 		ln:       ln,
 		box:      newMailbox(),
 		conns:    make(map[int]*sendConn),
+		streams:  make(map[int]*srcStream),
 		accepted: make(map[net.Conn]struct{}),
 		closed:   make(chan struct{}),
 	}
@@ -188,8 +264,9 @@ func (t *Transport) joinRegistry(self peerInfo) ([]peerInfo, error) {
 	deadline := time.Now().Add(t.cfg.timeout())
 	var conn net.Conn
 	var err error
-	// The registry may come up after us: retry until the deadline.
-	for {
+	// The registry may come up after us: redial under the backoff
+	// schedule until the overall registration deadline.
+	for attempt := 0; ; attempt++ {
 		conn, err = net.DialTimeout("tcp", t.cfg.Registry, time.Second)
 		if err == nil {
 			break
@@ -197,7 +274,7 @@ func (t *Transport) joinRegistry(self peerInfo) ([]peerInfo, error) {
 		if time.Now().After(deadline) {
 			return nil, fmt.Errorf("tcpcomm: dial registry %s: %w", t.cfg.Registry, err)
 		}
-		time.Sleep(50 * time.Millisecond)
+		time.Sleep(t.retry.Backoff(min(attempt, 6)))
 	}
 	defer conn.Close()
 	conn.SetDeadline(deadline)
@@ -226,12 +303,15 @@ func (t *Transport) Node() int { return t.cfg.Node }
 // NodeOf implements comm.Transport.
 func (t *Transport) NodeOf(r int) int { return t.peers[r].Node }
 
-// frame layout: src int32 | ctx uint64 | tag int32 | len uint32 | body.
-const frameHeader = 4 + 8 + 4 + 4
+// frame layout: src int32 | ctx uint64 | tag int32 | len uint32 |
+// seq uint64 | body. seq increases per (src, dst) pair and survives
+// reconnects, carrying the retransmit-dedup contract.
+const frameHeader = 4 + 8 + 4 + 4 + 8
 
-// Send implements comm.Transport: it dials (or reuses) the connection
-// to dst and writes one frame. Frames to self short-circuit through the
-// mailbox.
+// Send implements comm.Transport: it writes one frame on the (possibly
+// redialed) connection to dst, retrying dial and write failures under
+// the configured budget. Frames to self short-circuit through the
+// mailbox. Budget exhaustion returns *comm.ErrPeerLost.
 func (t *Transport) Send(dst int, ctx uint64, tag int32, data []byte) error {
 	select {
 	case <-t.closed:
@@ -248,39 +328,85 @@ func (t *Transport) Send(dst int, ctx uint64, tag int32, data []byte) error {
 		cp := append([]byte(nil), data...)
 		return t.box.put(message{src: t.cfg.Rank, ctx: ctx, tag: tag, data: cp})
 	}
-	sc, err := t.conn(dst)
-	if err != nil {
-		return err
-	}
+
+	sc := t.sendState(dst)
+	// The per-destination lock is held across reconnects and
+	// retransmits, so frames (and their sequence numbers) reach the
+	// wire in assignment order even under concurrent Isends.
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	seq := sc.seq
+	sc.seq++
+
 	var hdr [frameHeader]byte
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(t.cfg.Rank))
 	binary.LittleEndian.PutUint64(hdr[4:], ctx)
 	binary.LittleEndian.PutUint32(hdr[12:], uint32(tag))
 	binary.LittleEndian.PutUint32(hdr[16:], uint32(len(data)))
+	binary.LittleEndian.PutUint64(hdr[20:], seq)
 
-	sc.mu.Lock()
-	defer sc.mu.Unlock()
-	if _, err := sc.w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("tcpcomm: write header to %d: %w", dst, err)
+	var lastErr error
+	for attempt := 0; attempt < t.retry.Policy().MaxAttempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(t.retry.Backoff(attempt - 1)):
+			case <-t.closed:
+				return ErrClosed
+			}
+		}
+		select {
+		case <-t.closed:
+			return ErrClosed
+		default:
+		}
+		if err := t.ensureConn(sc, dst); err != nil {
+			lastErr = err
+			continue
+		}
+		sc.c.SetWriteDeadline(time.Now().Add(t.cfg.sendTimeout()))
+		if err := writeFrame(sc.w, hdr, data); err != nil {
+			lastErr = fmt.Errorf("tcpcomm: write to rank %d: %w", dst, err)
+			dropLocked(sc)
+			continue
+		}
+		sc.c.SetWriteDeadline(time.Time{})
+		return nil
 	}
-	if _, err := sc.w.Write(data); err != nil {
-		return fmt.Errorf("tcpcomm: write body to %d: %w", dst, err)
-	}
-	if err := sc.w.Flush(); err != nil {
-		return fmt.Errorf("tcpcomm: flush to %d: %w", dst, err)
-	}
-	return nil
+	return &comm.ErrPeerLost{Rank: dst, Err: lastErr}
 }
 
-func (t *Transport) conn(dst int) (*sendConn, error) {
+func writeFrame(w *bufio.Writer, hdr [frameHeader]byte, data []byte) error {
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// sendState returns (creating if needed) the persistent sender state
+// for dst without dialing.
+func (t *Transport) sendState(dst int) *sendConn {
 	t.connMu.Lock()
 	defer t.connMu.Unlock()
-	if sc, ok := t.conns[dst]; ok {
-		return sc, nil
+	sc, ok := t.conns[dst]
+	if !ok {
+		sc = &sendConn{}
+		t.conns[dst] = sc
+	}
+	return sc
+}
+
+// ensureConn dials dst if sc currently has no live connection. The
+// caller holds sc.mu.
+func (t *Transport) ensureConn(sc *sendConn, dst int) error {
+	if sc.c != nil {
+		return nil
 	}
 	c, err := net.DialTimeout("tcp", t.peers[dst].Addr, t.cfg.timeout())
 	if err != nil {
-		return nil, fmt.Errorf("tcpcomm: dial rank %d at %s: %w", dst, t.peers[dst].Addr, err)
+		return fmt.Errorf("tcpcomm: dial rank %d at %s: %w", dst, t.peers[dst].Addr, err)
 	}
 	if tc, ok := c.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
@@ -288,21 +414,54 @@ func (t *Transport) conn(dst int) (*sendConn, error) {
 	// Identify ourselves so the acceptor can label the stream.
 	var hello [4]byte
 	binary.LittleEndian.PutUint32(hello[:], uint32(t.cfg.Rank))
+	c.SetWriteDeadline(time.Now().Add(t.cfg.sendTimeout()))
 	if _, err := c.Write(hello[:]); err != nil {
 		c.Close()
-		return nil, fmt.Errorf("tcpcomm: hello to rank %d: %w", dst, err)
+		return fmt.Errorf("tcpcomm: hello to rank %d: %w", dst, err)
 	}
-	sc := &sendConn{w: bufio.NewWriterSize(c, 256<<10), c: c}
-	t.conns[dst] = sc
-	return sc, nil
+	c.SetWriteDeadline(time.Time{})
+	sc.c = c
+	sc.w = bufio.NewWriterSize(c, 256<<10)
+	return nil
 }
 
-// Recv implements comm.Transport.
+// dropLocked severs sc's connection (caller holds sc.mu); the next
+// attempt redials.
+func dropLocked(sc *sendConn) {
+	if sc.c != nil {
+		sc.c.Close()
+		sc.c = nil
+		sc.w = nil
+	}
+}
+
+// dropConn severs the cached data connection to dst, if any. Tests use
+// it to simulate a connection loss between frames.
+func (t *Transport) dropConn(dst int) bool {
+	t.connMu.Lock()
+	sc := t.conns[dst]
+	t.connMu.Unlock()
+	if sc == nil {
+		return false
+	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	had := sc.c != nil
+	dropLocked(sc)
+	return had
+}
+
+// Recv implements comm.Transport. With Config.RecvTimeout set, waiting
+// longer than the timeout fails with *comm.ErrPeerLost for src.
 func (t *Transport) Recv(src int, ctx uint64, tag int32) ([]byte, error) {
 	if src < 0 || src >= t.cfg.Size {
 		return nil, fmt.Errorf("tcpcomm: recv from rank %d out of range", src)
 	}
-	return t.box.take(src, ctx, tag)
+	data, err := t.box.take(src, ctx, tag, t.cfg.RecvTimeout)
+	if errors.Is(err, errRecvTimeout) {
+		return nil, &comm.ErrPeerLost{Rank: src, Err: err}
+	}
+	return data, err
 }
 
 func (t *Transport) acceptLoop() {
@@ -325,6 +484,84 @@ func (t *Transport) acceptLoop() {
 		t.wg.Add(1)
 		go t.readLoop(conn)
 	}
+}
+
+// admitFrame applies the retransmit-dedup and reorder contract for a
+// frame from src. Duplicates (sequence already delivered) are dropped
+// silently. A frame ahead of the expected sequence is buffered — the
+// old and new connections' readers race across a reconnect — and a gap
+// timer is armed; if the gap fills, the buffer drains in order, and if
+// it outlives Config.GapTimeout the source is declared lost. The
+// returned error is non-nil only when the mailbox is closed.
+func (t *Transport) admitFrame(src int, seq uint64, m message) error {
+	t.seqMu.Lock()
+	defer t.seqMu.Unlock()
+	s := t.streams[src]
+	if s == nil {
+		s = &srcStream{pending: make(map[uint64]message)}
+		t.streams[src] = s
+	}
+	if seq < s.expected {
+		return nil // retransmitted duplicate
+	}
+	if seq > s.expected {
+		s.pending[seq] = m
+		if s.gap == nil {
+			s.gap = time.AfterFunc(t.cfg.gapTimeout(), func() { t.gapExpired(src) })
+		}
+		return nil
+	}
+	if err := t.box.put(m); err != nil {
+		return err
+	}
+	s.expected++
+	for {
+		next, ok := s.pending[s.expected]
+		if !ok {
+			break
+		}
+		delete(s.pending, s.expected)
+		if err := t.box.put(next); err != nil {
+			return err
+		}
+		s.expected++
+	}
+	if len(s.pending) == 0 && s.gap != nil {
+		s.gap.Stop()
+		s.gap = nil
+	}
+	return nil
+}
+
+// gapExpired fires when a sequence gap from src persisted for the full
+// GapTimeout: the missing frames were accepted by a now-dead
+// connection's kernel and will never arrive, so src's mailbox is
+// poisoned with comm.ErrPeerLost instead of letting receives hang.
+func (t *Transport) gapExpired(src int) {
+	t.seqMu.Lock()
+	s := t.streams[src]
+	if s == nil || len(s.pending) == 0 {
+		if s != nil {
+			s.gap = nil
+		}
+		t.seqMu.Unlock()
+		return
+	}
+	s.gap = nil
+	lo := s.expected
+	first := true
+	for q := range s.pending {
+		if first || q < lo {
+			lo = q
+			first = false
+		}
+	}
+	missing := lo - s.expected
+	t.seqMu.Unlock()
+	t.box.fail(src, &comm.ErrPeerLost{
+		Rank: src,
+		Err:  fmt.Errorf("tcpcomm: %d frame(s) from rank %d lost across reconnect", missing, src),
+	})
 }
 
 func (t *Transport) readLoop(conn net.Conn) {
@@ -353,6 +590,7 @@ func (t *Transport) readLoop(conn net.Conn) {
 		ctx := binary.LittleEndian.Uint64(hdr[4:])
 		tag := int32(binary.LittleEndian.Uint32(hdr[12:]))
 		n := binary.LittleEndian.Uint32(hdr[16:])
+		seq := binary.LittleEndian.Uint64(hdr[20:])
 		if frameSrc != src || n > MaxFrameSize {
 			// Corrupt stream: drop the connection. Pending receives
 			// will surface when the transport closes.
@@ -362,7 +600,7 @@ func (t *Transport) readLoop(conn net.Conn) {
 		if _, err := io.ReadFull(r, body); err != nil {
 			return
 		}
-		if t.box.put(message{src: src, ctx: ctx, tag: tag, data: body}) != nil {
+		if t.admitFrame(src, seq, message{src: src, ctx: ctx, tag: tag, data: body}) != nil {
 			return
 		}
 	}
@@ -375,10 +613,16 @@ func (t *Transport) Close() error {
 		close(t.closed)
 		t.ln.Close()
 		t.connMu.Lock()
+		conns := make([]*sendConn, 0, len(t.conns))
 		for _, sc := range t.conns {
-			sc.c.Close()
+			conns = append(conns, sc)
 		}
 		t.connMu.Unlock()
+		for _, sc := range conns {
+			sc.mu.Lock()
+			dropLocked(sc)
+			sc.mu.Unlock()
+		}
 		// Close accepted connections too, or their reader goroutines
 		// would block until the remote side also shut down.
 		t.acceptMu.Lock()
@@ -386,6 +630,14 @@ func (t *Transport) Close() error {
 			c.Close()
 		}
 		t.acceptMu.Unlock()
+		t.seqMu.Lock()
+		for _, s := range t.streams {
+			if s.gap != nil {
+				s.gap.Stop()
+				s.gap = nil
+			}
+		}
+		t.seqMu.Unlock()
 		t.box.close()
 	})
 	t.wg.Wait()
