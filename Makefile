@@ -31,10 +31,11 @@ bench:
 bench-json:
 	$(GO) test -bench=. -benchtime=1x -run xxx -json ./... | tee BENCH_ci.json
 
-# Fault-injection soak: repeat the Fault|Retry|Reconnect test families
-# under the race detector. Vary the schedule with FAULTNET_SEED=n.
+# Fault-injection soak: repeat the Fault|Retry|Reconnect|Recovery test
+# families under the race detector. Vary the schedule with
+# FAULTNET_SEED=n.
 soak:
-	FAULTNET_SEED=$(FAULTNET_SEED) $(GO) test -race -run 'Fault|Retry|Reconnect' -count=3 -timeout 15m ./internal/...
+	FAULTNET_SEED=$(FAULTNET_SEED) $(GO) test -race -run 'Fault|Retry|Reconnect|Recovery' -count=3 -timeout 15m ./internal/...
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:
@@ -43,12 +44,14 @@ experiments:
 experiments-quick:
 	$(GO) run ./cmd/sdsbench -exp all -quick
 
-# Short fuzzing pass over the sort and partition invariants.
+# Short fuzzing pass over the sort, partition and checkpoint-manifest
+# invariants.
 fuzz:
 	$(GO) test ./internal/psort -fuzz FuzzSort -fuzztime 30s -run xxx
 	$(GO) test ./internal/psort -fuzz FuzzStableSort -fuzztime 30s -run xxx
 	$(GO) test ./internal/partition -fuzz FuzzFastPartition -fuzztime 30s -run xxx
 	$(GO) test ./internal/partition -fuzz FuzzStablePartition -fuzztime 30s -run xxx
+	$(GO) test ./internal/checkpoint -fuzz FuzzManifest -fuzztime 30s -run xxx
 
 clean:
 	$(GO) clean ./...

@@ -12,14 +12,32 @@
 // Each rank either generates its shard (-workload) or reads it from a
 // file (-in). The sorted shard can be written with -out; the run's
 // timing and final load are printed either way.
+//
+// Exit codes form a contract an external supervisor can act on:
+//
+//	0  success
+//	1  local error (bad input file, sort failure, write failure)
+//	2  usage error (bad flags)
+//	3  a peer rank was lost (retry budget exhausted) — restartable
+//	4  -job-deadline exceeded
+//
+// With -ckpt-dir set, each rank snapshots its data at the phase
+// boundaries. After a failure (exit 3), relaunch every rank with the
+// same -ckpt-dir and -epoch incremented; rank 0's -epoch is
+// authoritative and is adopted by the other ranks at registration, so
+// only the coordinator's flag strictly matters. The relaunched world
+// agrees on the latest globally consistent checkpoint cut and resumes
+// from it instead of re-sorting from scratch.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
+	"sdssort/internal/checkpoint"
 	"sdssort/internal/codec"
 	"sdssort/internal/comm"
 	"sdssort/internal/comm/tcpcomm"
@@ -29,33 +47,70 @@ import (
 	"sdssort/internal/workload"
 )
 
-func main() {
-	log.SetFlags(0)
-	var (
-		rank     = flag.Int("rank", -1, "this process's rank (0..size-1, required)")
-		size     = flag.Int("size", 0, "total ranks (required)")
-		node     = flag.Int("node", -1, "physical node id (default: rank)")
-		registry = flag.String("registry", "127.0.0.1:7777", "bootstrap registry address (rank 0 binds it)")
-		listen   = flag.String("listen", "127.0.0.1:0", "data listener bind address")
-		wl       = flag.String("workload", "zipf", "generated shard: uniform | zipf")
-		alpha    = flag.Float64("alpha", 1.4, "Zipf exponent")
-		n        = flag.Int("n", 100_000, "records per rank when generating")
-		in       = flag.String("in", "", "read this rank's shard from a float64 record file instead")
-		out      = flag.String("out", "", "write the sorted shard here")
-		stable   = flag.Bool("stable", false, "stable sort")
-		seed     = flag.Int64("seed", 1, "workload seed (combined with rank)")
-		timeout  = flag.Duration("timeout", 30*time.Second, "bootstrap timeout")
+// Exit codes: the supervisor contract. Keep in sync with the package
+// comment and docs/INTERNALS.md.
+const (
+	exitOK         = 0
+	exitLocalError = 1
+	exitUsage      = 2
+	exitPeerLost   = 3
+	exitDeadline   = 4
+)
 
-		retries   = flag.Int("retries", 5, "per-frame send attempts before declaring the peer lost")
-		retryBase = flag.Duration("retry-base", 2*time.Millisecond, "initial send retry backoff (doubles per attempt)")
-		retryMax  = flag.Duration("retry-max", 250*time.Millisecond, "send retry backoff cap")
-		sendTO    = flag.Duration("send-timeout", 30*time.Second, "per-frame connection write deadline")
-		recvTO    = flag.Duration("recv-timeout", 0, "receive failure-detector timeout (0 = wait forever, as MPI does)")
-		gapTO     = flag.Duration("gap-timeout", 5*time.Second, "how long a sequence gap may persist after a reconnect before the peer is declared lost")
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+// exitCode classifies an error into the exit-code contract.
+func exitCode(err error) int {
+	if err == nil {
+		return exitOK
+	}
+	if _, ok := comm.PeerLost(err); ok {
+		return exitPeerLost
+	}
+	return exitLocalError
+}
+
+func run(args []string) int {
+	log.SetFlags(0)
+	fs := flag.NewFlagSet("sdsnode", flag.ContinueOnError)
+	var (
+		rank     = fs.Int("rank", -1, "this process's rank (0..size-1, required)")
+		size     = fs.Int("size", 0, "total ranks (required)")
+		node     = fs.Int("node", -1, "physical node id (default: rank)")
+		registry = fs.String("registry", "127.0.0.1:7777", "bootstrap registry address (rank 0 binds it)")
+		listen   = fs.String("listen", "127.0.0.1:0", "data listener bind address")
+		wl       = fs.String("workload", "zipf", "generated shard: uniform | zipf")
+		alpha    = fs.Float64("alpha", 1.4, "Zipf exponent")
+		n        = fs.Int("n", 100_000, "records per rank when generating")
+		in       = fs.String("in", "", "read this rank's shard from a float64 record file instead")
+		out      = fs.String("out", "", "write the sorted shard here")
+		stable   = fs.Bool("stable", false, "stable sort")
+		seed     = fs.Int64("seed", 1, "workload seed (combined with rank)")
+		timeout  = fs.Duration("timeout", 30*time.Second, "bootstrap timeout")
+
+		epoch    = fs.Int("epoch", 0, "recovery epoch; rank 0's value is authoritative and adopted by all ranks")
+		ckptDir  = fs.String("ckpt-dir", "", "checkpoint directory shared by all ranks; enables phase snapshots and resume")
+		deadline = fs.Duration("job-deadline", 0, "kill the whole job after this wall-clock budget (0 = none)")
+
+		retries   = fs.Int("retries", 5, "per-frame send attempts before declaring the peer lost")
+		retryBase = fs.Duration("retry-base", 2*time.Millisecond, "initial send retry backoff (doubles per attempt)")
+		retryMax  = fs.Duration("retry-max", 250*time.Millisecond, "send retry backoff cap")
+		sendTO    = fs.Duration("send-timeout", 30*time.Second, "per-frame connection write deadline")
+		recvTO    = fs.Duration("recv-timeout", 0, "receive failure-detector timeout (0 = wait forever, as MPI does)")
+		gapTO     = fs.Duration("gap-timeout", 5*time.Second, "how long a sequence gap may persist after a reconnect before the peer is declared lost")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
 	if *rank < 0 || *size <= 0 || *rank >= *size {
-		log.Fatalf("sdsnode: need -rank in [0,%d) and -size > 0", *size)
+		log.Printf("sdsnode: need -rank in [0,%d) and -size > 0", *size)
+		return exitUsage
+	}
+	if *epoch < 0 {
+		log.Printf("sdsnode: negative -epoch %d", *epoch)
+		return exitUsage
 	}
 	log.SetPrefix(fmt.Sprintf("sdsnode[%d]: ", *rank))
 	nodeID := *node
@@ -63,8 +118,18 @@ func main() {
 		nodeID = *rank
 	}
 
+	// The deadline is absolute: when it fires the process is past
+	// saving, so exit directly rather than threading cancellation
+	// through every blocking transport call.
+	if *deadline > 0 {
+		time.AfterFunc(*deadline, func() {
+			log.Printf("job deadline %v exceeded", *deadline)
+			os.Exit(exitDeadline)
+		})
+	}
+
 	tr, err := tcpcomm.New(tcpcomm.Config{
-		Rank: *rank, Size: *size, Node: nodeID,
+		Rank: *rank, Size: *size, Node: nodeID, Epoch: *epoch,
 		Registry: *registry, Listen: *listen, Timeout: *timeout,
 		Retry: comm.RetryPolicy{
 			MaxAttempts: *retries, BaseDelay: *retryBase, MaxDelay: *retryMax,
@@ -75,18 +140,27 @@ func main() {
 		GapTimeout:  *gapTO,
 	})
 	if err != nil {
-		log.Fatalf("bootstrap: %v", err)
+		log.Printf("bootstrap: %v", err)
+		return exitCode(err)
 	}
 	defer tr.Close()
-	c := comm.New(tr)
-	log.Printf("joined world of %d ranks", *size)
+	// The coordinator's epoch won at registration; name the world after
+	// it so frames from an older incarnation are undeliverable here.
+	ep := tr.Epoch()
+	worldName := "world"
+	if ep > 0 {
+		worldName = fmt.Sprintf("world@e%d", ep)
+	}
+	c := comm.NewNamed(tr, worldName)
+	log.Printf("joined world of %d ranks (epoch %d)", *size, ep)
 
 	var data []float64
 	if *in != "" {
 		// Each rank seeks directly to its shard of the shared file.
 		data, err = recordio.ReadShard(*in, codec.Float64{}, *rank, *size)
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return exitLocalError
 		}
 	} else {
 		switch *wl {
@@ -95,7 +169,8 @@ func main() {
 		case "zipf":
 			data = workload.ZipfKeys(*seed+int64(*rank)*997, *n, *alpha, workload.DefaultZipfUniverse)
 		default:
-			log.Fatalf("unknown workload %q", *wl)
+			log.Printf("unknown workload %q", *wl)
+			return exitUsage
 		}
 	}
 
@@ -103,17 +178,49 @@ func main() {
 	opt.Stable = *stable
 	tm := metrics.NewPhaseTimer()
 	opt.Timer = tm
+	var ck *core.Checkpointing
+	if *ckptDir != "" {
+		store, err := checkpoint.NewStore(*ckptDir, *size)
+		if err != nil {
+			log.Printf("checkpoint: %v", err)
+			return exitLocalError
+		}
+		ck = &core.Checkpointing{Store: store, Epoch: ep}
+		if ep > 0 {
+			cut, ok, err := checkpoint.AgreeCut(c, store)
+			if err != nil {
+				log.Printf("checkpoint cut: %v", err)
+				return exitCode(err)
+			}
+			if ok {
+				ck.Resume = cut
+				log.Printf("resuming from checkpoint %s of epoch %d", cut.Phase, cut.Epoch)
+			} else {
+				log.Printf("no consistent checkpoint; restarting from scratch")
+			}
+		}
+		opt.Checkpoint = ck
+	}
+
 	start := time.Now()
 	sorted, err := core.Sort(c, data, codec.Float64{}, cmpF, opt)
 	if err != nil {
 		if lost, ok := comm.PeerLost(err); ok {
 			// Degrade with a clear verdict rather than a hang: the
 			// retry budget for this peer is spent, the run is dead.
-			log.Fatalf("sort: peer rank %d lost (retry budget exhausted): %v", lost, err)
+			log.Printf("sort: peer rank %d lost (retry budget exhausted): %v", lost, err)
+		} else {
+			log.Printf("sort: %v", err)
 		}
-		log.Fatalf("sort: %v", err)
+		return exitCode(err)
 	}
 	elapsed := time.Since(start)
+	// Snapshots commit in the background; make them durable before
+	// claiming success — the next epoch's resume depends on them.
+	if err := ck.Wait(); err != nil {
+		log.Printf("checkpoint: %v", err)
+		return exitLocalError
+	}
 	log.Printf("done in %v: %d records held locally", elapsed.Round(time.Millisecond), len(sorted))
 	for _, ph := range metrics.Phases() {
 		log.Printf("  %-16s %s", ph.String(), metrics.FmtDur(tm.Get(ph)))
@@ -121,7 +228,8 @@ func main() {
 
 	if *out != "" {
 		if err := recordio.WriteFile(*out, codec.Float64{}, sorted); err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return exitLocalError
 		}
 		log.Printf("wrote %s", *out)
 	}
@@ -129,10 +237,13 @@ func main() {
 	// until everyone has finished sending.
 	if err := c.Barrier(); err != nil {
 		if lost, ok := comm.PeerLost(err); ok {
-			log.Fatalf("final barrier: peer rank %d lost: %v", lost, err)
+			log.Printf("final barrier: peer rank %d lost: %v", lost, err)
+		} else {
+			log.Printf("final barrier: %v", err)
 		}
-		log.Fatalf("final barrier: %v", err)
+		return exitCode(err)
 	}
+	return exitOK
 }
 
 func cmpF(a, b float64) int {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"os"
@@ -9,6 +10,7 @@ import (
 	"slices"
 	"testing"
 
+	"sdssort/internal/checkpoint"
 	"sdssort/internal/codec"
 	"sdssort/internal/recordio"
 	"sdssort/internal/workload"
@@ -95,5 +97,144 @@ func TestNodeBadFlags(t *testing.T) {
 	}
 	if err := run("-rank", "0", "-size", "0"); err == nil {
 		t.Fatal("zero size accepted")
+	}
+}
+
+// child starts one sdsnode child process and returns the command.
+func child(t *testing.T, args ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "SDSNODE_CLI_CHILD=1")
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return cmd
+}
+
+// exitOf waits for the child and returns its exit code.
+func exitOf(cmd *exec.Cmd) int {
+	err := cmd.Wait()
+	if err == nil {
+		return 0
+	}
+	var ee *exec.ExitError
+	if errors.As(err, &ee) {
+		return ee.ExitCode()
+	}
+	return -1
+}
+
+// TestExitCodeContract pins the supervisor-facing exit codes: usage
+// errors, local errors, deadline overruns and lost peers must each be
+// distinguishable without parsing log output.
+func TestExitCodeContract(t *testing.T) {
+	t.Run("usage", func(t *testing.T) {
+		cmd := child(t, "-rank", "5", "-size", "2")
+		if code := exitOf(cmd); code != 2 {
+			t.Fatalf("usage error exited %d, want 2", code)
+		}
+	})
+	t.Run("local-error", func(t *testing.T) {
+		// A single-rank world needs no peers, so the missing input file
+		// is the only failure — a local error.
+		cmd := child(t, "-rank", "0", "-size", "1",
+			"-registry", freePort(t),
+			"-in", filepath.Join(t.TempDir(), "does-not-exist.f64"))
+		if code := exitOf(cmd); code != 1 {
+			t.Fatalf("missing input exited %d, want 1", code)
+		}
+	})
+	t.Run("deadline", func(t *testing.T) {
+		// Rank 1 of 2 pointed at a registry nobody serves: bootstrap
+		// would block until -timeout, but the job deadline fires first.
+		cmd := child(t, "-rank", "1", "-size", "2",
+			"-registry", freePort(t),
+			"-timeout", "30s", "-job-deadline", "300ms")
+		if code := exitOf(cmd); code != 4 {
+			t.Fatalf("deadline overrun exited %d, want 4", code)
+		}
+	})
+	t.Run("peer-lost", func(t *testing.T) {
+		registry := freePort(t)
+		dir := t.TempDir()
+		in := filepath.Join(dir, "in.f64")
+		if err := recordio.WriteFile(in, codec.Float64{}, workload.Uniform(1, 2000)); err != nil {
+			t.Fatal(err)
+		}
+		// Rank 1 joins the world, then dies on a missing input file.
+		// Rank 0's retry budget must classify that as a lost peer.
+		r0 := child(t, "-rank", "0", "-size", "2", "-registry", registry,
+			"-in", in,
+			"-recv-timeout", "3s", "-retries", "3",
+			"-retry-base", "1ms", "-retry-max", "10ms", "-gap-timeout", "500ms")
+		r1 := child(t, "-rank", "1", "-size", "2", "-registry", registry,
+			"-in", filepath.Join(dir, "does-not-exist.f64"))
+		if code := exitOf(r1); code != 1 {
+			t.Fatalf("dying rank exited %d, want 1", code)
+		}
+		if code := exitOf(r0); code != 3 {
+			t.Fatalf("surviving rank exited %d, want 3", code)
+		}
+	})
+}
+
+// TestDistributedResume is the multi-process recovery story: a full
+// checkpointed run, then a relaunch at epoch 1 that must resume from
+// the final cut and reproduce the identical output.
+func TestDistributedResume(t *testing.T) {
+	const p = 2
+	dir := t.TempDir()
+	in := filepath.Join(dir, "shared.f64")
+	keys := workload.ZipfKeys(11, 6000, 1.4, workload.DefaultZipfUniverse)
+	if err := recordio.WriteFile(in, codec.Float64{}, keys); err != nil {
+		t.Fatal(err)
+	}
+	ckpt := filepath.Join(dir, "ckpt")
+
+	launch := func(epoch int, outPrefix string) []string {
+		t.Helper()
+		registry := freePort(t)
+		cmds := make([]*exec.Cmd, p)
+		outs := make([]string, p)
+		for r := 0; r < p; r++ {
+			outs[r] = filepath.Join(dir, fmt.Sprintf("%s-%d.f64", outPrefix, r))
+			cmds[r] = child(t,
+				"-rank", fmt.Sprint(r), "-size", fmt.Sprint(p),
+				"-registry", registry,
+				"-in", in, "-out", outs[r],
+				"-ckpt-dir", ckpt, "-epoch", fmt.Sprint(epoch))
+		}
+		for r, cmd := range cmds {
+			if code := exitOf(cmd); code != 0 {
+				t.Fatalf("epoch %d rank %d exited %d, want 0", epoch, r, code)
+			}
+		}
+		return outs
+	}
+
+	first := launch(0, "first")
+	resumed := launch(1, "resumed")
+	for r := 0; r < p; r++ {
+		a, err := recordio.ReadFile(first[r], codec.Float64{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := recordio.ReadFile(resumed[r], codec.Float64{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !slices.Equal(a, b) {
+			t.Fatalf("rank %d: resumed output differs from the original run", r)
+		}
+	}
+	// And the resumed run really did come from a checkpoint, not a
+	// re-sort: epoch 1 re-saved the cut under its own number.
+	store, err := checkpoint.NewStore(ckpt, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut, ok := store.LatestConsistent()
+	if !ok || cut.Epoch != 1 || cut.Phase != checkpoint.PhaseFinal {
+		t.Fatalf("after resume the latest cut is %+v ok=%v, want final@1", cut, ok)
 	}
 }

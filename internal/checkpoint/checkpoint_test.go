@@ -1,0 +1,210 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"slices"
+	"testing"
+
+	"sdssort/internal/cluster"
+	"sdssort/internal/codec"
+	"sdssort/internal/comm"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	cases := []Manifest{
+		{Epoch: 0, Phase: PhaseLocalSort, Rank: 0, Records: 0, RecordSize: 8, Checksum: 0xcbf29ce484222325},
+		{Epoch: 3, Phase: PhasePartition, Rank: 17, Records: 1 << 40, RecordSize: 16,
+			Checksum: 42, Merged: true, Leader: true, Bounds: []int64{0, 5, 5, 9}},
+		{Epoch: 1, Phase: PhaseFinal, Rank: 2, Records: 7, RecordSize: 8, Checksum: ^uint64(0), Leader: true},
+	}
+	for _, m := range cases {
+		got, err := DecodeManifest(m.Encode())
+		if err != nil {
+			t.Fatalf("decode %+v: %v", m, err)
+		}
+		if got.Epoch != m.Epoch || got.Phase != m.Phase || got.Rank != m.Rank ||
+			got.Records != m.Records || got.RecordSize != m.RecordSize ||
+			got.Checksum != m.Checksum || got.Merged != m.Merged || got.Leader != m.Leader ||
+			!slices.Equal(got.Bounds, m.Bounds) {
+			t.Fatalf("round trip: got %+v want %+v", got, m)
+		}
+	}
+}
+
+func TestManifestRejectsCorruption(t *testing.T) {
+	m := Manifest{Epoch: 2, Phase: PhasePartition, Rank: 3, Records: 10, RecordSize: 8,
+		Checksum: 99, Merged: true, Leader: true, Bounds: []int64{0, 10}}
+	good := m.Encode()
+
+	// Truncations at every length.
+	for n := 0; n < len(good); n++ {
+		if _, err := DecodeManifest(good[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+	// Trailing garbage.
+	if _, err := DecodeManifest(append(append([]byte(nil), good...), 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	// Every single-bit flip must be rejected (the self-checksum covers
+	// everything before it; flips inside the checksum mismatch it).
+	for i := range good {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), good...)
+			mut[i] ^= 1 << bit
+			if _, err := DecodeManifest(mut); err == nil {
+				t.Fatalf("bit flip at byte %d bit %d accepted", i, bit)
+			}
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s, err := NewStore(t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []float64{3.5, -1, 0, 9e100}
+	m := Manifest{Epoch: 1, Phase: PhaseLocalSort, Rank: 1, Leader: true}
+	if err := Save(s, m, codec.Float64{}, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, loaded, err := Load[float64](s, 1, PhaseLocalSort, 1, codec.Float64{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(loaded, recs) {
+		t.Fatalf("loaded %v want %v", loaded, recs)
+	}
+	if got.Records != 4 || got.RecordSize != 8 || !got.Leader {
+		t.Fatalf("manifest %+v", got)
+	}
+	if !s.Valid(1, PhaseLocalSort, 1) {
+		t.Fatal("valid checkpoint reported invalid")
+	}
+	if s.Valid(1, PhaseLocalSort, 0) {
+		t.Fatal("missing checkpoint reported valid")
+	}
+}
+
+func TestLoadRejectsTamperedData(t *testing.T) {
+	s, err := NewStore(t.TempDir(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(s, Manifest{Phase: PhaseFinal, Leader: true}, codec.Float64{}, []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	path := s.DataPath(0, PhaseFinal, 0)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[0] ^= 0xff
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load[float64](s, 0, PhaseFinal, 0, codec.Float64{}); err == nil {
+		t.Fatal("tampered data accepted")
+	}
+	if s.Valid(0, PhaseFinal, 0) {
+		t.Fatal("tampered data reported valid")
+	}
+}
+
+func TestLatestConsistentRequiresAllRanks(t *testing.T) {
+	s, err := NewStore(t.TempDir(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.LatestConsistent(); ok {
+		t.Fatal("empty store reported a cut")
+	}
+	save := func(epoch int, ph Phase, rank int) {
+		t.Helper()
+		m := Manifest{Epoch: epoch, Phase: ph, Rank: rank, Leader: true}
+		if err := Save(s, m, codec.Float64{}, []float64{float64(rank)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Epoch 0: localsort complete, partition missing rank 2.
+	for r := 0; r < 3; r++ {
+		save(0, PhaseLocalSort, r)
+	}
+	save(0, PhasePartition, 0)
+	save(0, PhasePartition, 1)
+	cut, ok := s.LatestConsistent()
+	if !ok || cut != (Cut{Epoch: 0, Phase: PhaseLocalSort}) {
+		t.Fatalf("cut %+v ok=%v, want localsort@0", cut, ok)
+	}
+	// Completing partition advances the cut.
+	save(0, PhasePartition, 2)
+	if cut, ok = s.LatestConsistent(); !ok || cut != (Cut{Epoch: 0, Phase: PhasePartition}) {
+		t.Fatalf("cut %+v ok=%v, want partition@0", cut, ok)
+	}
+	// A later epoch's complete phase supersedes, even an earlier phase.
+	for r := 0; r < 3; r++ {
+		save(2, PhaseLocalSort, r)
+	}
+	if cut, ok = s.LatestConsistent(); !ok || cut != (Cut{Epoch: 2, Phase: PhaseLocalSort}) {
+		t.Fatalf("cut %+v ok=%v, want localsort@2", cut, ok)
+	}
+	// Corrupting one rank's manifest drops that cut back out.
+	if err := os.WriteFile(s.ManifestPath(2, PhaseLocalSort, 1), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if cut, ok = s.LatestConsistent(); !ok || cut != (Cut{Epoch: 0, Phase: PhasePartition}) {
+		t.Fatalf("cut %+v ok=%v, want partition@0 after corruption", cut, ok)
+	}
+}
+
+func TestAgreeCutBroadcastsRankZeroView(t *testing.T) {
+	dir := t.TempDir()
+	topo := cluster.Topology{Nodes: 2, CoresPerNode: 2}
+	s, err := NewStore(dir, topo.Size())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < topo.Size(); r++ {
+		m := Manifest{Epoch: 5, Phase: PhasePartition, Rank: r, Leader: true}
+		if err := Save(s, m, codec.Float64{}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cuts, err := cluster.Gather(topo, cluster.Options{}, func(c *comm.Comm) (Cut, error) {
+		cut, ok, err := AgreeCut(c, s)
+		if err != nil {
+			return Cut{}, err
+		}
+		if !ok {
+			t.Error("no cut agreed")
+		}
+		return cut, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, cut := range cuts {
+		if cut != (Cut{Epoch: 5, Phase: PhasePartition}) {
+			t.Fatalf("rank %d agreed on %+v", r, cut)
+		}
+	}
+}
+
+func TestStorePaths(t *testing.T) {
+	s, err := NewStore(filepath.Join(t.TempDir(), "spill"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewStore(t.TempDir(), 0); err == nil {
+		t.Fatal("zero ranks accepted")
+	}
+	p := s.ManifestPath(7, PhaseFinal, 3)
+	if filepath.Base(p) != "final-r0003.ckpt" || filepath.Base(filepath.Dir(p)) != "e000007" {
+		t.Fatalf("manifest path %s", p)
+	}
+	if s.Ranks() != 4 {
+		t.Fatal("ranks")
+	}
+}

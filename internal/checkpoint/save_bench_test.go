@@ -1,0 +1,31 @@
+package checkpoint
+
+import (
+	"fmt"
+	"testing"
+
+	"sdssort/internal/codec"
+)
+
+func BenchmarkSave(b *testing.B) {
+	for _, n := range []int{1000, 20000, 150000, 600000} {
+		b.Run(fmt.Sprint(n), func(b *testing.B) {
+			s, err := NewStore(b.TempDir(), 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			recs := make([]float64, n)
+			for i := range recs {
+				recs[i] = float64(i)
+			}
+			b.SetBytes(int64(n) * 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m := Manifest{Epoch: i, Phase: PhaseLocalSort, Rank: 0}
+				if err := Save(s, m, codec.Float64{}, recs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -11,6 +11,8 @@ import (
 	"sync"
 
 	"sdssort/internal/comm"
+	"sdssort/internal/metrics"
+	"sdssort/internal/trace"
 )
 
 // Topology describes the simulated machine shape.
@@ -40,6 +42,17 @@ type Options struct {
 	// before the communicator is built — used to layer the simnet
 	// network-cost model under the algorithms.
 	WrapTransport func(comm.Transport) comm.Transport
+	// MaxRestarts bounds how many recovery epochs RunSupervised may
+	// start after the initial attempt. 0 means fail on the first loss
+	// (plain Run semantics).
+	MaxRestarts int
+	// Trace, when non-nil, receives supervisor events
+	// (supervisor.restart / supervisor.giveup / supervisor.done) at
+	// rank -1 alongside whatever the job itself emits.
+	Trace trace.Tracer
+	// Recovery, when non-nil, accumulates restart and lost-rank
+	// counters across the supervised run.
+	Recovery *metrics.RecoveryStats
 }
 
 // Run launches one goroutine per rank, each receiving the world
@@ -52,6 +65,24 @@ func Run(topo Topology, fn func(c *comm.Comm) error) error {
 
 // RunOpts is Run with launch options.
 func RunOpts(topo Topology, opts Options, fn func(c *comm.Comm) error) error {
+	return launch(topo, opts, "world", fn)
+}
+
+// PanicError is the typed rank failure a recovered panic becomes, so
+// supervisors can treat a crashed rank like a lost one (errors.As).
+type PanicError struct {
+	Rank  int
+	Value any
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("rank %d: panic: %v", e.Rank, e.Value)
+}
+
+// launch builds a fresh fabric named name, runs one goroutine per rank
+// and joins their errors. Each supervised epoch gets its own launch —
+// fabric, transports and communicator are never reused across epochs.
+func launch(topo Topology, opts Options, name string, fn func(c *comm.Comm) error) error {
 	if err := topo.Validate(); err != nil {
 		return err
 	}
@@ -74,7 +105,7 @@ func RunOpts(topo Topology, opts Options, fn func(c *comm.Comm) error) error {
 			// way an MPI job launcher reports a crashed rank.
 			defer func() {
 				if p := recover(); p != nil {
-					errs[rank] = fmt.Errorf("rank %d: panic: %v", rank, p)
+					errs[rank] = &PanicError{Rank: rank, Value: p}
 					once.Do(func() { world.Close() })
 				}
 			}()
@@ -82,7 +113,7 @@ func RunOpts(topo Topology, opts Options, fn func(c *comm.Comm) error) error {
 			if opts.WrapTransport != nil {
 				tr = opts.WrapTransport(tr)
 			}
-			c := comm.New(tr)
+			c := comm.NewNamed(tr, name)
 			if err := fn(c); err != nil {
 				errs[rank] = fmt.Errorf("rank %d: %w", rank, err)
 				// Tear the fabric down so ranks blocked in
@@ -101,6 +132,87 @@ func RunOpts(topo Topology, opts Options, fn func(c *comm.Comm) error) error {
 		}
 	}
 	return errors.Join(nonNil...)
+}
+
+// Epoch identifies one supervised attempt. N is 0 for the initial run
+// and increments on every restart; the job function typically feeds it
+// to the checkpoint layer so each attempt snapshots under its own
+// epoch number.
+type Epoch struct {
+	N int
+}
+
+// Recoverable reports whether err is worth a restart: at least one
+// member of the (possibly joined) error is a lost peer or a rank
+// panic. Deterministic failures — bad input, a codec mismatch, a local
+// I/O error — are not recoverable; restarting would repeat them.
+func Recoverable(err error) bool {
+	for _, e := range flatten(err) {
+		if _, ok := comm.PeerLost(e); ok {
+			return true
+		}
+		var pe *PanicError
+		if errors.As(e, &pe) {
+			return true
+		}
+	}
+	return false
+}
+
+// RunSupervised launches fn like RunOpts and, when the attempt dies of
+// a recoverable failure (comm.ErrPeerLost or a rank panic), tears the
+// fabric down and relaunches a fresh world at the next recovery epoch,
+// up to opts.MaxRestarts restarts. Each epoch's world has a distinct
+// communicator name ("world", "world@e1", ...), so frames from a dead
+// epoch can never be delivered into a live one.
+//
+// fn is re-invoked from the top each epoch; resuming mid-sort instead
+// of recomputing is the job's business (core.Options.Checkpoint). When
+// the budget is exhausted the last error is returned wrapped in a
+// budget message — still matching comm.PeerLost / errors.As — and a
+// non-recoverable error is returned as-is immediately.
+func RunSupervised(topo Topology, opts Options, fn func(ep Epoch, c *comm.Comm) error) error {
+	tr := opts.Trace
+	if tr == nil {
+		tr = trace.Nop{}
+	}
+	for ep := 0; ; ep++ {
+		name := "world"
+		if ep > 0 {
+			name = fmt.Sprintf("world@e%d", ep)
+		}
+		err := launch(topo, opts, name, func(c *comm.Comm) error {
+			return fn(Epoch{N: ep}, c)
+		})
+		if err == nil {
+			if ep > 0 {
+				tr.Emit(-1, "supervisor.done", map[string]any{"epochs": ep + 1})
+			}
+			return nil
+		}
+		if !Recoverable(err) {
+			return err
+		}
+		for _, e := range flatten(err) {
+			if _, ok := comm.PeerLost(e); ok {
+				opts.Recovery.PeerLost()
+			}
+			var pe *PanicError
+			if errors.As(e, &pe) {
+				opts.Recovery.RankPanic()
+			}
+		}
+		if ep >= opts.MaxRestarts {
+			tr.Emit(-1, "supervisor.giveup", map[string]any{
+				"epoch": ep, "max_restarts": opts.MaxRestarts, "error": err.Error(),
+			})
+			return fmt.Errorf("cluster: restart budget %d exhausted: %w", opts.MaxRestarts, err)
+		}
+		opts.Recovery.Restart()
+		tr.Emit(-1, "supervisor.restart", map[string]any{
+			"epoch": ep + 1, "error": err.Error(),
+		})
+	}
 }
 
 // Report renders the joined error from Run/RunOpts as a per-rank

@@ -3,12 +3,15 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"sdssort/internal/comm"
+	"sdssort/internal/metrics"
+	"sdssort/internal/trace"
 )
 
 func TestRunAllRanksExecute(t *testing.T) {
@@ -189,5 +192,138 @@ func TestReportNilAndPlainErrors(t *testing.T) {
 	plain := errors.New("rank 3: something else")
 	if got := Report(plain); !strings.Contains(got, "something else") {
 		t.Fatalf("plain report: %q", got)
+	}
+}
+
+func TestRunSupervisedRecoversPanicWithOneRestart(t *testing.T) {
+	topo := Topology{Nodes: 2, CoresPerNode: 2}
+	rec := trace.NewRecorder()
+	var stats metrics.RecoveryStats
+	var attempts atomic.Int32
+	err := RunSupervised(topo, Options{MaxRestarts: 2, Trace: rec, Recovery: &stats},
+		func(ep Epoch, c *comm.Comm) error {
+			if c.Rank() == 0 {
+				attempts.Add(1)
+			}
+			if ep.N == 0 && c.Rank() == 1 {
+				panic("injected crash")
+			}
+			return c.Barrier()
+		})
+	if err != nil {
+		t.Fatalf("supervised run did not recover: %v", err)
+	}
+	if got := attempts.Load(); got != 2 {
+		t.Fatalf("ran %d epochs, want 2", got)
+	}
+	snap := stats.Snapshot()
+	if snap.Restarts != 1 || snap.RankPanics != 1 {
+		t.Fatalf("recovery stats %+v", snap)
+	}
+	var kinds []string
+	for _, e := range rec.Events() {
+		kinds = append(kinds, e.Kind)
+	}
+	want := []string{"supervisor.restart", "supervisor.done"}
+	if fmt.Sprint(kinds) != fmt.Sprint(want) {
+		t.Fatalf("trace kinds %v, want %v", kinds, want)
+	}
+}
+
+func TestRunSupervisedDoesNotRetryDeterministicErrors(t *testing.T) {
+	topo := Topology{Nodes: 1, CoresPerNode: 2}
+	sentinel := errors.New("bad input file")
+	var attempts atomic.Int32
+	var stats metrics.RecoveryStats
+	err := RunSupervised(topo, Options{MaxRestarts: 5, Recovery: &stats},
+		func(ep Epoch, c *comm.Comm) error {
+			if c.Rank() == 0 {
+				attempts.Add(1)
+			}
+			return sentinel
+		})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got %v", err)
+	}
+	if strings.Contains(err.Error(), "restart budget") {
+		t.Fatalf("deterministic error charged to the restart budget: %v", err)
+	}
+	if attempts.Load() != 1 {
+		t.Fatalf("deterministic failure retried %d times", attempts.Load())
+	}
+	if stats.Snapshot().Restarts != 0 {
+		t.Fatal("restart counted for a non-recoverable failure")
+	}
+}
+
+func TestRunSupervisedBudgetExhaustedStaysTyped(t *testing.T) {
+	topo := Topology{Nodes: 2, CoresPerNode: 1}
+	policy := comm.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond}
+	var stats metrics.RecoveryStats
+	err := RunSupervised(topo, Options{
+		MaxRestarts: 1,
+		Recovery:    &stats,
+		WrapTransport: func(tr comm.Transport) comm.Transport {
+			// Rank 1's sends fail in every epoch: the restart budget
+			// cannot save this job.
+			return comm.WithRetry(&faultySend{Transport: tr, fail: tr.Rank() == 1}, policy)
+		},
+	}, func(ep Epoch, c *comm.Comm) error { return c.Barrier() })
+	if err == nil {
+		t.Fatal("run succeeded with a permanently dead rank")
+	}
+	if !strings.Contains(err.Error(), "restart budget 1 exhausted") {
+		t.Fatalf("missing budget context: %v", err)
+	}
+	if _, ok := comm.PeerLost(err); !ok {
+		t.Fatalf("budget-exhausted error no longer matches comm.ErrPeerLost: %v", err)
+	}
+	snap := stats.Snapshot()
+	if snap.Restarts != 1 || snap.PeersLost == 0 {
+		t.Fatalf("recovery stats %+v", snap)
+	}
+}
+
+// TestFaultPeerLostUnblocksAllRanksNoLeak asserts the teardown contract
+// behind supervised restarts: when ErrPeerLost fires inside a
+// collective, every rank's goroutine must exit — a supervisor that
+// relaunches epochs over leaked goroutines would accumulate them
+// without bound.
+func TestFaultPeerLostUnblocksAllRanksNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	topo := Topology{Nodes: 2, CoresPerNode: 4}
+	policy := comm.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond}
+	opts := Options{
+		WrapTransport: func(tr comm.Transport) comm.Transport {
+			return comm.WithRetry(&faultySend{Transport: tr, fail: tr.Rank() == 3}, policy)
+		},
+	}
+	for i := 0; i < 5; i++ {
+		err := RunOpts(topo, opts, func(c *comm.Comm) error {
+			// Alltoall keeps every rank in flight when rank 3 dies.
+			_, err := c.Alltoall(make([][]byte, c.Size()))
+			return err
+		})
+		if err == nil {
+			t.Fatal("alltoall succeeded with rank 3's sends failing")
+		}
+		if _, ok := comm.PeerLost(err); !ok {
+			t.Fatalf("want comm.ErrPeerLost, got: %v", err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		after := runtime.NumGoroutine()
+		// A couple of runtime-internal goroutines (GC workers, timer
+		// scavenger) may come and go; rank goroutines would leak 8 per
+		// iteration, far above this slack.
+		if after <= before+3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked across Run: %d before, %d after 5 faulted launches", before, after)
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
 }

@@ -1,6 +1,7 @@
 package codec
 
 import (
+	"bytes"
 	"math"
 	"math/rand"
 	"testing"
@@ -186,5 +187,40 @@ func BenchmarkEncodeDecodePTF(b *testing.B) {
 		if _, err := DecodeSlice(PTFCodec{}, buf); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestBulkAppendMatchesGenericPath pins the BulkAppender fast path to
+// the byte-exact output of the per-record Marshal loop, including the
+// append-to-existing-prefix contract.
+func TestBulkAppendMatchesGenericPath(t *testing.T) {
+	generic := func(c Codec[float64], dst []byte, recs []float64) []byte {
+		sz := c.Size()
+		off := len(dst)
+		dst = append(dst, make([]byte, sz*len(recs))...)
+		for _, r := range recs {
+			c.Marshal(dst[off:off+sz], r)
+			off += sz
+		}
+		return dst
+	}
+	recs := []float64{0, 1.5, -2.25, math.Inf(1), math.Pi}
+	prefix := []byte{0xde, 0xad}
+	want := generic(Float64{}, append([]byte(nil), prefix...), recs)
+	got := EncodeSlice(Float64{}, append([]byte(nil), prefix...), recs)
+	if !bytes.Equal(want, got) {
+		t.Fatalf("Float64 fast path diverges:\nwant %x\ngot  %x", want, got)
+	}
+
+	tagged := []Tagged{{Key: 1.5, Rank: 3, Index: -7}, {Key: -9, Rank: 0, Index: 1 << 30}}
+	wantT := make([]byte, 0)
+	for _, r := range tagged {
+		buf := make([]byte, 16)
+		TaggedCodec{}.Marshal(buf, r)
+		wantT = append(wantT, buf...)
+	}
+	gotT := EncodeSlice(TaggedCodec{}, nil, tagged)
+	if !bytes.Equal(wantT, gotT) {
+		t.Fatalf("Tagged fast path diverges:\nwant %x\ngot  %x", wantT, gotT)
 	}
 }

@@ -83,11 +83,21 @@ type Comm struct {
 // New wraps a transport as the world communicator. Every rank of the
 // world must call New on its own transport instance.
 func New(tr Transport) *Comm {
+	return NewNamed(tr, "world")
+}
+
+// NewNamed is New with an explicit communicator name. The name seeds
+// the context hash that tags every frame, so two worlds with different
+// names never exchange frames even over a shared fabric — recovery
+// epochs use this ("world@e1", "world@e2", ...) to make any straggling
+// frame from a torn-down epoch undeliverable in the next one. All
+// ranks of a world must of course agree on the name.
+func NewNamed(tr Transport, name string) *Comm {
 	group := make([]int, tr.Size())
 	for i := range group {
 		group[i] = i
 	}
-	c := &Comm{tr: tr, group: group, rank: tr.Rank(), name: "world", ctx: ctxOf("world")}
+	c := &Comm{tr: tr, group: group, rank: tr.Rank(), name: name, ctx: ctxOf(name)}
 	c.cond = sync.NewCond(&c.mu)
 	return c
 }

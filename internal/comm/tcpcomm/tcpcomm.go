@@ -60,6 +60,14 @@ type Config struct {
 	// Node is the physical-node id used for node-aware splitting;
 	// ranks sharing a machine should share a Node value.
 	Node int
+	// Epoch is the recovery epoch this endpoint participates in. The
+	// coordinator (rank 0) is authoritative: it announces its epoch in
+	// the registration broadcast and every worker adopts it, so a
+	// worker respawned by a supervisor only needs the registry address
+	// to rejoin at the right epoch. Connections whose hello carries a
+	// different epoch are dropped on accept — frames from a torn-down
+	// epoch can never reach a live one.
+	Epoch int
 	// Registry is the host:port the registry listens on. Rank 0 binds
 	// it; everyone else dials it.
 	Registry string
@@ -113,9 +121,10 @@ func (c Config) gapTimeout() time.Duration {
 }
 
 type peerInfo struct {
-	Rank int    `json:"rank"`
-	Addr string `json:"addr"`
-	Node int    `json:"node"`
+	Rank  int    `json:"rank"`
+	Addr  string `json:"addr"`
+	Node  int    `json:"node"`
+	Epoch int    `json:"epoch"`
 }
 
 // Transport implements comm.Transport over TCP.
@@ -124,6 +133,7 @@ type Transport struct {
 	retry *comm.Retrier
 	ln    net.Listener
 	peers []peerInfo // indexed by rank
+	epoch int        // effective epoch: the coordinator's, not necessarily cfg.Epoch
 	box   *mailbox
 
 	connMu sync.Mutex
@@ -191,6 +201,9 @@ func New(cfg Config) (*Transport, error) {
 		return nil, err
 	}
 	t.peers = peers
+	// Adopt the coordinator's recovery epoch: a respawned worker joins
+	// whatever epoch rank 0 announced, regardless of its own cfg.
+	t.epoch = peers[0].Epoch
 	t.wg.Add(1)
 	go t.acceptLoop()
 	return t, nil
@@ -199,7 +212,7 @@ func New(cfg Config) (*Transport, error) {
 // register runs the bootstrap: rank 0 serves the registry, everyone
 // announces itself and receives the address map.
 func (t *Transport) register() ([]peerInfo, error) {
-	self := peerInfo{Rank: t.cfg.Rank, Addr: t.ln.Addr().String(), Node: t.cfg.Node}
+	self := peerInfo{Rank: t.cfg.Rank, Addr: t.ln.Addr().String(), Node: t.cfg.Node, Epoch: t.cfg.Epoch}
 	if t.cfg.Rank == 0 {
 		return t.serveRegistry(self)
 	}
@@ -302,6 +315,11 @@ func (t *Transport) Node() int { return t.cfg.Node }
 
 // NodeOf implements comm.Transport.
 func (t *Transport) NodeOf(r int) int { return t.peers[r].Node }
+
+// Epoch returns the recovery epoch this transport runs in — the one
+// the coordinator announced at registration, which may differ from the
+// worker's own Config.Epoch after a supervised restart.
+func (t *Transport) Epoch() int { return t.epoch }
 
 // frame layout: src int32 | ctx uint64 | tag int32 | len uint32 |
 // seq uint64 | body. seq increases per (src, dst) pair and survives
@@ -411,9 +429,11 @@ func (t *Transport) ensureConn(sc *sendConn, dst int) error {
 	if tc, ok := c.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
-	// Identify ourselves so the acceptor can label the stream.
-	var hello [4]byte
+	// Identify ourselves — rank and epoch — so the acceptor can label
+	// the stream and reject connections from stale epochs.
+	var hello [8]byte
 	binary.LittleEndian.PutUint32(hello[:], uint32(t.cfg.Rank))
+	binary.LittleEndian.PutUint32(hello[4:], uint32(t.epoch))
 	c.SetWriteDeadline(time.Now().Add(t.cfg.sendTimeout()))
 	if _, err := c.Write(hello[:]); err != nil {
 		c.Close()
@@ -573,12 +593,19 @@ func (t *Transport) readLoop(conn net.Conn) {
 		t.acceptMu.Unlock()
 	}()
 	r := bufio.NewReaderSize(conn, 256<<10)
-	var hello [4]byte
+	var hello [8]byte
 	if _, err := io.ReadFull(r, hello[:]); err != nil {
 		return
 	}
 	src := int(binary.LittleEndian.Uint32(hello[:]))
 	if src < 0 || src >= t.cfg.Size {
+		return
+	}
+	if epoch := int(binary.LittleEndian.Uint32(hello[4:])); epoch != t.epoch {
+		// Stale-epoch connection: a sender from a torn-down epoch (or
+		// one that has already moved on) found our listener. Dropping
+		// the connection here drops every frame it would carry —
+		// recovery epochs never see each other's traffic.
 		return
 	}
 	for {

@@ -1,6 +1,7 @@
 package tcpcomm
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -394,4 +395,99 @@ func TestVerifyOverTCP(t *testing.T) {
 		data := []float64{float64(c.Rank() * 10), float64(c.Rank()*10 + 5)}
 		return core.Verify(c, data, codec.Float64{}, cmpF)
 	})
+}
+
+// TestEpochAdoptedFromCoordinator: the coordinator's epoch wins — a
+// worker configured with a stale epoch (a respawned process that only
+// knows the registry address) must come up in the coordinator's.
+func TestEpochAdoptedFromCoordinator(t *testing.T) {
+	registry := freePort(t)
+	var wg sync.WaitGroup
+	var t0, t1 *Transport
+	var e0, e1 error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		t0, e0 = New(Config{Rank: 0, Size: 2, Registry: registry, Epoch: 3})
+	}()
+	go func() {
+		defer wg.Done()
+		t1, e1 = New(Config{Rank: 1, Size: 2, Registry: registry, Epoch: 0})
+	}()
+	wg.Wait()
+	if e0 != nil || e1 != nil {
+		t.Fatal(e0, e1)
+	}
+	defer t0.Close()
+	defer t1.Close()
+	if t0.Epoch() != 3 || t1.Epoch() != 3 {
+		t.Fatalf("epochs %d/%d, want both 3", t0.Epoch(), t1.Epoch())
+	}
+	if err := t0.Send(1, 7, 1, []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	if buf, err := t1.Recv(0, 7, 1); err != nil || string(buf) != "hi" {
+		t.Fatalf("recv %q, %v", buf, err)
+	}
+}
+
+// TestEpochStaleConnectionDropped: a connection whose hello names a
+// different epoch is dropped on accept, so none of its frames can be
+// delivered — and, critically, cannot consume sequence numbers the
+// live epoch's stream needs.
+func TestEpochStaleConnectionDropped(t *testing.T) {
+	registry := freePort(t)
+	var wg sync.WaitGroup
+	var t0, t1 *Transport
+	var e0, e1 error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		t0, e0 = New(Config{Rank: 0, Size: 2, Registry: registry, Epoch: 2, RecvTimeout: 10 * time.Second})
+	}()
+	go func() {
+		defer wg.Done()
+		t1, e1 = New(Config{Rank: 1, Size: 2, Registry: registry, Epoch: 2, RecvTimeout: 10 * time.Second})
+	}()
+	wg.Wait()
+	if e0 != nil || e1 != nil {
+		t.Fatal(e0, e1)
+	}
+	defer t0.Close()
+	defer t1.Close()
+
+	// Hand-craft a connection from "rank 0 at epoch 1" carrying one
+	// frame with the sequence number the live stream will use first.
+	conn, err := net.Dial("tcp", t1.ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var hello [8]byte
+	binary.LittleEndian.PutUint32(hello[:], 0)  // rank 0
+	binary.LittleEndian.PutUint32(hello[4:], 1) // stale epoch
+	stale := []byte("old")
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:], 0) // src
+	binary.LittleEndian.PutUint64(hdr[4:], 9) // ctx
+	binary.LittleEndian.PutUint32(hdr[12:], 5)
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(len(stale)))
+	binary.LittleEndian.PutUint64(hdr[20:], 0) // seq 0
+	if _, err := conn.Write(append(append(hello[:], hdr[:]...), stale...)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Give the acceptor a moment, then send the real frame on the live
+	// epoch — it must be the one delivered, with its seq 0 intact.
+	time.Sleep(100 * time.Millisecond)
+	if err := t0.Send(1, 9, 5, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := t1.Recv(0, 9, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "new" {
+		t.Fatalf("delivered %q — a stale-epoch frame leaked through", buf)
+	}
 }

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"sdssort/internal/checkpoint"
+	"sdssort/internal/codec"
+	"sdssort/internal/metrics"
+	"sdssort/internal/trace"
+)
+
+// Checkpointing wires Sort to a checkpoint.Store: each rank snapshots
+// its data after the local-sort, partition and exchange phases, and a
+// re-run can resume from a previously committed cut instead of
+// recomputing. A nil Checkpointing (or nil Store) disables the whole
+// feature at zero cost.
+//
+// Snapshots commit asynchronously: at each phase boundary the records
+// are encoded in place (cheap — memory bandwidth) and the disk commit
+// runs on a background writer, off the sort's critical path. Each
+// pending save holds one encoded copy of its records until it lands.
+// Durability is therefore deferred: call Wait before treating the job
+// as checkpointed (cmd/sdsnode does, before its final barrier). A
+// crash before a commit simply leaves the previous cut as the newest
+// consistent one.
+type Checkpointing struct {
+	// Store receives the snapshots. All ranks of the job must point at
+	// the same directory (in-process: share the Store; distributed: a
+	// shared filesystem, as on the paper's Cray testbed).
+	Store *checkpoint.Store
+	// Epoch is the recovery epoch this attempt writes its snapshots
+	// under — cluster.RunSupervised passes its Epoch.N through here.
+	Epoch int
+	// Resume names the cut to restart from; the zero value (PhaseNone)
+	// means a cold start. Every rank must agree on the cut — use
+	// checkpoint.AgreeCut or Store.LatestConsistent before launching.
+	Resume checkpoint.Cut
+	// Recovery, when non-nil, accrues the wasted-work counter: records
+	// re-sorted from scratch because no resumable cut survived.
+	Recovery *metrics.RecoveryStats
+
+	mu       sync.Mutex
+	queue    []func() error
+	draining bool
+	wg       sync.WaitGroup
+	err      error // first async commit failure
+}
+
+func (ck *Checkpointing) enabled() bool { return ck != nil && ck.Store != nil }
+
+// enqueue hands one disk commit to the background writer. Commits run
+// strictly in enqueue order — aliased snapshots (hard links to an
+// earlier phase's data) depend on their source having committed first
+// — and one at a time, so a shared Checkpointing never competes with
+// itself for disk bandwidth.
+func (ck *Checkpointing) enqueue(commit func() error) {
+	ck.mu.Lock()
+	ck.queue = append(ck.queue, commit)
+	if !ck.draining {
+		ck.draining = true
+		ck.wg.Add(1)
+		go ck.drain()
+	}
+	ck.mu.Unlock()
+}
+
+// drain is the background writer: it empties the queue and exits, so
+// an idle Checkpointing holds no goroutine.
+func (ck *Checkpointing) drain() {
+	defer ck.wg.Done()
+	for {
+		ck.mu.Lock()
+		if len(ck.queue) == 0 {
+			ck.draining = false
+			ck.mu.Unlock()
+			return
+		}
+		commit := ck.queue[0]
+		ck.queue = ck.queue[1:]
+		ck.mu.Unlock()
+		if err := commit(); err != nil {
+			ck.mu.Lock()
+			if ck.err == nil {
+				ck.err = err
+			}
+			ck.mu.Unlock()
+		}
+	}
+}
+
+// Wait blocks until every enqueued snapshot has committed (or failed)
+// and returns the first commit error. Call it after the job's Sorts
+// have returned and before relying on the checkpoints — a launcher
+// typically calls it between the sort and its final barrier. Safe to
+// call from multiple goroutines and on a Checkpointing that never
+// saved anything.
+func (ck *Checkpointing) Wait() error {
+	if ck == nil {
+		return nil
+	}
+	ck.wg.Wait()
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	return ck.err
+}
+
+// resumeAt reports whether the configured cut covers phase ph — the
+// phase's results are on disk and must be loaded, not recomputed.
+func (ck *Checkpointing) resumeAt(ph checkpoint.Phase) bool {
+	return ck.enabled() && ck.Resume.Phase >= ph
+}
+
+// saveCkpt snapshots one phase boundary under the current epoch: the
+// records are encoded here (so later phases may mutate or release the
+// slice) and the disk commit is enqueued on the background writer —
+// failures surface from Wait, not from the phase that snapshotted. It
+// is a no-op when checkpointing is off, so the driver calls it
+// unconditionally at every boundary.
+func saveCkpt[T any](ck *Checkpointing, tr trace.Tracer, rank int, ph checkpoint.Phase, merged, leader bool, bounds []int64, cd codec.Codec[T], recs []T) error {
+	if !ck.enabled() {
+		return nil
+	}
+	m := checkpoint.Manifest{
+		Epoch: ck.Epoch, Phase: ph, Rank: rank,
+		Merged: merged, Leader: leader, Bounds: bounds,
+	}
+	payload := codec.EncodeSlice(cd, make([]byte, 0, len(recs)*cd.Size()), recs)
+	n, size := int64(len(recs)), cd.Size()
+	store := ck.Store
+	ck.enqueue(func() error {
+		if err := checkpoint.SaveBytes(store, m, payload, n, size); err != nil {
+			return fmt.Errorf("core: checkpoint at %s: %w", ph, err)
+		}
+		return nil
+	})
+	tr.Emit(rank, "ckpt.save", map[string]any{
+		"phase": ph.String(), "epoch": ck.Epoch, "records": len(recs),
+	})
+	return nil
+}
+
+// aliasCkpt snapshots a phase whose record data is byte-identical to
+// an earlier phase committed this epoch — no re-encode, no rewrite;
+// the background writer hard-links the data (FIFO order makes the
+// source safe to reference).
+func aliasCkpt(ck *Checkpointing, tr trace.Tracer, rank int, ph, src checkpoint.Phase, merged, leader bool, bounds []int64) {
+	if !ck.enabled() {
+		return
+	}
+	m := checkpoint.Manifest{
+		Epoch: ck.Epoch, Phase: ph, Rank: rank,
+		Merged: merged, Leader: leader, Bounds: bounds,
+	}
+	store := ck.Store
+	ck.enqueue(func() error {
+		if err := checkpoint.SaveAlias(store, m, src); err != nil {
+			return fmt.Errorf("core: checkpoint at %s: %w", ph, err)
+		}
+		return nil
+	})
+	tr.Emit(rank, "ckpt.save", map[string]any{
+		"phase": ph.String(), "epoch": ck.Epoch, "alias": src.String(),
+	})
+}
+
+// loadCkpt loads this rank's snapshot of phase ph from the resume cut's
+// epoch, verifying count and checksum.
+func loadCkpt[T any](ck *Checkpointing, tr trace.Tracer, rank int, ph checkpoint.Phase, cd codec.Codec[T]) (*checkpoint.Manifest, []T, error) {
+	m, recs, err := checkpoint.Load[T](ck.Store, ck.Resume.Epoch, ph, rank, cd)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: resume from %s@e%d: %w", ph, ck.Resume.Epoch, err)
+	}
+	tr.Emit(rank, "ckpt.resume", map[string]any{
+		"phase": ph.String(), "from_epoch": ck.Resume.Epoch,
+		"epoch": ck.Epoch, "records": len(recs),
+	})
+	return m, recs, nil
+}
+
+// dropOut commits the empty snapshots a merged-away follower leaves
+// behind. Without them the follower would hold no checkpoint for the
+// partition and final phases and no later cut could ever become
+// globally consistent.
+func dropOut[T any](ck *Checkpointing, tr trace.Tracer, rank int, cd codec.Codec[T]) error {
+	if err := saveCkpt(ck, tr, rank, checkpoint.PhasePartition, true, false, nil, cd, []T{}); err != nil {
+		return err
+	}
+	return saveCkpt(ck, tr, rank, checkpoint.PhaseFinal, true, false, nil, cd, []T{})
+}

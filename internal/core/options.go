@@ -84,6 +84,12 @@ type Options struct {
 	// decisions taken, exchange volumes, partition summaries.
 	Trace trace.Tracer
 
+	// Checkpoint, when non-nil with a Store, snapshots each rank's data
+	// at the phase boundaries (local sort, partition, exchange) and can
+	// resume from a previously committed cut; see Checkpointing and
+	// internal/checkpoint. Nil disables checkpointing entirely.
+	Checkpoint *Checkpointing
+
 	// DisableSkewAware replaces the skew-aware partition with the
 	// classical plain upper-bound partition (every record equal to a
 	// pivot goes below it). Output remains correct but duplicates

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"sdssort/internal/checkpoint"
 	"sdssort/internal/codec"
 	"sdssort/internal/comm"
 	"sdssort/internal/metrics"
@@ -43,71 +44,197 @@ func Sort[T any](c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int
 	}
 
 	tr := opt.tracer()
-	tr.Emit(c.Rank(), "sort.start", map[string]any{
+	ck := opt.Checkpoint
+	rank := c.Rank()
+	tr.Emit(rank, "sort.start", map[string]any{
 		"records": len(data), "stable": opt.Stable, "p": c.Size(),
 	})
 
-	// Initial local ordering (Fig. 1 line 2): sorted local data makes
-	// regular sampling representative and feeds the τm merge.
-	tm.Start(metrics.PhasePivotSelection)
-	psort.AdaptiveSort(data, opt.cores(), opt.Stable, opt.RunThreshold, cmp)
+	// Resuming past the exchange: this rank's block of the output is
+	// already on disk, nothing to compute. The snapshot is re-committed
+	// under the current epoch so every epoch is self-contained for any
+	// later resume.
+	if ck.resumeAt(checkpoint.PhaseFinal) {
+		m, out, err := loadCkpt(ck, tr, rank, checkpoint.PhaseFinal, cd)
+		if err != nil {
+			return nil, err
+		}
+		if err := saveCkpt(ck, tr, rank, checkpoint.PhaseFinal, m.Merged, m.Leader, nil, cd, out); err != nil {
+			return nil, err
+		}
+		tr.Emit(rank, "sort.done", map[string]any{"records": len(out)})
+		return out, nil
+	}
 
-	// Node-level merging (lines 3-7).
-	work, wc, isLeader, err := nodeMerge(c, data, cd, cmp, recSize, opt, tm)
-	if err != nil {
-		return nil, err
-	}
-	if !isLeader {
-		// Our records were merged onto the node leader; we hold no
-		// output and take no further part.
-		tr.Emit(c.Rank(), "nodemerge.follower", nil)
-		return []T{}, nil
-	}
-	if len(work) != len(data) || wc != c {
-		tr.Emit(c.Rank(), "nodemerge.leader", map[string]any{
-			"merged_records": len(work), "leaders": wc.Size(),
-		})
+	var (
+		work   []T
+		wc     *comm.Comm
+		merged bool
+		bounds []int
+	)
+	if ck.resumeAt(checkpoint.PhasePartition) {
+		// The partition snapshot holds the (possibly node-merged)
+		// working set and the send boundaries: skip local sort, merge,
+		// pivot selection and partition entirely.
+		m, loaded, err := loadCkpt(ck, tr, rank, checkpoint.PhasePartition, cd)
+		if err != nil {
+			return nil, err
+		}
+		if m.Merged {
+			// Replay the communicator rewrite the τm merge performed.
+			// SplitByNode is communication-free and every rank takes
+			// this branch (Merged is global), so the split sequence
+			// stays aligned across the job.
+			_, leaders, err := c.SplitByNode()
+			if err != nil {
+				return nil, fmt.Errorf("core: resume node split: %w", err)
+			}
+			if !m.Leader {
+				if err := dropOut(ck, tr, rank, cd); err != nil {
+					return nil, err
+				}
+				tr.Emit(rank, "nodemerge.follower", nil)
+				return []T{}, nil
+			}
+			wc = leaders
+		} else {
+			wc = c
+		}
+		merged = m.Merged
+		work = loaded
+		if extra := (int64(len(work)) - int64(len(data))) * recSize; extra > 0 {
+			if err := opt.Mem.Reserve(extra); err != nil {
+				return nil, fmt.Errorf("core: resume buffer: %w", err)
+			}
+		}
+		if len(m.Bounds) != wc.Size()+1 {
+			return nil, fmt.Errorf("core: resume: %d bounds for %d processes", len(m.Bounds), wc.Size())
+		}
+		bounds = make([]int, len(m.Bounds))
+		for i, b := range m.Bounds {
+			bounds[i] = int(b)
+		}
+		if err := partition.Validate(bounds, len(work)); err != nil {
+			return nil, fmt.Errorf("core: resume partition: %w", err)
+		}
+		if err := saveCkpt(ck, tr, rank, checkpoint.PhasePartition, merged, true, m.Bounds, cd, work); err != nil {
+			return nil, err
+		}
+	} else {
+		// Initial local ordering (Fig. 1 line 2): sorted local data
+		// makes regular sampling representative and feeds the τm merge.
+		tm.Start(metrics.PhasePivotSelection)
+		if ck.resumeAt(checkpoint.PhaseLocalSort) {
+			_, loaded, err := loadCkpt(ck, tr, rank, checkpoint.PhaseLocalSort, cd)
+			if err != nil {
+				return nil, err
+			}
+			data = loaded
+		} else {
+			if ck.enabled() && ck.Epoch > 0 {
+				// Restarted with nothing resumable: everything the
+				// failed epochs computed is being redone.
+				ck.Recovery.Wasted(int64(len(data)))
+			}
+			psort.AdaptiveSort(data, opt.cores(), opt.Stable, opt.RunThreshold, cmp)
+		}
+		if err := saveCkpt(ck, tr, rank, checkpoint.PhaseLocalSort, false, true, nil, cd, data); err != nil {
+			return nil, err
+		}
+
+		// Node-level merging (lines 3-7).
+		var isLeader bool
+		var err error
+		work, wc, isLeader, err = nodeMerge(c, data, cd, cmp, recSize, opt, tm)
+		if err != nil {
+			return nil, err
+		}
+		if !isLeader {
+			// Our records were merged onto the node leader; we hold no
+			// output and take no further part.
+			if err := dropOut(ck, tr, rank, cd); err != nil {
+				return nil, err
+			}
+			tr.Emit(rank, "nodemerge.follower", nil)
+			return []T{}, nil
+		}
+		merged = wc != c
+		if len(work) != len(data) || merged {
+			tr.Emit(rank, "nodemerge.leader", map[string]any{
+				"merged_records": len(work), "leaders": wc.Size(),
+			})
+		}
+		p := wc.Size()
+		if p == 1 {
+			if merged {
+				if err := saveCkpt(ck, tr, rank, checkpoint.PhaseFinal, merged, true, nil, cd, work); err != nil {
+					return nil, err
+				}
+			} else {
+				aliasCkpt(ck, tr, rank, checkpoint.PhaseFinal, checkpoint.PhaseLocalSort, merged, true, nil)
+			}
+			return work, nil
+		}
+
+		// Sampling and global pivot selection (lines 8-9).
+		tm.Start(metrics.PhasePivotSelection)
+		var pg []T
+		switch opt.Pivots {
+		case PivotHistogram:
+			pg, err = pivots.HistogramSplitters(wc, work, p-1, 3, cd, cmp)
+		default:
+			pl := pivots.RegularSample(work, p)
+			pg, err = pivots.SelectGlobal(wc, pl, cd, cmp)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: pivot selection: %w", err)
+		}
+		if len(pg) == 0 {
+			// The whole dataset is empty: nothing to exchange.
+			if merged {
+				if err := saveCkpt(ck, tr, rank, checkpoint.PhaseFinal, merged, true, nil, cd, work); err != nil {
+					return nil, err
+				}
+			} else {
+				aliasCkpt(ck, tr, rank, checkpoint.PhaseFinal, checkpoint.PhaseLocalSort, merged, true, nil)
+			}
+			return work, nil
+		}
+		if len(pg) != p-1 {
+			return nil, fmt.Errorf("core: selected %d global pivots for %d processes", len(pg), p)
+		}
+		if dupRuns := partition.Runs(pg, cmp); len(dupRuns) > 0 {
+			total := 0
+			for _, r := range dupRuns {
+				total += r.Len
+			}
+			tr.Emit(rank, "pivots.duplicated", map[string]any{
+				"runs": len(dupRuns), "duplicated_pivots": total, "pivots": len(pg),
+			})
+		}
+
+		// Skew-aware partition (line 10), accelerated by the local
+		// pivots.
+		bounds, err = partitionData(wc, work, pg, cmp, opt)
+		if err != nil {
+			return nil, fmt.Errorf("core: partition: %w", err)
+		}
+		b64 := make([]int64, len(bounds))
+		for i, b := range bounds {
+			b64[i] = int64(b)
+		}
+		if merged {
+			if err := saveCkpt(ck, tr, rank, checkpoint.PhasePartition, merged, true, b64, cd, work); err != nil {
+				return nil, err
+			}
+		} else {
+			// Without node merging the working set IS the local-sort
+			// snapshot; only the bounds are new. Alias it instead of
+			// writing the data a second time.
+			aliasCkpt(ck, tr, rank, checkpoint.PhasePartition, checkpoint.PhaseLocalSort, merged, true, b64)
+		}
 	}
 	p := wc.Size()
-	if p == 1 {
-		return work, nil
-	}
-
-	// Sampling and global pivot selection (lines 8-9).
-	tm.Start(metrics.PhasePivotSelection)
-	var pg []T
-	switch opt.Pivots {
-	case PivotHistogram:
-		pg, err = pivots.HistogramSplitters(wc, work, p-1, 3, cd, cmp)
-	default:
-		pl := pivots.RegularSample(work, p)
-		pg, err = pivots.SelectGlobal(wc, pl, cd, cmp)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("core: pivot selection: %w", err)
-	}
-	if len(pg) == 0 {
-		// The whole dataset is empty: nothing to exchange.
-		return work, nil
-	}
-	if len(pg) != p-1 {
-		return nil, fmt.Errorf("core: selected %d global pivots for %d processes", len(pg), p)
-	}
-	if dupRuns := partition.Runs(pg, cmp); len(dupRuns) > 0 {
-		total := 0
-		for _, r := range dupRuns {
-			total += r.Len
-		}
-		tr.Emit(c.Rank(), "pivots.duplicated", map[string]any{
-			"runs": len(dupRuns), "duplicated_pivots": total, "pivots": len(pg),
-		})
-	}
-
-	// Skew-aware partition (line 10), accelerated by the local pivots.
-	bounds, err := partitionData(wc, work, pg, cmp, opt)
-	if err != nil {
-		return nil, fmt.Errorf("core: partition: %w", err)
-	}
 
 	// Exchange the send counts (lines 11-13) and budget the receive
 	// buffer (line 14) — this is where a collapsed partition dies of
@@ -122,7 +249,7 @@ func Sort[T any](c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int
 	for _, rc := range rcounts {
 		m += rc
 	}
-	tr.Emit(c.Rank(), "exchange.plan", map[string]any{
+	tr.Emit(rank, "exchange.plan", map[string]any{
 		"send_records": len(work), "recv_records": m,
 		"overlap": !opt.Stable && p <= opt.TauO,
 	})
@@ -140,7 +267,10 @@ func Sort[T any](c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int
 	if err != nil {
 		return nil, err
 	}
-	tr.Emit(c.Rank(), "sort.done", map[string]any{"records": len(out)})
+	if err := saveCkpt(ck, tr, rank, checkpoint.PhaseFinal, merged, true, nil, cd, out); err != nil {
+		return nil, err
+	}
+	tr.Emit(rank, "sort.done", map[string]any{"records": len(out)})
 	return out, nil
 }
 

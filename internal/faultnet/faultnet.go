@@ -33,8 +33,10 @@ package faultnet
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math/rand/v2"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -76,6 +78,22 @@ type Plan struct {
 	StallRank  int
 	StallFor   time.Duration
 	StallEvery int // default 64
+	// KillRank terminates one world rank mid-run: once the trigger below
+	// fires, every transport operation on that rank fails permanently
+	// with comm.ErrPeerLost wrapping ErrKilled — the rank is dead as far
+	// as the fabric is concerned, and its peers see it as lost. The kill
+	// fires at most once per Injector, so a supervisor that re-wraps
+	// fresh transports for a recovery epoch runs the retry clean.
+	// Triggers (at least one must be set; both unset disables the kill):
+	//
+	//   - KillAfterOps: the kill fires on the KillRank's n-th transport
+	//     operation, a deterministic mid-phase point.
+	//   - KillAfterFile: the kill fires on the first operation after the
+	//     named file exists. Pointing it at a checkpoint Store's
+	//     ManifestPath pins the kill to a phase boundary.
+	KillRank      int
+	KillAfterOps  int64
+	KillAfterFile string
 	// Ranks limits fault injection to these world ranks (nil = all).
 	// Wrapping itself must still cover every rank so the sequence
 	// framing matches.
@@ -121,7 +139,12 @@ type Stats struct {
 	Delays       int64
 	Duplicates   int64
 	Stalls       int64
+	Kills        int64
 }
+
+// ErrKilled marks the permanent failure a killed rank's own transport
+// operations return (wrapped in comm.ErrPeerLost naming that rank).
+var ErrKilled = errors.New("faultnet: rank killed")
 
 // Injector owns one fault plan and wraps any number of rank transports
 // with it.
@@ -129,7 +152,10 @@ type Injector struct {
 	plan Plan
 
 	sendFail, connDrops, recvFail atomic.Int64
-	delays, dups, stalls          atomic.Int64
+	delays, dups, stalls, kills   atomic.Int64
+
+	killOps   atomic.Int64 // transport ops seen on the kill rank
+	killFired atomic.Bool  // the one-shot latch: sticky across re-wraps
 }
 
 // New validates the plan and builds an injector.
@@ -152,6 +178,7 @@ func (in *Injector) Stats() Stats {
 		Delays:       in.delays.Load(),
 		Duplicates:   in.dups.Load(),
 		Stalls:       in.stalls.Load(),
+		Kills:        in.kills.Load(),
 	}
 }
 
@@ -214,6 +241,7 @@ type transport struct {
 	in     *Injector
 	rank   int
 	active bool
+	dead   atomic.Bool // this wrap's rank was killed; per-epoch, unlike killFired
 
 	mu      sync.Mutex
 	rng     *rand.Rand
@@ -247,6 +275,47 @@ func (t *transport) streamLock(k streamKey) *sync.Mutex {
 	return m
 }
 
+// maybeKill fires the plan's one-shot kill-rank fault. The killFired
+// latch is on the Injector, so a fresh wrap for a recovery epoch never
+// re-kills; the dead flag is on the wrap, so within its epoch the rank
+// stays dead for every subsequent operation. The error is permanent
+// (not Transient): comm.WithRetry gives up on it immediately, and it
+// surfaces as comm.ErrPeerLost naming this rank.
+func (t *transport) maybeKill() error {
+	p := t.in.plan
+	if p.KillAfterOps <= 0 && p.KillAfterFile == "" {
+		return nil
+	}
+	if t.rank != p.KillRank {
+		return nil
+	}
+	if !t.dead.Load() {
+		if t.in.killFired.Load() {
+			return nil // kill already spent in an earlier epoch
+		}
+		fire := false
+		if p.KillAfterOps > 0 && t.in.killOps.Add(1) == p.KillAfterOps {
+			fire = true
+		}
+		if !fire && p.KillAfterFile != "" {
+			if _, err := os.Stat(p.KillAfterFile); err == nil {
+				fire = true
+			}
+		}
+		if !fire {
+			return nil
+		}
+		if t.in.killFired.CompareAndSwap(false, true) {
+			t.in.kills.Add(1)
+		}
+		t.dead.Store(true)
+	}
+	return &comm.ErrPeerLost{
+		Rank: t.rank,
+		Err:  fmt.Errorf("%w: rank %d terminated mid-run", ErrKilled, t.rank),
+	}
+}
+
 // maybeStall sleeps if this rank is the plan's straggler and this is a
 // stall-eligible operation.
 func (t *transport) maybeStall() {
@@ -265,6 +334,9 @@ func (t *transport) maybeStall() {
 }
 
 func (t *transport) Send(dst int, ctx uint64, tag int32, data []byte) error {
+	if err := t.maybeKill(); err != nil {
+		return err
+	}
 	t.maybeStall()
 	p := t.in.plan
 	dir := streamDir{peer: dst}
@@ -324,6 +396,9 @@ func (t *transport) Send(dst int, ctx uint64, tag int32, data []byte) error {
 }
 
 func (t *transport) Recv(src int, ctx uint64, tag int32) ([]byte, error) {
+	if err := t.maybeKill(); err != nil {
+		return nil, err
+	}
 	t.maybeStall()
 	dir := streamDir{peer: src, recv: true}
 	key := streamKey{peer: src, ctx: ctx, tag: tag}

@@ -1,8 +1,10 @@
 package faultnet
 
 import (
+	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"slices"
 	"strconv"
 	"sync"
@@ -241,6 +243,72 @@ func TestFaultClusterPeerLostAboveBudget(t *testing.T) {
 		t.Fatalf("empty per-rank report for %v", err)
 	}
 	t.Logf("degradation report:\n%s", report)
+}
+
+// TestFaultKillRankOnceThenClean exercises the kill-rank fault: the
+// victim's ops fail permanently with comm.ErrPeerLost naming itself,
+// the whole world unblocks, and — because the kill latch is per
+// Injector — re-wrapping fresh transports (what a supervisor does for
+// a recovery epoch) runs clean.
+func TestFaultKillRankOnceThenClean(t *testing.T) {
+	in := mustNew(t, Plan{Seed: seedFromEnv(t), KillRank: 1, KillAfterOps: 5})
+	topo := cluster.Topology{Nodes: 2, CoresPerNode: 2}
+	opts := cluster.Options{WrapTransport: func(tr comm.Transport) comm.Transport { return in.Wrap(tr) }}
+
+	err := within(t, 30*time.Second, func() error {
+		return cluster.RunOpts(topo, opts, ringExchange(50))
+	})
+	if err == nil {
+		t.Fatal("ring exchange survived a killed rank")
+	}
+	if rank, ok := comm.PeerLost(err); !ok || rank != 1 {
+		t.Fatalf("want ErrPeerLost naming rank 1, got: %v", err)
+	}
+	if !errors.Is(err, ErrKilled) {
+		t.Fatalf("want ErrKilled in the chain, got: %v", err)
+	}
+	if st := in.Stats(); st.Kills != 1 {
+		t.Fatalf("kill fired %d times, want 1: %+v", st.Kills, st)
+	}
+
+	// Recovery epoch: same injector, fresh wraps — the kill is spent.
+	if err := within(t, 30*time.Second, func() error {
+		return cluster.RunOpts(topo, opts, ringExchange(50))
+	}); err != nil {
+		t.Fatalf("retry epoch after the kill was not clean: %v", err)
+	}
+	if st := in.Stats(); st.Kills != 1 {
+		t.Fatalf("kill re-fired on the retry epoch: %+v", st)
+	}
+}
+
+// TestFaultKillAfterFile pins the kill to a filesystem trigger: no kill
+// while the file is absent, kill on the first operation after it
+// exists. The checkpoint recovery tests point this at a manifest path
+// to kill a rank exactly at a phase boundary.
+func TestFaultKillAfterFile(t *testing.T) {
+	trigger := filepath.Join(t.TempDir(), "boundary.ckpt")
+	in := mustNew(t, Plan{Seed: seedFromEnv(t), KillRank: 0, KillAfterFile: trigger})
+	topo := cluster.Topology{Nodes: 1, CoresPerNode: 2}
+	opts := cluster.Options{WrapTransport: func(tr comm.Transport) comm.Transport { return in.Wrap(tr) }}
+
+	if err := within(t, 30*time.Second, func() error {
+		return cluster.RunOpts(topo, opts, ringExchange(20))
+	}); err != nil {
+		t.Fatalf("killed before the trigger file existed: %v", err)
+	}
+	if err := os.WriteFile(trigger, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := within(t, 30*time.Second, func() error {
+		return cluster.RunOpts(topo, opts, ringExchange(20))
+	})
+	if rank, ok := comm.PeerLost(err); !ok || rank != 0 {
+		t.Fatalf("want ErrPeerLost naming rank 0 after trigger, got: %v", err)
+	}
+	if st := in.Stats(); st.Kills != 1 {
+		t.Fatalf("kills %d, want 1", st.Kills)
+	}
 }
 
 // TestFaultComposesWithSimnet layers the injector over the cost model

@@ -160,3 +160,27 @@ func TestTableWriteCSV(t *testing.T) {
 		t.Fatalf("got %q want %q", buf.String(), want)
 	}
 }
+
+func TestRecoveryStatsNilSafeAndCounts(t *testing.T) {
+	var nilStats *RecoveryStats
+	nilStats.Restart() // must not panic
+	nilStats.PeerLost()
+	nilStats.RankPanic()
+	nilStats.Wasted(10)
+	if nilStats.Snapshot() != (RecoverySnapshot{}) {
+		t.Fatal("nil snapshot not zero")
+	}
+
+	var r RecoveryStats
+	r.Restart()
+	r.Restart()
+	r.PeerLost()
+	r.RankPanic()
+	r.Wasted(100)
+	r.Wasted(-5) // negative waste is ignored
+	got := r.Snapshot()
+	want := RecoverySnapshot{Restarts: 2, PeersLost: 1, RankPanics: 1, WastedRecords: 100}
+	if got != want {
+		t.Fatalf("snapshot %+v want %+v", got, want)
+	}
+}

@@ -1,0 +1,64 @@
+package metrics
+
+import "sync/atomic"
+
+// RecoveryStats counts supervisor-level recovery activity for one job.
+// All methods are safe for concurrent use and safe on a nil receiver,
+// so callers can thread an optional *RecoveryStats without nil checks.
+type RecoveryStats struct {
+	restarts  atomic.Int64
+	peersLost atomic.Int64
+	panics    atomic.Int64
+	wasted    atomic.Int64
+}
+
+// Restart records one supervisor restart (a new recovery epoch).
+func (r *RecoveryStats) Restart() {
+	if r != nil {
+		r.restarts.Add(1)
+	}
+}
+
+// PeerLost records one rank lost to a transport failure.
+func (r *RecoveryStats) PeerLost() {
+	if r != nil {
+		r.peersLost.Add(1)
+	}
+}
+
+// RankPanic records one rank lost to a panic.
+func (r *RecoveryStats) RankPanic() {
+	if r != nil {
+		r.panics.Add(1)
+	}
+}
+
+// Wasted records work discarded by a failed epoch, in records sorted
+// since the last consistent checkpoint (an upper bound on re-done
+// work; 0 when the failure struck before any progress).
+func (r *RecoveryStats) Wasted(records int64) {
+	if r != nil && records > 0 {
+		r.wasted.Add(records)
+	}
+}
+
+// RecoverySnapshot is a plain copy of the counters.
+type RecoverySnapshot struct {
+	Restarts      int64 // recovery epochs started
+	PeersLost     int64 // ranks lost to transport failure
+	RankPanics    int64 // ranks lost to panic
+	WastedRecords int64 // records re-sorted due to failed epochs
+}
+
+// Snapshot returns the current counter values (zero for nil).
+func (r *RecoveryStats) Snapshot() RecoverySnapshot {
+	if r == nil {
+		return RecoverySnapshot{}
+	}
+	return RecoverySnapshot{
+		Restarts:      r.restarts.Load(),
+		PeersLost:     r.peersLost.Load(),
+		RankPanics:    r.panics.Load(),
+		WastedRecords: r.wasted.Load(),
+	}
+}
