@@ -27,13 +27,15 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Single-iteration benchmark pass in JSON form, as the CI bench-smoke
-# job publishes it.
+# job publishes it. BenchmarkExchange compares the staged and
+# monolithic all-to-all and reports peak-staging-bytes.
 bench-json:
 	$(GO) test -bench=. -benchtime=1x -run xxx -json ./... | tee BENCH_ci.json
 
 # Fault-injection soak: repeat the Fault|Retry|Reconnect|Recovery test
 # families under the race detector. Vary the schedule with
-# FAULTNET_SEED=n.
+# FAULTNET_SEED=n — the seed also picks the staged exchange's
+# StageBytes, so kills land on different chunk boundaries.
 soak:
 	FAULTNET_SEED=$(FAULTNET_SEED) $(GO) test -race -run 'Fault|Retry|Reconnect|Recovery' -count=3 -timeout 15m ./internal/...
 

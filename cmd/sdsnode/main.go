@@ -87,6 +87,7 @@ func run(args []string) int {
 		in       = fs.String("in", "", "read this rank's shard from a float64 record file instead")
 		out      = fs.String("out", "", "write the sorted shard here")
 		stable   = fs.Bool("stable", false, "stable sort")
+		stage    = fs.Int64("stage", 0, "staging window for the data exchange in bytes (0 = monolithic all-to-all)")
 		seed     = fs.Int64("seed", 1, "workload seed (combined with rank)")
 		timeout  = fs.Duration("timeout", 30*time.Second, "bootstrap timeout")
 
@@ -176,6 +177,12 @@ func run(args []string) int {
 
 	opt := core.DefaultOptions()
 	opt.Stable = *stable
+	opt.StageBytes = *stage
+	var exch *metrics.ExchangeStats
+	if *stage > 0 {
+		exch = &metrics.ExchangeStats{}
+		opt.Exchange = exch
+	}
 	tm := metrics.NewPhaseTimer()
 	opt.Timer = tm
 	var ck *core.Checkpointing
@@ -224,6 +231,9 @@ func run(args []string) int {
 	log.Printf("done in %v: %d records held locally", elapsed.Round(time.Millisecond), len(sorted))
 	for _, ph := range metrics.Phases() {
 		log.Printf("  %-16s %s", ph.String(), metrics.FmtDur(tm.Get(ph)))
+	}
+	if exch != nil {
+		log.Printf("  %s", exch)
 	}
 
 	if *out != "" {

@@ -47,6 +47,7 @@ func main() {
 		tauM   = flag.Int64("taum", core.DefaultOptions().TauM, "node-merge threshold τm (bytes)")
 		tauO   = flag.Int("tauo", core.DefaultOptions().TauO, "overlap threshold τo (ranks)")
 		tauS   = flag.Int("taus", core.DefaultOptions().TauS, "merge-vs-sort threshold τs (ranks)")
+		stage  = flag.Int64("stage", 0, "staging window for the data exchange in bytes (0 = monolithic all-to-all, sds only)")
 		stats  = flag.Bool("stats", true, "print phase breakdown and RDFA")
 		verify = flag.Bool("verify", true, "run the distributed sortedness check after the sort")
 		trc    = flag.String("trace", "", "write a JSONL event trace to this file")
@@ -73,17 +74,17 @@ func main() {
 	}
 	switch *typ {
 	case "f64":
-		run(*in, *out, codec.Float64{}, cmpOrdered[float64], *algo, *nodes, *cores, *stable, *tauM, *tauO, *tauS, *stats, *verify, tracer)
+		run(*in, *out, codec.Float64{}, cmpOrdered[float64], *algo, *nodes, *cores, *stable, *tauM, *tauO, *tauS, *stage, *stats, *verify, tracer)
 	case "csv":
 		keys, err := recordio.ReadCSVColumn(*in, *col)
 		if err != nil {
 			log.Fatal(err)
 		}
-		runRecords(keys, *out, codec.Float64{}, cmpOrdered[float64], *algo, *nodes, *cores, *stable, *tauM, *tauO, *tauS, *stats, *verify, tracer)
+		runRecords(keys, *out, codec.Float64{}, cmpOrdered[float64], *algo, *nodes, *cores, *stable, *tauM, *tauO, *tauS, *stage, *stats, *verify, tracer)
 	case "ptf":
-		run(*in, *out, codec.PTFCodec{}, codec.ComparePTF, *algo, *nodes, *cores, *stable, *tauM, *tauO, *tauS, *stats, *verify, tracer)
+		run(*in, *out, codec.PTFCodec{}, codec.ComparePTF, *algo, *nodes, *cores, *stable, *tauM, *tauO, *tauS, *stage, *stats, *verify, tracer)
 	case "cosmo":
-		run(*in, *out, codec.ParticleCodec{}, codec.CompareParticles, *algo, *nodes, *cores, *stable, *tauM, *tauO, *tauS, *stats, *verify, tracer)
+		run(*in, *out, codec.ParticleCodec{}, codec.CompareParticles, *algo, *nodes, *cores, *stable, *tauM, *tauO, *tauS, *stage, *stats, *verify, tracer)
 	default:
 		log.Fatalf("unknown record type %q", *typ)
 	}
@@ -144,18 +145,18 @@ func cmpOrdered[T float64 | int64 | uint64](a, b T) int {
 }
 
 func run[T any](in, out string, cd codec.Codec[T], cmp func(a, b T) int,
-	algo string, nodes, cores int, stable bool, tauM int64, tauO, tauS int, stats, verify bool, tracer trace.Tracer) {
+	algo string, nodes, cores int, stable bool, tauM int64, tauO, tauS int, stage int64, stats, verify bool, tracer trace.Tracer) {
 
 	records, err := recordio.ReadFile(in, cd)
 	if err != nil {
 		log.Fatal(err)
 	}
-	runRecords(records, out, cd, cmp, algo, nodes, cores, stable, tauM, tauO, tauS, stats, verify, tracer)
+	runRecords(records, out, cd, cmp, algo, nodes, cores, stable, tauM, tauO, tauS, stage, stats, verify, tracer)
 }
 
 // runRecords sorts already-loaded records on an in-process cluster.
 func runRecords[T any](records []T, out string, cd codec.Codec[T], cmp func(a, b T) int,
-	algo string, nodes, cores int, stable bool, tauM int64, tauO, tauS int, stats, verify bool, tracer trace.Tracer) {
+	algo string, nodes, cores int, stable bool, tauM int64, tauO, tauS int, stage int64, stats, verify bool, tracer trace.Tracer) {
 
 	topo := cluster.Topology{Nodes: nodes, CoresPerNode: cores}
 	p := topo.Size()
@@ -174,6 +175,12 @@ func runRecords[T any](records []T, out string, cd codec.Codec[T], cmp func(a, b
 	for i := range timers {
 		timers[i] = metrics.NewPhaseTimer()
 	}
+	// One shared, atomic stats block across the ranks, like the shared
+	// memory gauge.
+	var exch *metrics.ExchangeStats
+	if stage > 0 {
+		exch = &metrics.ExchangeStats{}
+	}
 	start := time.Now()
 	outputs, err := cluster.Gather(topo, cluster.Options{}, func(c *comm.Comm) ([]T, error) {
 		local := append([]T(nil), parts[c.Rank()]...)
@@ -185,6 +192,8 @@ func runRecords[T any](records []T, out string, cd codec.Codec[T], cmp func(a, b
 				opt.TauM = tauM
 				opt.TauO = tauO
 				opt.TauS = tauS
+				opt.StageBytes = stage
+				opt.Exchange = exch
 				opt.Timer = timers[c.Rank()]
 				opt.Trace = tracer
 				return core.Sort(c, local, cd, cmp, opt)
@@ -227,6 +236,9 @@ func runRecords[T any](records []T, out string, cd codec.Codec[T], cmp func(a, b
 		merged := metrics.MergeMax(timers)
 		for _, ph := range metrics.Phases() {
 			fmt.Printf("  %-16s %s\n", ph.String(), metrics.FmtDur(merged[ph]))
+		}
+		if exch != nil {
+			fmt.Printf("  %s\n", exch)
 		}
 	}
 	if out != "" {

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"sdssort/internal/comm"
+	"sdssort/internal/memlimit"
 	"sdssort/internal/metrics"
 	"sdssort/internal/trace"
 )
@@ -53,6 +54,12 @@ type Options struct {
 	// Recovery, when non-nil, accumulates restart and lost-rank
 	// counters across the supervised run.
 	Recovery *metrics.RecoveryStats
+	// Mem, when non-nil, is the memory gauge the job reserves against
+	// (typically the same one passed to core.Options.Mem). After a
+	// fully successful epoch the launcher asserts it has drained back
+	// to zero, turning a reservation leak into a loud failure instead
+	// of an eventual spurious out-of-memory in a long-lived process.
+	Mem *memlimit.Gauge
 }
 
 // Run launches one goroutine per rank, each receiving the world
@@ -129,6 +136,11 @@ func launch(topo Topology, opts Options, name string, fn func(c *comm.Comm) erro
 	for _, e := range errs {
 		if e != nil {
 			nonNil = append(nonNil, e)
+		}
+	}
+	if len(nonNil) == 0 && opts.Mem != nil {
+		if used := opts.Mem.Used(); used != 0 {
+			return fmt.Errorf("cluster: memory gauge holds %d bytes after a successful run (reservation leak)", used)
 		}
 	}
 	return errors.Join(nonNil...)

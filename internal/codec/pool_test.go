@@ -1,0 +1,48 @@
+package codec
+
+import "testing"
+
+func TestBufferPoolReuse(t *testing.T) {
+	var p BufferPool
+	a := p.Get(64)
+	if len(a) != 0 || cap(a) < 64 {
+		t.Fatalf("got len %d cap %d", len(a), cap(a))
+	}
+	p.Put(a)
+	b := p.Get(32) // smaller request must reuse the 64-byte buffer
+	if cap(b) < 64 {
+		t.Fatalf("expected recycled buffer, got cap %d", cap(b))
+	}
+	hits, misses := p.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats: %d hits %d misses", hits, misses)
+	}
+	// A request larger than anything pooled must allocate.
+	p.Put(b)
+	c := p.Get(1024)
+	if _, misses = p.Stats(); misses != 2 {
+		t.Fatalf("oversized Get should miss, misses=%d", misses)
+	}
+	p.Put(c)
+	// The 64-byte buffer is still pooled alongside the 1024 one.
+	if d := p.Get(512); cap(d) < 1024 {
+		t.Fatalf("expected the large buffer, got cap %d", cap(d))
+	}
+}
+
+func TestBufferPoolNilAndEmpty(t *testing.T) {
+	var p *BufferPool
+	b := p.Get(16)
+	if cap(b) < 16 {
+		t.Fatal("nil pool must still allocate")
+	}
+	p.Put(b) // must not panic
+	if h, m := p.Stats(); h != 0 || m != 0 {
+		t.Fatal("nil pool stats must be zero")
+	}
+	var real BufferPool
+	real.Put(nil) // zero-capacity buffers are dropped
+	if _, m := real.Stats(); m != 0 {
+		t.Fatal("Put must not touch stats")
+	}
+}

@@ -1,0 +1,176 @@
+package comm
+
+import "fmt"
+
+// tagStaged is the reserved tag band of the staged all-to-all. A single
+// tag suffices: each ordered (src, dst) pair is visited by exactly one
+// round of the schedule, and chunks within a pair ride the transport's
+// non-overtaking FIFO order.
+const tagStaged int32 = -3072
+
+// StagedOptions parameterises StagedAlltoallv. The caller supplies the
+// payload through callbacks rather than materialised buffers — that is
+// the point: at no time does the collective hold more than one stage
+// chunk per direction, so peak memory is bounded by the stage window
+// regardless of how many bytes move.
+type StagedOptions struct {
+	// StageBytes bounds the size of one chunk. Values <= 0 mean
+	// unbounded: each peer's whole payload moves as a single chunk.
+	StageBytes int64
+	// SendBytes[dst] is the exact number of payload bytes this rank
+	// sends to dst; RecvBytes[src] the bytes it will receive from src.
+	// Both must have one entry per rank and every rank must agree (the
+	// usual count exchange precedes the data exchange).
+	SendBytes []int64
+	// RecvBytes is the receive-side counterpart of SendBytes.
+	RecvBytes []int64
+	// Fill produces the next outgoing chunk for dst: the n bytes at
+	// payload offset off, encoded into a buffer the caller owns
+	// (typically from a codec.BufferPool). The collective never retains
+	// the buffer past the Send that consumes it.
+	Fill func(dst int, off, n int64) ([]byte, error)
+	// FillDone, when non-nil, is called once the chunk buffer returned
+	// by Fill has been handed to the transport and may be recycled.
+	FillDone func(dst int, buf []byte)
+	// Drain consumes one arriving chunk from src, starting at payload
+	// offset off. Drain must not retain chunk after returning.
+	Drain func(src int, off int64, chunk []byte) error
+}
+
+// StagedStats reports what a StagedAlltoallv moved.
+type StagedStats struct {
+	// BytesStaged is the total payload that passed through stage
+	// buffers (network chunks plus the self-copy).
+	BytesStaged int64
+	// Chunks is the number of stage chunks those bytes were cut into.
+	Chunks int64
+	// Rounds is the number of schedule rounds executed (= comm size).
+	Rounds int
+}
+
+func (o *StagedOptions) validate(p int) error {
+	if len(o.SendBytes) != p || len(o.RecvBytes) != p {
+		return fmt.Errorf("comm: staged alltoallv needs %d send/recv counts, got %d/%d",
+			p, len(o.SendBytes), len(o.RecvBytes))
+	}
+	if o.Fill == nil || o.Drain == nil {
+		return fmt.Errorf("comm: staged alltoallv needs Fill and Drain callbacks")
+	}
+	for r := 0; r < p; r++ {
+		if o.SendBytes[r] < 0 || o.RecvBytes[r] < 0 {
+			return fmt.Errorf("comm: staged alltoallv: negative byte count for rank %d", r)
+		}
+	}
+	return nil
+}
+
+// chunkSize returns the size of the chunk at offset off of a total-byte
+// payload under the stage bound.
+func chunkSize(stage, off, total int64) int64 {
+	n := total - off
+	if stage > 0 && n > stage {
+		n = stage
+	}
+	return n
+}
+
+// StagedAlltoallv runs a personalised all-to-all in bounded stages: a
+// 1-factor-style peer schedule (XOR pairing for power-of-two sizes, a
+// shift schedule otherwise — the same pairing as PairwiseAlltoall) with
+// each peer's payload cut into chunks of at most StageBytes. Within a
+// round the send and receive streams interleave chunk by chunk, so a
+// rank holds at most one outgoing and one incoming chunk at a time; the
+// transports' eager Send semantics make the interleaving deadlock-free.
+//
+// Semantics match Alltoall: chunks from a given source arrive at
+// monotonically increasing offsets (FIFO per pair), so a Drain that
+// appends reassembles each source's payload in order. Every rank of c
+// must call it with agreeing SendBytes/RecvBytes matrices.
+func (c *Comm) StagedAlltoallv(o StagedOptions) (StagedStats, error) {
+	p := len(c.group)
+	me := c.rank
+	var st StagedStats
+	if err := o.validate(p); err != nil {
+		return st, err
+	}
+	stage := o.StageBytes
+
+	// Round 0: the self "exchange" — chunked through the same Fill /
+	// Drain pipeline so the caller sees one code path and the stage
+	// window bounds the self-copy too.
+	if o.SendBytes[me] != o.RecvBytes[me] {
+		return st, fmt.Errorf("comm: staged alltoallv: self send %d != self recv %d bytes",
+			o.SendBytes[me], o.RecvBytes[me])
+	}
+	for off := int64(0); off < o.SendBytes[me]; {
+		n := chunkSize(stage, off, o.SendBytes[me])
+		buf, err := o.Fill(me, off, n)
+		if err != nil {
+			return st, fmt.Errorf("comm: staged fill for self: %w", err)
+		}
+		if int64(len(buf)) != n {
+			return st, fmt.Errorf("comm: staged fill for self returned %d bytes, want %d", len(buf), n)
+		}
+		if err := o.Drain(me, off, buf); err != nil {
+			return st, fmt.Errorf("comm: staged drain for self: %w", err)
+		}
+		if o.FillDone != nil {
+			o.FillDone(me, buf)
+		}
+		st.BytesStaged += n
+		st.Chunks++
+		off += n
+	}
+	st.Rounds = 1
+
+	pow2 := p&(p-1) == 0
+	for k := 1; k < p; k++ {
+		sendTo, recvFrom := (me+k)%p, (me-k+p)%p
+		if pow2 {
+			// XOR pairing: a true 1-factorisation — every round is a
+			// perfect matching, each pair exchanging both ways.
+			sendTo = me ^ k
+			recvFrom = sendTo
+		}
+		sTotal, rTotal := o.SendBytes[sendTo], o.RecvBytes[recvFrom]
+		var sOff, rOff int64
+		for sOff < sTotal || rOff < rTotal {
+			if sOff < sTotal {
+				n := chunkSize(stage, sOff, sTotal)
+				buf, err := o.Fill(sendTo, sOff, n)
+				if err != nil {
+					return st, fmt.Errorf("comm: staged fill for rank %d: %w", sendTo, err)
+				}
+				if int64(len(buf)) != n {
+					return st, fmt.Errorf("comm: staged fill for rank %d returned %d bytes, want %d",
+						sendTo, len(buf), n)
+				}
+				if err := c.sendInternal(sendTo, tagStaged, buf); err != nil {
+					return st, fmt.Errorf("comm: staged send to rank %d: %w", sendTo, err)
+				}
+				if o.FillDone != nil {
+					o.FillDone(sendTo, buf)
+				}
+				st.BytesStaged += n
+				st.Chunks++
+				sOff += n
+			}
+			if rOff < rTotal {
+				chunk, err := c.recvInternal(recvFrom, tagStaged)
+				if err != nil {
+					return st, fmt.Errorf("comm: staged recv from rank %d: %w", recvFrom, err)
+				}
+				if int64(len(chunk)) == 0 || rOff+int64(len(chunk)) > rTotal {
+					return st, fmt.Errorf("comm: staged recv from rank %d: %d bytes at offset %d exceeds advertised %d",
+						recvFrom, len(chunk), rOff, rTotal)
+				}
+				if err := o.Drain(recvFrom, rOff, chunk); err != nil {
+					return st, fmt.Errorf("comm: staged drain from rank %d: %w", recvFrom, err)
+				}
+				rOff += int64(len(chunk))
+			}
+		}
+		st.Rounds++
+	}
+	return st, nil
+}

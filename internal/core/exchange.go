@@ -1,0 +1,289 @@
+package core
+
+import (
+	"fmt"
+
+	"sdssort/internal/codec"
+	"sdssort/internal/comm"
+	"sdssort/internal/metrics"
+	"sdssort/internal/psort"
+)
+
+// effStage rounds the configured stage size down to a whole number of
+// records (chunks must never split a record), with a floor of one
+// record. Returns 0 when staging is disabled.
+func effStage(stageBytes, recSize int64) int64 {
+	if stageBytes <= 0 {
+		return 0
+	}
+	n := stageBytes - stageBytes%recSize
+	if n < recSize {
+		n = recSize
+	}
+	return n
+}
+
+// sendBytesOf converts partition bounds into the per-destination byte
+// matrix the staged collective wants.
+func sendBytesOf(bounds []int, p int, recSize int64) []int64 {
+	sb := make([]int64, p)
+	for dst := 0; dst < p; dst++ {
+		sb[dst] = int64(bounds[dst+1]-bounds[dst]) * recSize
+	}
+	return sb
+}
+
+// stagedFill returns the Fill callback both exchange paths share: it
+// encodes the n/recSize records at byte offset off of dst's partition
+// into a pooled buffer. Offsets are always record-aligned because
+// effStage is a multiple of recSize.
+func stagedFill[T any](work []T, bounds []int, cd codec.Codec[T], recSize int64, pool *codec.BufferPool) func(dst int, off, n int64) ([]byte, error) {
+	return func(dst int, off, n int64) ([]byte, error) {
+		lo := bounds[dst] + int(off/recSize)
+		hi := lo + int(n/recSize)
+		return codec.EncodeSlice(cd, pool.Get(int(n)), work[lo:hi]), nil
+	}
+}
+
+// syncExchange is the synchronous path (Fig. 1 lines 16-21): an
+// all-to-all, then local ordering by k-way merge (p < τs) or by
+// re-sorting (p >= τs). Blocking exchange plus rank-ordered chunks plus
+// stable merge is what carries stability end to end.
+//
+// With opt.StageBytes set the all-to-all runs staged: partitions are
+// encoded chunk-by-chunk into pooled buffers and arriving chunks are
+// append-decoded straight into the per-source receive slices, so the
+// only memory beyond input and receive buffers is the staging window —
+// which is reserved from the budget. Stability is unaffected: chunks
+// of a source arrive in offset order and the receive slices stay
+// rank-ordered. With StageBytes zero the legacy monolithic all-to-all
+// runs, materialising an encoded copy of the whole working set.
+func syncExchange[T any](wc *comm.Comm, work []T, bounds []int, rcounts []int64, cd codec.Codec[T], cmp func(a, b T) int, opt Options, tm *metrics.PhaseTimer, acct *memAcct) ([]T, error) {
+	p := wc.Size()
+	recSize := int64(cd.Size())
+	stage := effStage(opt.StageBytes, recSize)
+
+	var chunks [][]T
+	var total int64
+	if stage > 0 {
+		// Staged: reserve the window — one outgoing chunk being filled,
+		// one incoming chunk being drained — before any buffer exists.
+		window := 2 * stage
+		if err := acct.reserve(window); err != nil {
+			return nil, fmt.Errorf("core: staging window of %d bytes: %w", window, err)
+		}
+		defer acct.release(window)
+		opt.Exchange.ObservePeakStaging(window)
+
+		pool := &codec.BufferPool{}
+		chunks = make([][]T, p)
+		for src := 0; src < p; src++ {
+			chunks[src] = make([]T, 0, rcounts[src])
+			total += rcounts[src]
+		}
+		st, err := wc.StagedAlltoallv(comm.StagedOptions{
+			StageBytes: stage,
+			SendBytes:  sendBytesOf(bounds, p, recSize),
+			RecvBytes:  scale(rcounts, recSize),
+			Fill:       stagedFill(work, bounds, cd, recSize, pool),
+			FillDone:   func(_ int, buf []byte) { pool.Put(buf) },
+			Drain: func(src int, _ int64, chunk []byte) error {
+				var derr error
+				chunks[src], derr = codec.DecodeAppend(cd, chunks[src], chunk)
+				return derr
+			},
+		})
+		opt.Exchange.AddStaged(st.BytesStaged, st.Chunks)
+		opt.Exchange.AddPool(pool.Stats())
+		if err != nil {
+			return nil, fmt.Errorf("core: staged alltoall: %w", err)
+		}
+	} else {
+		parts := make([][]byte, p)
+		for dst := 0; dst < p; dst++ {
+			parts[dst] = codec.EncodeSlice(cd, nil, work[bounds[dst]:bounds[dst+1]])
+		}
+		recv, err := wc.Alltoall(parts)
+		if err != nil {
+			return nil, fmt.Errorf("core: alltoall: %w", err)
+		}
+		// Decoding the wire chunks is exchange work (it is the receive
+		// half of the transfer), so it stays on the exchange clock; the
+		// local-ordering clock starts at the merge below.
+		chunks = make([][]T, p)
+		for src := 0; src < p; src++ {
+			chunk, err := codec.DecodeSlice(cd, recv[src])
+			if err != nil {
+				return nil, fmt.Errorf("core: decode from rank %d: %w", src, err)
+			}
+			chunks[src] = chunk
+			total += int64(len(chunk))
+		}
+	}
+
+	tm.Start(metrics.PhaseLocalOrdering)
+	if p < opt.TauS {
+		// Merge the p sorted chunks: O(m log p), stable by source
+		// rank (SdssMergeAll).
+		return psort.KWayMerge(chunks, cmp), nil
+	}
+	// Re-sort: O(m log m) but independent of p (SdssLocalSort on the
+	// incoming data). Concatenating in rank order first keeps the
+	// stable variant stable.
+	out := make([]T, 0, total)
+	for _, chunk := range chunks {
+		out = append(out, chunk...)
+	}
+	psort.ParallelSort(out, opt.cores(), opt.Stable, cmp)
+	return out, nil
+}
+
+func scale(counts []int64, by int64) []int64 {
+	out := make([]int64, len(counts))
+	for i, c := range counts {
+		out[i] = c * by
+	}
+	return out
+}
+
+// overlapExchange is the asynchronous path (Fig. 1 lines 23-27):
+// receives from all peers are posted up front, sends stream out without
+// waiting, and each arriving chunk is merged into the running result
+// while the rest of the exchange is still in flight (SdssAlltoallvAsync
+// + SdssMergeTwo). Only the fast (non-stable) sort may take this path.
+//
+// With opt.StageBytes set the sends stream chunk-by-chunk from a single
+// pooled buffer on a sender goroutine and each source's receive is
+// reposted per chunk, so this rank stages at most one outgoing and one
+// incoming chunk — the reserved window — instead of a full encoded copy
+// of the working set.
+func overlapExchange[T any](wc *comm.Comm, work []T, bounds []int, rcounts []int64, cd codec.Codec[T], cmp func(a, b T) int, opt Options, tm *metrics.PhaseTimer, acct *memAcct) ([]T, error) {
+	p := wc.Size()
+	me := wc.Rank()
+	recSize := int64(cd.Size())
+	stage := effStage(opt.StageBytes, recSize)
+
+	if stage > 0 {
+		window := 2 * stage
+		if err := acct.reserve(window); err != nil {
+			return nil, fmt.Errorf("core: staging window of %d bytes: %w", window, err)
+		}
+		defer acct.release(window)
+		opt.Exchange.ObservePeakStaging(window)
+	}
+
+	// remaining[src] is how many payload bytes src still owes us; a
+	// staged source gets its receive reposted until it hits zero.
+	remaining := make([]int64, p)
+	var reqs []*comm.Request
+	var srcs []int
+	post := func(src int) error {
+		r, err := wc.Irecv(src, tagExchange)
+		if err != nil {
+			return fmt.Errorf("core: irecv from %d: %w", src, err)
+		}
+		reqs = append(reqs, r)
+		srcs = append(srcs, src)
+		return nil
+	}
+	for src := 0; src < p; src++ {
+		if src == me || rcounts[src] == 0 {
+			continue
+		}
+		remaining[src] = rcounts[src] * recSize
+		if err := post(src); err != nil {
+			return nil, err
+		}
+	}
+
+	var sends []*comm.Request
+	sendErr := make(chan error, 1)
+	if stage > 0 {
+		// One sender goroutine walks the destinations chunk by chunk
+		// through a pooled buffer: at most one encoded chunk alive, and
+		// the eager transports never block it on a matching receive.
+		pool := &codec.BufferPool{}
+		fill := stagedFill(work, bounds, cd, recSize, pool)
+		go func() {
+			var bytes, nchunks int64
+			for k := 1; k < p; k++ {
+				dst := (me + k) % p
+				total := int64(bounds[dst+1]-bounds[dst]) * recSize
+				for off := int64(0); off < total; {
+					n := total - off
+					if n > stage {
+						n = stage
+					}
+					buf, _ := fill(dst, off, n)
+					if err := wc.Send(dst, tagExchange, buf); err != nil {
+						opt.Exchange.AddStaged(bytes, nchunks)
+						sendErr <- fmt.Errorf("core: staged send to %d: %w", dst, err)
+						return
+					}
+					pool.Put(buf)
+					bytes += n
+					nchunks++
+					off += n
+				}
+			}
+			opt.Exchange.AddStaged(bytes, nchunks)
+			opt.Exchange.AddPool(pool.Stats())
+			sendErr <- nil
+		}()
+	} else {
+		for dst := 0; dst < p; dst++ {
+			if dst == me || bounds[dst+1] == bounds[dst] {
+				continue
+			}
+			buf := codec.EncodeSlice(cd, nil, work[bounds[dst]:bounds[dst+1]])
+			s, err := wc.Isend(dst, tagExchange, buf)
+			if err != nil {
+				return nil, fmt.Errorf("core: isend to %d: %w", dst, err)
+			}
+			sends = append(sends, s)
+		}
+	}
+
+	// Seed the result with our own slice; each arrival merges in.
+	out := append([]T(nil), work[bounds[me]:bounds[me+1]]...)
+	consumed := make([]bool, len(reqs))
+	for {
+		i, buf, err := comm.WaitAnyMask(reqs, consumed)
+		if err != nil {
+			return nil, fmt.Errorf("core: overlapped recv: %w", err)
+		}
+		if i < 0 {
+			break
+		}
+		src := srcs[i]
+		// Decode on the exchange clock (receive half of the transfer);
+		// only the merge is local ordering.
+		chunk, err := codec.DecodeSlice(cd, buf)
+		if err != nil {
+			return nil, fmt.Errorf("core: decode from rank %d: %w", src, err)
+		}
+		if stage > 0 {
+			remaining[src] -= int64(len(buf))
+			if remaining[src] < 0 {
+				return nil, fmt.Errorf("core: rank %d sent %d bytes beyond its advertised count", src, -remaining[src])
+			}
+			if remaining[src] > 0 {
+				if err := post(src); err != nil {
+					return nil, err
+				}
+				consumed = append(consumed, false)
+			}
+		}
+		tm.Start(metrics.PhaseLocalOrdering)
+		out = psort.MergeTwo(out, chunk, cmp)
+		tm.Start(metrics.PhaseExchange)
+	}
+	if stage > 0 {
+		if err := <-sendErr; err != nil {
+			return nil, err
+		}
+	} else if err := comm.WaitAll(sends); err != nil {
+		return nil, fmt.Errorf("core: overlapped send: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,41 @@
+package core
+
+import "sdssort/internal/memlimit"
+
+// memAcct tracks what one Sort call has reserved against the rank's
+// memory gauge so every exit path — success, follower dropout, error,
+// even a panic unwinding — returns exactly what it took. The gauge is
+// shared across sorts (and possibly ranks); the acct is the per-call
+// ledger that makes Release(sum of our Reserves) possible without
+// bookkeeping at every return site. Owned by one rank's goroutine; not
+// safe for concurrent use.
+type memAcct struct {
+	g    *memlimit.Gauge
+	held int64
+}
+
+// reserve accounts n bytes against the gauge and the ledger.
+func (a *memAcct) reserve(n int64) error {
+	if err := a.g.Reserve(n); err != nil {
+		return err
+	}
+	a.held += n
+	return nil
+}
+
+// release returns n bytes early (clamped to what this call still
+// holds), for data handed off or consumed before the sort returns.
+func (a *memAcct) release(n int64) {
+	if n > a.held {
+		n = a.held
+	}
+	if n <= 0 {
+		return
+	}
+	a.g.Release(n)
+	a.held -= n
+}
+
+// releaseAll returns every outstanding byte; deferred by Sort so no
+// path can leak the gauge.
+func (a *memAcct) releaseAll() { a.release(a.held) }

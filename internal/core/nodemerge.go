@@ -16,7 +16,7 @@ import (
 // on low-throughput networks. It returns the (possibly merged) working
 // data, the communicator the rest of the sort runs on, and whether this
 // rank still participates.
-func nodeMerge[T any](c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int, recSize int64, opt Options, tm *metrics.PhaseTimer) ([]T, *comm.Comm, bool, error) {
+func nodeMerge[T any](c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int, recSize int64, opt Options, tm *metrics.PhaseTimer, acct *memAcct) ([]T, *comm.Comm, bool, error) {
 	p := c.Size()
 	if opt.TauM <= 0 || p == 1 {
 		return data, c, true, nil
@@ -44,10 +44,12 @@ func nodeMerge[T any](c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T
 	}
 	if leaders == nil {
 		// Non-leader: hand the sorted data to the node leader and
-		// drop out.
+		// drop out. The records now live in the leader's budget, so the
+		// input reservation comes back immediately — not at return.
 		if err := local.Send(0, tagNodeMerge, codec.EncodeSlice(cd, nil, data)); err != nil {
 			return nil, nil, false, fmt.Errorf("core: node-merge send: %w", err)
 		}
+		acct.release(int64(len(data)) * recSize)
 		return nil, nil, false, nil
 	}
 
@@ -69,7 +71,7 @@ func nodeMerge[T any](c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T
 		chunks[r] = chunk
 		extra += int64(len(chunk)) * recSize
 	}
-	if err := opt.Mem.Reserve(extra); err != nil {
+	if err := acct.reserve(extra); err != nil {
 		return nil, nil, false, fmt.Errorf("core: node-merge buffer: %w", err)
 	}
 	var merged []T

@@ -67,11 +67,27 @@ type Options struct {
 	// runs instead of sorting (§2.2/§2.7). Zero disables detection.
 	RunThreshold float64
 
-	// Mem, when non-nil, emulates the rank's memory budget: the
-	// receive buffer of the exchange is reserved against it and the
-	// sort fails with memlimit.ErrOutOfMemory when the budget is
-	// exceeded — the failure mode the paper observes for HykSort.
+	// Mem, when non-nil, emulates the rank's memory budget: the input,
+	// the receive buffer of the exchange and the staging window are all
+	// reserved against it, and the sort fails with
+	// memlimit.ErrOutOfMemory when the budget is exceeded — the failure
+	// mode the paper observes for HykSort. Everything a Sort call
+	// reserves is released by the time it returns, on every path.
 	Mem *memlimit.Gauge
+
+	// StageBytes bounds the staging window of the all-to-all data
+	// exchange: partitions are encoded chunk-by-chunk into pooled
+	// buffers of at most this many bytes (rounded down to whole
+	// records) and arriving chunks are decoded incrementally, so the
+	// exchange's memory beyond input and receive buffers is ~2×
+	// StageBytes instead of an encoded copy of the working set. Zero
+	// keeps the legacy monolithic exchange.
+	StageBytes int64
+
+	// Exchange, when non-nil, accrues staged-exchange counters (bytes
+	// staged, peak staging reservation, buffer-pool hit rate). May be
+	// shared across ranks; the counters are atomic.
+	Exchange *metrics.ExchangeStats
 
 	// Timer, when non-nil, accrues per-phase wall time in the
 	// categories of the paper's Figs. 9-10.
@@ -123,6 +139,9 @@ func (o Options) Validate() error {
 	}
 	if o.TauO < 0 || o.TauS < 0 {
 		return fmt.Errorf("core: negative thresholds TauO=%d TauS=%d", o.TauO, o.TauS)
+	}
+	if o.StageBytes < 0 {
+		return fmt.Errorf("core: negative StageBytes %d", o.StageBytes)
 	}
 	return nil
 }

@@ -39,7 +39,13 @@ func Sort[T any](c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int
 	defer tm.Stop()
 
 	recSize := int64(cd.Size())
-	if err := opt.Mem.Reserve(int64(len(data)) * recSize); err != nil {
+	// Every byte this call reserves goes through the acct ledger, and
+	// the deferred releaseAll returns whatever is still held on *any*
+	// exit — success, follower dropout, error, even a panic unwinding —
+	// so repeated sorts cannot leak the (shared, long-lived) gauge.
+	acct := &memAcct{g: opt.Mem}
+	defer acct.releaseAll()
+	if err := acct.reserve(int64(len(data)) * recSize); err != nil {
 		return nil, fmt.Errorf("core: input buffer: %w", err)
 	}
 
@@ -49,6 +55,12 @@ func Sort[T any](c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int
 	tr.Emit(rank, "sort.start", map[string]any{
 		"records": len(data), "stable": opt.Stable, "p": c.Size(),
 	})
+	// done emits the terminal event every successful exit path must
+	// produce, with the reason that path returned.
+	done := func(out []T, reason string) ([]T, error) {
+		tr.Emit(rank, "sort.done", map[string]any{"records": len(out), "reason": reason})
+		return out, nil
+	}
 
 	// Resuming past the exchange: this rank's block of the output is
 	// already on disk, nothing to compute. The snapshot is re-committed
@@ -62,8 +74,7 @@ func Sort[T any](c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int
 		if err := saveCkpt(ck, tr, rank, checkpoint.PhaseFinal, m.Merged, m.Leader, nil, cd, out); err != nil {
 			return nil, err
 		}
-		tr.Emit(rank, "sort.done", map[string]any{"records": len(out)})
-		return out, nil
+		return done(out, "resume")
 	}
 
 	var (
@@ -94,7 +105,7 @@ func Sort[T any](c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int
 					return nil, err
 				}
 				tr.Emit(rank, "nodemerge.follower", nil)
-				return []T{}, nil
+				return done([]T{}, "follower")
 			}
 			wc = leaders
 		} else {
@@ -103,7 +114,7 @@ func Sort[T any](c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int
 		merged = m.Merged
 		work = loaded
 		if extra := (int64(len(work)) - int64(len(data))) * recSize; extra > 0 {
-			if err := opt.Mem.Reserve(extra); err != nil {
+			if err := acct.reserve(extra); err != nil {
 				return nil, fmt.Errorf("core: resume buffer: %w", err)
 			}
 		}
@@ -123,7 +134,9 @@ func Sort[T any](c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int
 	} else {
 		// Initial local ordering (Fig. 1 line 2): sorted local data
 		// makes regular sampling representative and feeds the τm merge.
-		tm.Start(metrics.PhasePivotSelection)
+		// This is its own reporting phase — charging it to pivot
+		// selection would dwarf the actual sampling cost.
+		tm.Start(metrics.PhaseLocalSort)
 		if ck.resumeAt(checkpoint.PhaseLocalSort) {
 			_, loaded, err := loadCkpt(ck, tr, rank, checkpoint.PhaseLocalSort, cd)
 			if err != nil {
@@ -145,18 +158,20 @@ func Sort[T any](c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int
 		// Node-level merging (lines 3-7).
 		var isLeader bool
 		var err error
-		work, wc, isLeader, err = nodeMerge(c, data, cd, cmp, recSize, opt, tm)
+		work, wc, isLeader, err = nodeMerge(c, data, cd, cmp, recSize, opt, tm, acct)
 		if err != nil {
 			return nil, err
 		}
 		if !isLeader {
 			// Our records were merged onto the node leader; we hold no
-			// output and take no further part.
+			// output and take no further part. The input reservation
+			// was already returned inside nodeMerge, the moment the
+			// records were handed to the leader.
 			if err := dropOut(ck, tr, rank, cd); err != nil {
 				return nil, err
 			}
 			tr.Emit(rank, "nodemerge.follower", nil)
-			return []T{}, nil
+			return done([]T{}, "follower")
 		}
 		merged = wc != c
 		if len(work) != len(data) || merged {
@@ -173,7 +188,7 @@ func Sort[T any](c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int
 			} else {
 				aliasCkpt(ck, tr, rank, checkpoint.PhaseFinal, checkpoint.PhaseLocalSort, merged, true, nil)
 			}
-			return work, nil
+			return done(work, "single")
 		}
 
 		// Sampling and global pivot selection (lines 8-9).
@@ -198,7 +213,7 @@ func Sort[T any](c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int
 			} else {
 				aliasCkpt(ck, tr, rank, checkpoint.PhaseFinal, checkpoint.PhaseLocalSort, merged, true, nil)
 			}
-			return work, nil
+			return done(work, "empty")
 		}
 		if len(pg) != p-1 {
 			return nil, fmt.Errorf("core: selected %d global pivots for %d processes", len(pg), p)
@@ -249,20 +264,22 @@ func Sort[T any](c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int
 	for _, rc := range rcounts {
 		m += rc
 	}
+	stage := effStage(opt.StageBytes, recSize)
 	tr.Emit(rank, "exchange.plan", map[string]any{
 		"send_records": len(work), "recv_records": m,
-		"overlap": !opt.Stable && p <= opt.TauO,
+		"overlap":     !opt.Stable && p <= opt.TauO,
+		"stage_bytes": stage, "staged": stage > 0,
 	})
-	if err := opt.Mem.Reserve(m * recSize); err != nil {
+	if err := acct.reserve(m * recSize); err != nil {
 		return nil, fmt.Errorf("core: receive buffer of %d records: %w", m, err)
 	}
 
 	// Exchange + local ordering (lines 15-27).
 	var out []T
 	if opt.Stable || p > opt.TauO {
-		out, err = syncExchange(wc, work, bounds, cd, cmp, opt, tm)
+		out, err = syncExchange(wc, work, bounds, rcounts, cd, cmp, opt, tm, acct)
 	} else {
-		out, err = overlapExchange(wc, work, bounds, rcounts, cd, cmp, opt, tm)
+		out, err = overlapExchange(wc, work, bounds, rcounts, cd, cmp, opt, tm, acct)
 	}
 	if err != nil {
 		return nil, err
@@ -270,8 +287,7 @@ func Sort[T any](c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int
 	if err := saveCkpt(ck, tr, rank, checkpoint.PhaseFinal, merged, true, nil, cd, out); err != nil {
 		return nil, err
 	}
-	tr.Emit(rank, "sort.done", map[string]any{"records": len(out)})
-	return out, nil
+	return done(out, "completed")
 }
 
 // partitionData computes this rank's send boundaries using the fast or
@@ -352,107 +368,4 @@ func exchangeCounts(wc *comm.Comm, scounts []int) ([]int64, error) {
 		rcounts[src] = vals[0]
 	}
 	return rcounts, nil
-}
-
-// syncExchange is the synchronous path (Fig. 1 lines 16-21): one
-// blocking all-to-all, then local ordering by k-way merge (p < τs) or
-// by re-sorting (p >= τs). Blocking exchange plus rank-ordered chunks
-// plus stable merge is what carries stability end to end.
-func syncExchange[T any](wc *comm.Comm, work []T, bounds []int, cd codec.Codec[T], cmp func(a, b T) int, opt Options, tm *metrics.PhaseTimer) ([]T, error) {
-	p := wc.Size()
-	parts := make([][]byte, p)
-	for dst := 0; dst < p; dst++ {
-		parts[dst] = codec.EncodeSlice(cd, nil, work[bounds[dst]:bounds[dst+1]])
-	}
-	recv, err := wc.Alltoall(parts)
-	if err != nil {
-		return nil, fmt.Errorf("core: alltoall: %w", err)
-	}
-
-	tm.Start(metrics.PhaseLocalOrdering)
-	chunks := make([][]T, p)
-	total := 0
-	for src := 0; src < p; src++ {
-		chunk, err := codec.DecodeSlice(cd, recv[src])
-		if err != nil {
-			return nil, fmt.Errorf("core: decode from rank %d: %w", src, err)
-		}
-		chunks[src] = chunk
-		total += len(chunk)
-	}
-
-	if p < opt.TauS {
-		// Merge the p sorted chunks: O(m log p), stable by source
-		// rank (SdssMergeAll).
-		return psort.KWayMerge(chunks, cmp), nil
-	}
-	// Re-sort: O(m log m) but independent of p (SdssLocalSort on the
-	// incoming data). Concatenating in rank order first keeps the
-	// stable variant stable.
-	out := make([]T, 0, total)
-	for _, chunk := range chunks {
-		out = append(out, chunk...)
-	}
-	psort.ParallelSort(out, opt.cores(), opt.Stable, cmp)
-	return out, nil
-}
-
-// overlapExchange is the asynchronous path (Fig. 1 lines 23-27):
-// receives from all peers are posted up front, sends stream out without
-// waiting, and each arriving chunk is merged into the running result
-// while the rest of the exchange is still in flight (SdssAlltoallvAsync
-// + SdssMergeTwo). Only the fast (non-stable) sort may take this path.
-func overlapExchange[T any](wc *comm.Comm, work []T, bounds []int, rcounts []int64, cd codec.Codec[T], cmp func(a, b T) int, opt Options, tm *metrics.PhaseTimer) ([]T, error) {
-	p := wc.Size()
-	me := wc.Rank()
-
-	var reqs []*comm.Request
-	var srcs []int
-	for src := 0; src < p; src++ {
-		if src == me || rcounts[src] == 0 {
-			continue
-		}
-		r, err := wc.Irecv(src, tagExchange)
-		if err != nil {
-			return nil, fmt.Errorf("core: irecv from %d: %w", src, err)
-		}
-		reqs = append(reqs, r)
-		srcs = append(srcs, src)
-	}
-	var sends []*comm.Request
-	for dst := 0; dst < p; dst++ {
-		if dst == me || bounds[dst+1] == bounds[dst] {
-			continue
-		}
-		buf := codec.EncodeSlice(cd, nil, work[bounds[dst]:bounds[dst+1]])
-		s, err := wc.Isend(dst, tagExchange, buf)
-		if err != nil {
-			return nil, fmt.Errorf("core: isend to %d: %w", dst, err)
-		}
-		sends = append(sends, s)
-	}
-
-	// Seed the result with our own slice; each arrival merges in.
-	out := append([]T(nil), work[bounds[me]:bounds[me+1]]...)
-	consumed := make([]bool, len(reqs))
-	for {
-		i, buf, err := comm.WaitAnyMask(reqs, consumed)
-		if err != nil {
-			return nil, fmt.Errorf("core: overlapped recv: %w", err)
-		}
-		if i < 0 {
-			break
-		}
-		tm.Start(metrics.PhaseLocalOrdering)
-		chunk, err := codec.DecodeSlice(cd, buf)
-		if err != nil {
-			return nil, fmt.Errorf("core: decode from rank %d: %w", srcs[i], err)
-		}
-		out = psort.MergeTwo(out, chunk, cmp)
-		tm.Start(metrics.PhaseExchange)
-	}
-	if err := comm.WaitAll(sends); err != nil {
-		return nil, fmt.Errorf("core: overlapped send: %w", err)
-	}
-	return out, nil
 }

@@ -24,10 +24,11 @@ func phaseRows(tbl *metrics.Table, name string, o outcome) {
 		if o.OOM {
 			cell = "OOM"
 		}
-		tbl.AddRow(name, cell, cell, cell, cell, cell, cell)
+		tbl.AddRow(name, cell, cell, cell, cell, cell, cell, cell)
 		return
 	}
 	tbl.AddRow(name,
+		metrics.FmtDur(o.Phases[metrics.PhaseLocalSort]),
 		metrics.FmtDur(o.Phases[metrics.PhasePivotSelection]),
 		metrics.FmtDur(o.Phases[metrics.PhaseExchange]),
 		metrics.FmtDur(o.Phases[metrics.PhaseLocalOrdering]),
@@ -80,7 +81,7 @@ func Fig9(cfg Config) (*Result, error) {
 	}
 	tbl := &metrics.Table{
 		Title:   fmt.Sprintf("Fig 9 — PTF (δ≈28%%), %d ranks, %d records", p, p*perRank),
-		Headers: []string{"sorter", "Pivot selection", "Exchange", "Local-ordering", "Other", "total", "RDFA"},
+		Headers: []string{"sorter", "Local sort", "Pivot selection", "Exchange", "Local-ordering", "Other", "total", "RDFA"},
 	}
 	phaseRows(tbl, "HykSort", run.hyk)
 	phaseRows(tbl, "SDS-Sort", run.sds)
@@ -127,7 +128,7 @@ func Fig10(cfg Config) (*Result, error) {
 	}
 	tbl := &metrics.Table{
 		Title:   fmt.Sprintf("Fig 10 — cosmology (δ≈0.73%%), %d ranks, %d particles", p, p*perRank),
-		Headers: []string{"sorter", "Pivot selection", "Exchange", "Local-ordering", "Other", "total", "RDFA"},
+		Headers: []string{"sorter", "Local sort", "Pivot selection", "Exchange", "Local-ordering", "Other", "total", "RDFA"},
 	}
 	phaseRows(tbl, "HykSort", run.hyk)
 	phaseRows(tbl, "SDS-Sort", run.sds)

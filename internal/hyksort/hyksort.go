@@ -78,7 +78,7 @@ func Sort[T any](c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int
 	if err := opt.Mem.Reserve(int64(len(data)) * recSize); err != nil {
 		return nil, fmt.Errorf("hyksort: input buffer: %w", err)
 	}
-	tm.Start(metrics.PhaseLocalOrdering)
+	tm.Start(metrics.PhaseLocalSort)
 	psort.ParallelSort(data, opt.cores(), false, cmp)
 
 	local := data

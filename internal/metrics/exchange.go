@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// ExchangeStats counts what the staged all-to-all data exchange did:
+// how many bytes moved through the bounded staging window, how large
+// that window ever got on the memlimit gauge, and how well the encode
+// buffer pool recycled. One ExchangeStats may be shared by every rank
+// of an in-process job (the counters are atomic), mirroring how one
+// memlimit.Gauge models a shared budget.
+type ExchangeStats struct {
+	// BytesStaged is the total payload bytes that passed through
+	// staging buffers (sent chunks plus the self-copy).
+	BytesStaged atomic.Int64
+	// StageChunks is the number of chunks those bytes were split into.
+	StageChunks atomic.Int64
+	// PeakStagingReserved is the largest staging-window reservation any
+	// single exchange made against the memory gauge.
+	PeakStagingReserved atomic.Int64
+	// PoolHits / PoolMisses count encode-buffer pool lookups that were
+	// served from the free list versus freshly allocated.
+	PoolHits   atomic.Int64
+	PoolMisses atomic.Int64
+}
+
+// ObservePeakStaging raises PeakStagingReserved to v if v is larger.
+func (s *ExchangeStats) ObservePeakStaging(v int64) {
+	if s == nil {
+		return
+	}
+	for {
+		p := s.PeakStagingReserved.Load()
+		if v <= p || s.PeakStagingReserved.CompareAndSwap(p, v) {
+			return
+		}
+	}
+}
+
+// AddPool accrues buffer-pool counters.
+func (s *ExchangeStats) AddPool(hits, misses int64) {
+	if s == nil {
+		return
+	}
+	s.PoolHits.Add(hits)
+	s.PoolMisses.Add(misses)
+}
+
+// AddStaged accrues staged traffic: bytes through the window and the
+// chunk count they were split into.
+func (s *ExchangeStats) AddStaged(bytes, chunks int64) {
+	if s == nil {
+		return
+	}
+	s.BytesStaged.Add(bytes)
+	s.StageChunks.Add(chunks)
+}
+
+// PoolHitRate returns the fraction of pool lookups served without
+// allocating, or 0 when the pool was never used.
+func (s *ExchangeStats) PoolHitRate() float64 {
+	if s == nil {
+		return 0
+	}
+	h, m := s.PoolHits.Load(), s.PoolMisses.Load()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// String renders the counters on one line for reports.
+func (s *ExchangeStats) String() string {
+	if s == nil {
+		return "exchange: unstaged"
+	}
+	return fmt.Sprintf("exchange: %d bytes staged in %d chunks, peak staging %dB, pool hit rate %.2f",
+		s.BytesStaged.Load(), s.StageChunks.Load(), s.PeakStagingReserved.Load(), s.PoolHitRate())
+}

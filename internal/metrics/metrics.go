@@ -19,7 +19,12 @@ import (
 type Phase int
 
 const (
-	PhasePivotSelection Phase = iota
+	// PhaseLocalSort is the initial local ordering of each rank's raw
+	// input (Fig. 1 line 2), before sampling begins. It is distinct from
+	// PhaseLocalOrdering, which orders the *received* data after the
+	// exchange (lines 16-27).
+	PhaseLocalSort Phase = iota
+	PhasePivotSelection
 	PhaseExchange
 	PhaseLocalOrdering
 	PhaseOther
@@ -29,6 +34,8 @@ const (
 // String returns the paper's label for the phase.
 func (p Phase) String() string {
 	switch p {
+	case PhaseLocalSort:
+		return "Local sort"
 	case PhasePivotSelection:
 		return "Pivot selection"
 	case PhaseExchange:
@@ -43,7 +50,7 @@ func (p Phase) String() string {
 
 // Phases lists all phases in reporting order.
 func Phases() []Phase {
-	return []Phase{PhasePivotSelection, PhaseExchange, PhaseLocalOrdering, PhaseOther}
+	return []Phase{PhaseLocalSort, PhasePivotSelection, PhaseExchange, PhaseLocalOrdering, PhaseOther}
 }
 
 // PhaseTimer accumulates wall-clock time per phase for one rank.

@@ -36,7 +36,7 @@ func TestPhaseTimerAccumulation(t *testing.T) {
 		t.Fatal("Add failed")
 	}
 	bd := tm.Breakdown()
-	if bd[PhasePivotSelection] != 10*time.Millisecond || len(bd) != 4 {
+	if bd[PhasePivotSelection] != 10*time.Millisecond || len(bd) != 5 {
 		t.Fatalf("breakdown: %v", bd)
 	}
 }
@@ -137,14 +137,20 @@ func TestFormatHelpers(t *testing.T) {
 }
 
 func TestPhaseString(t *testing.T) {
+	if PhaseLocalSort.String() != "Local sort" {
+		t.Fatal("local-sort phase name")
+	}
 	if PhasePivotSelection.String() != "Pivot selection" {
 		t.Fatal("phase name")
 	}
 	if Phase(99).String() != "Phase(99)" {
 		t.Fatal("unknown phase name")
 	}
-	if len(Phases()) != 4 {
+	if len(Phases()) != 5 {
 		t.Fatal("phase list")
+	}
+	if Phases()[0] != PhaseLocalSort {
+		t.Fatal("local sort must lead the reporting order")
 	}
 }
 

@@ -57,7 +57,7 @@ func Sort[T any](c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int
 		return nil, fmt.Errorf("psrs: input buffer: %w", err)
 	}
 
-	tm.Start(metrics.PhaseLocalOrdering)
+	tm.Start(metrics.PhaseLocalSort)
 	psort.ParallelSort(data, opt.cores(), false, cmp)
 	p := c.Size()
 	if p == 1 {

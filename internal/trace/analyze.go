@@ -47,6 +47,16 @@ type Analysis struct {
 	ExchangeRecv map[int]int64
 	// DuplicatedPivotRuns counts pivots.duplicated reports.
 	DuplicatedPivotRuns int
+	// SortsStarted and SortsCompleted count sort.start and sort.done
+	// events; every successful sort must emit both, so a difference
+	// means either a failed run or a missing terminal event.
+	SortsStarted, SortsCompleted int
+	// UnterminatedRanks lists ranks whose sort.start count exceeds
+	// their sort.done count, sorted ascending.
+	UnterminatedRanks []int
+	// DoneReasons counts sort.done events by their exit reason
+	// ("completed", "follower", "single", "empty", "resume").
+	DoneReasons map[string]int
 	// SpanUS is the elapsed microseconds between the first and last
 	// event.
 	SpanUS int64
@@ -58,9 +68,11 @@ func Analyze(events []Event) Analysis {
 		Kinds:        map[string]int{},
 		Ranks:        map[int]int{},
 		ExchangeRecv: map[int]int64{},
+		DoneReasons:  map[string]int{},
 	}
 	a.Events = len(events)
 	var minT, maxT int64
+	balance := map[int]int{} // per-rank sort.start minus sort.done
 	for i, e := range events {
 		a.Kinds[e.Kind]++
 		a.Ranks[e.Rank]++
@@ -77,8 +89,23 @@ func Analyze(events []Event) Analysis {
 			}
 		case "pivots.duplicated":
 			a.DuplicatedPivotRuns++
+		case "sort.start":
+			a.SortsStarted++
+			balance[e.Rank]++
+		case "sort.done":
+			a.SortsCompleted++
+			balance[e.Rank]--
+			if r, ok := e.Detail["reason"].(string); ok {
+				a.DoneReasons[r]++
+			}
 		}
 	}
+	for r, b := range balance {
+		if b > 0 {
+			a.UnterminatedRanks = append(a.UnterminatedRanks, r)
+		}
+	}
+	sort.Ints(a.UnterminatedRanks)
 	if len(events) > 0 {
 		a.SpanUS = maxT - minT
 	}
@@ -128,6 +155,13 @@ func (a Analysis) Render() string {
 	}
 	if a.DuplicatedPivotRuns > 0 {
 		fmt.Fprintf(&b, "duplicated-pivot reports: %d (skew-aware splitting engaged)\n", a.DuplicatedPivotRuns)
+	}
+	if a.SortsStarted > 0 {
+		fmt.Fprintf(&b, "sorts: %d started, %d completed", a.SortsStarted, a.SortsCompleted)
+		if len(a.UnterminatedRanks) > 0 {
+			fmt.Fprintf(&b, "; UNTERMINATED on ranks %v", a.UnterminatedRanks)
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }

@@ -103,6 +103,7 @@ func Compare[T interface {
 // PhaseTimes is the per-phase wall-time breakdown of one rank's sort, in
 // the categories of the paper's Figures 9 and 10.
 type PhaseTimes struct {
+	LocalSort      time.Duration
 	PivotSelection time.Duration
 	Exchange       time.Duration
 	LocalOrdering  time.Duration
@@ -111,7 +112,7 @@ type PhaseTimes struct {
 
 // Total returns the sum of all phases.
 func (p PhaseTimes) Total() time.Duration {
-	return p.PivotSelection + p.Exchange + p.LocalOrdering + p.Other
+	return p.LocalSort + p.PivotSelection + p.Exchange + p.LocalOrdering + p.Other
 }
 
 // Stats reports what one rank's Sort call did.
@@ -163,6 +164,15 @@ func RunThreshold(avgRunLen float64) Option {
 // receive volume exceeds it fail with an out-of-memory error, as they
 // would on a real machine. 0 means unlimited.
 func MemoryBudget(bytes int64) Option { return func(c *config) { c.mem = bytes } }
+
+// StageBytes bounds the staging window of the all-to-all data exchange:
+// partitions stream out in chunks of at most this many bytes through
+// pooled buffers and arriving chunks are decoded incrementally, so the
+// exchange adds ~2×StageBytes of staging memory instead of an encoded
+// copy of the whole working set. 0 (the default) keeps the monolithic
+// exchange. Combined with MemoryBudget, the budget then bounds the true
+// peak: input + receive buffer + staging window.
+func StageBytes(bytes int64) Option { return func(c *config) { c.opt.StageBytes = bytes } }
 
 // HistogramPivots selects global pivots by iterative histogram
 // refinement (HykSort's method) instead of the paper's regular sampling.
@@ -221,6 +231,7 @@ func (s *Sorter[T]) SortStats(c *Comm, data []T) ([]T, Stats, error) {
 	return out, Stats{
 		Records: len(out),
 		Phases: PhaseTimes{
+			LocalSort:      tm.Get(metrics.PhaseLocalSort),
 			PivotSelection: tm.Get(metrics.PhasePivotSelection),
 			Exchange:       tm.Get(metrics.PhaseExchange),
 			LocalOrdering:  tm.Get(metrics.PhaseLocalOrdering),
