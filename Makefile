@@ -3,7 +3,7 @@
 GO ?= go
 FAULTNET_SEED ?= 1
 
-.PHONY: all build test race vet lint bench bench-json soak experiments experiments-quick fuzz clean
+.PHONY: all build test race vet lint bench bench-json soak soak-engine experiments experiments-quick fuzz clean
 
 all: build test
 
@@ -28,7 +28,9 @@ bench:
 
 # Single-iteration benchmark pass in JSON form, as the CI bench-smoke
 # job publishes it. BenchmarkExchange compares the staged and
-# monolithic all-to-all and reports peak-staging-bytes.
+# monolithic all-to-all and reports peak-staging-bytes;
+# BenchmarkEngineWarmFabric compares jobs on a persistent engine with
+# one-shot launches and reports spawns/job.
 bench-json:
 	$(GO) test -bench=. -benchtime=1x -run xxx -json ./... | tee BENCH_ci.json
 
@@ -38,6 +40,12 @@ bench-json:
 # StageBytes, so kills land on different chunk boundaries.
 soak:
 	FAULTNET_SEED=$(FAULTNET_SEED) $(GO) test -race -run 'Fault|Retry|Reconnect|Recovery' -count=3 -timeout 15m ./internal/...
+
+# Engine soak: a job stream over one warm fabric with a mid-stream
+# fault-killed job; later jobs must still complete and the shared
+# memory gauge must drain between jobs. Seeded like `soak`.
+soak-engine:
+	FAULTNET_SEED=$(FAULTNET_SEED) $(GO) test -race -run 'EngineSoak' -count=3 -timeout 15m ./internal/engine/
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:

@@ -13,19 +13,38 @@
 // file (-in). The sorted shard can be written with -out; the run's
 // timing and final load are printed either way.
 //
+// With -serve the process becomes a persistent job server instead of
+// exiting after one sort: the already-registered TCP world is kept
+// warm and a stream of job specs — one JSON object per line, from a
+// -jobs manifest file or stdin — runs on it back to back, each job on
+// its own job-scoped communicator ("world/job0", "world/job1", ...).
+// Every rank must be given the identical job stream. No re-dial, no
+// handshake, no re-registration happens between jobs; that is the
+// point. See internal/engine.NodeJob for the spec fields.
+//
 // Exit codes form a contract an external supervisor can act on:
 //
-//	0  success
-//	1  local error (bad input file, sort failure, write failure)
-//	2  usage error (bad flags)
+//	0  success (in -serve mode: every job succeeded)
+//	1  local error (bad input file, sort failure, write failure; in
+//	   -serve mode: at least one job failed but the stream finished)
+//	2  usage error (bad flags or a bad job manifest)
 //	3  a peer rank was lost (retry budget exhausted) — restartable
 //	4  -job-deadline exceeded
 //
-// With -ckpt-dir set, each rank snapshots its data at the phase
-// boundaries. After a failure (exit 3), relaunch every rank with the
-// same -ckpt-dir and -epoch incremented; rank 0's -epoch is
-// authoritative and is adopted by the other ranks at registration, so
-// only the coordinator's flag strictly matters. The relaunched world
+// -job-deadline applies per job: in one-shot mode the single sort IS
+// the job, and in -serve mode the clock restarts for every job in the
+// stream (a job spec may override it with its own "deadline"). When a
+// deadline fires the whole process still exits with code 4 — the rank
+// is wedged mid-collective and cannot rejoin the next job — so any
+// remaining jobs in the stream are abandoned, and the peers observe
+// the loss as exit 3. Supervisors should treat 4 in -serve mode as
+// "restart the world, resubmit the unfinished tail of the stream".
+//
+// With -ckpt-dir set (one-shot mode only), each rank snapshots its data
+// at the phase boundaries. After a failure (exit 3), relaunch every
+// rank with the same -ckpt-dir and -epoch incremented; rank 0's -epoch
+// is authoritative and is adopted by the other ranks at registration,
+// so only the coordinator's flag strictly matters. The relaunched world
 // agrees on the latest globally consistent checkpoint cut and resumes
 // from it instead of re-sorting from scratch.
 package main
@@ -33,6 +52,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"time"
@@ -42,6 +62,7 @@ import (
 	"sdssort/internal/comm"
 	"sdssort/internal/comm/tcpcomm"
 	"sdssort/internal/core"
+	"sdssort/internal/engine"
 	"sdssort/internal/metrics"
 	"sdssort/internal/recordio"
 	"sdssort/internal/workload"
@@ -72,6 +93,43 @@ func exitCode(err error) int {
 	return exitLocalError
 }
 
+// jobParams is one job's resolved parameters, from flags (one-shot) or
+// from a NodeJob spec merged over the flag defaults (-serve).
+type jobParams struct {
+	name     string
+	workload string
+	alpha    float64
+	n        int
+	seed     int64
+	in, out  string
+	stable   bool
+	stage    int64
+}
+
+// withSpec overlays a job spec on the flag defaults for one rank.
+func (p jobParams) withSpec(jb engine.NodeJob, rank int) jobParams {
+	p.name = jb.Name
+	if jb.Workload != "" {
+		p.workload = jb.Workload
+	}
+	if jb.Alpha != 0 {
+		p.alpha = jb.Alpha
+	}
+	if jb.N > 0 {
+		p.n = jb.N
+	}
+	if jb.Seed != 0 {
+		p.seed = jb.Seed
+	}
+	p.in = jb.In
+	p.out = jb.OutPath(rank)
+	p.stable = p.stable || jb.Stable
+	if jb.Stage > 0 {
+		p.stage = jb.Stage
+	}
+	return p
+}
+
 func run(args []string) int {
 	log.SetFlags(0)
 	fs := flag.NewFlagSet("sdsnode", flag.ContinueOnError)
@@ -91,9 +149,12 @@ func run(args []string) int {
 		seed     = fs.Int64("seed", 1, "workload seed (combined with rank)")
 		timeout  = fs.Duration("timeout", 30*time.Second, "bootstrap timeout")
 
+		serve    = fs.Bool("serve", false, "serve a stream of jobs over the warm fabric instead of one sort")
+		jobsPath = fs.String("jobs", "", "job manifest for -serve, one JSON spec per line (default: stdin)")
+
 		epoch    = fs.Int("epoch", 0, "recovery epoch; rank 0's value is authoritative and adopted by all ranks")
-		ckptDir  = fs.String("ckpt-dir", "", "checkpoint directory shared by all ranks; enables phase snapshots and resume")
-		deadline = fs.Duration("job-deadline", 0, "kill the whole job after this wall-clock budget (0 = none)")
+		ckptDir  = fs.String("ckpt-dir", "", "checkpoint directory shared by all ranks; enables phase snapshots and resume (one-shot mode only)")
+		deadline = fs.Duration("job-deadline", 0, "kill the process after this per-job wall-clock budget (0 = none)")
 
 		retries   = fs.Int("retries", 5, "per-frame send attempts before declaring the peer lost")
 		retryBase = fs.Duration("retry-base", 2*time.Millisecond, "initial send retry backoff (doubles per attempt)")
@@ -113,16 +174,48 @@ func run(args []string) int {
 		log.Printf("sdsnode: negative -epoch %d", *epoch)
 		return exitUsage
 	}
+	if *serve && *ckptDir != "" {
+		log.Printf("sdsnode: -ckpt-dir is not supported with -serve (checkpointed recovery is per one-shot job)")
+		return exitUsage
+	}
 	log.SetPrefix(fmt.Sprintf("sdsnode[%d]: ", *rank))
 	nodeID := *node
 	if nodeID < 0 {
 		nodeID = *rank
 	}
 
-	// The deadline is absolute: when it fires the process is past
-	// saving, so exit directly rather than threading cancellation
-	// through every blocking transport call.
-	if *deadline > 0 {
+	// In -serve mode the manifest is validated before the expensive
+	// bootstrap, so a typo'd job stream fails fast with a usage error.
+	var jobs []engine.NodeJob
+	if *serve {
+		var r io.Reader = os.Stdin
+		if *jobsPath != "" {
+			f, err := os.Open(*jobsPath)
+			if err != nil {
+				log.Printf("jobs: %v", err)
+				return exitUsage
+			}
+			defer f.Close()
+			r = f
+		}
+		var err error
+		jobs, err = engine.DecodeJobs(r)
+		if err != nil {
+			log.Printf("jobs: %v", err)
+			return exitUsage
+		}
+		if len(jobs) == 0 {
+			log.Printf("jobs: empty job stream")
+			return exitUsage
+		}
+	}
+
+	// In one-shot mode the single sort is the job, so the per-job
+	// deadline is simply absolute for the process. When it fires the
+	// process is past saving — exit directly rather than threading
+	// cancellation through every blocking transport call. (In -serve
+	// mode the timer is armed per job instead; see serveJobs.)
+	if !*serve && *deadline > 0 {
 		time.AfterFunc(*deadline, func() {
 			log.Printf("job deadline %v exceeded", *deadline)
 			os.Exit(exitDeadline)
@@ -155,36 +248,20 @@ func run(args []string) int {
 	c := comm.NewNamed(tr, worldName)
 	log.Printf("joined world of %d ranks (epoch %d)", *size, ep)
 
-	var data []float64
-	if *in != "" {
-		// Each rank seeks directly to its shard of the shared file.
-		data, err = recordio.ReadShard(*in, codec.Float64{}, *rank, *size)
-		if err != nil {
-			log.Print(err)
-			return exitLocalError
-		}
-	} else {
-		switch *wl {
-		case "uniform":
-			data = workload.Uniform(*seed+int64(*rank)*997, *n)
-		case "zipf":
-			data = workload.ZipfKeys(*seed+int64(*rank)*997, *n, *alpha, workload.DefaultZipfUniverse)
-		default:
-			log.Printf("unknown workload %q", *wl)
-			return exitUsage
-		}
+	defaults := jobParams{
+		workload: *wl, alpha: *alpha, n: *n, seed: *seed,
+		in: *in, out: *out, stable: *stable, stage: *stage,
 	}
 
-	opt := core.DefaultOptions()
-	opt.Stable = *stable
-	opt.StageBytes = *stage
-	var exch *metrics.ExchangeStats
-	if *stage > 0 {
-		exch = &metrics.ExchangeStats{}
-		opt.Exchange = exch
+	if *serve {
+		return serveJobs(c, tr, worldName, *rank, *size, defaults, jobs, *deadline)
 	}
-	tm := metrics.NewPhaseTimer()
-	opt.Timer = tm
+
+	data, code := loadJobData(defaults, *rank, *size)
+	if code != exitOK {
+		return code
+	}
+
 	var ck *core.Checkpointing
 	if *ckptDir != "" {
 		store, err := checkpoint.NewStore(*ckptDir, *size)
@@ -206,42 +283,10 @@ func run(args []string) int {
 				log.Printf("no consistent checkpoint; restarting from scratch")
 			}
 		}
-		opt.Checkpoint = ck
 	}
 
-	start := time.Now()
-	sorted, err := core.Sort(c, data, codec.Float64{}, cmpF, opt)
-	if err != nil {
-		if lost, ok := comm.PeerLost(err); ok {
-			// Degrade with a clear verdict rather than a hang: the
-			// retry budget for this peer is spent, the run is dead.
-			log.Printf("sort: peer rank %d lost (retry budget exhausted): %v", lost, err)
-		} else {
-			log.Printf("sort: %v", err)
-		}
-		return exitCode(err)
-	}
-	elapsed := time.Since(start)
-	// Snapshots commit in the background; make them durable before
-	// claiming success — the next epoch's resume depends on them.
-	if err := ck.Wait(); err != nil {
-		log.Printf("checkpoint: %v", err)
-		return exitLocalError
-	}
-	log.Printf("done in %v: %d records held locally", elapsed.Round(time.Millisecond), len(sorted))
-	for _, ph := range metrics.Phases() {
-		log.Printf("  %-16s %s", ph.String(), metrics.FmtDur(tm.Get(ph)))
-	}
-	if exch != nil {
-		log.Printf("  %s", exch)
-	}
-
-	if *out != "" {
-		if err := recordio.WriteFile(*out, codec.Float64{}, sorted); err != nil {
-			log.Print(err)
-			return exitLocalError
-		}
-		log.Printf("wrote %s", *out)
+	if code := sortJob(c, defaults, data, ck, ""); code != exitOK {
+		return code
 	}
 	// Leave together: a final barrier keeps rank 0's process alive
 	// until everyone has finished sending.
@@ -252,6 +297,167 @@ func run(args []string) int {
 			log.Printf("final barrier: %v", err)
 		}
 		return exitCode(err)
+	}
+	return exitOK
+}
+
+// serveJobs is the -serve loop: each job of the stream runs on its own
+// communicator attached to the warm fabric under the agreed per-job
+// name. A job whose input cannot be loaded is skipped by the whole
+// world in lockstep (a one-int agreement round precedes every sort), so
+// one bad manifest entry degrades that job, not the stream; errors
+// inside a collective sort are fatal to the process, as they are in
+// one-shot mode, because a desynchronised rank cannot rejoin.
+func serveJobs(world *comm.Comm, tr comm.Transport, worldName string, rank, size int, defaults jobParams, jobs []engine.NodeJob, defDeadline time.Duration) int {
+	worst := exitOK
+	for i, jb := range jobs {
+		p := defaults.withSpec(jb, rank)
+		dl, err := jb.DeadlineDuration(defDeadline)
+		if err != nil { // pre-validated by DecodeJobs; belt and braces
+			log.Printf("job %d: %v", i, err)
+			return exitUsage
+		}
+		// The job's communicator: same fabric, fresh message context.
+		// Attach never owns the transport, so dropping the comm after
+		// the job cannot disturb its siblings.
+		jc := comm.Attach(tr, engine.JobCommName(worldName, i))
+
+		// Per-job deadline: the clock starts when the job starts, not
+		// at process launch, and is disarmed the moment the job
+		// completes — ten quick jobs never accumulate into an overrun.
+		var timer *time.Timer
+		if dl > 0 {
+			jobDL := dl
+			name := p.name
+			timer = time.AfterFunc(jobDL, func() {
+				log.Printf("job %q deadline %v exceeded", name, jobDL)
+				os.Exit(exitDeadline)
+			})
+		}
+
+		data, loadCode := loadJobData(p, rank, size)
+		if loadCode == exitUsage {
+			return exitUsage
+		}
+		// Agree to run: if any rank failed to load the job's input, the
+		// whole world skips the job together instead of deadlocking the
+		// healthy ranks in a sort the broken rank never joins.
+		ok := int64(1)
+		if loadCode != exitOK {
+			ok = 0
+		}
+		agreed, err := jc.AllreduceInt64(ok, func(a, b int64) int64 { return min(a, b) })
+		if err != nil {
+			log.Printf("job %q: readiness agreement: %v", p.name, err)
+			return exitCode(err)
+		}
+		if agreed == 0 {
+			if timer != nil {
+				timer.Stop()
+			}
+			log.Printf("job %d/%d %q skipped (input unavailable on some rank)", i+1, len(jobs), p.name)
+			worst = exitLocalError
+			continue
+		}
+
+		if code := sortJob(jc, p, data, nil, fmt.Sprintf("job %d/%d %q: ", i+1, len(jobs), p.name)); code != exitOK {
+			// A failed collective leaves this rank desynchronised from
+			// the stream; stop here rather than corrupt later jobs.
+			return code
+		}
+		if timer != nil {
+			timer.Stop()
+		}
+		log.Printf("job %d/%d %q done", i+1, len(jobs), p.name)
+	}
+	// Leave together, exactly as one-shot mode does.
+	if err := world.Barrier(); err != nil {
+		if lost, ok := comm.PeerLost(err); ok {
+			log.Printf("final barrier: peer rank %d lost: %v", lost, err)
+		} else {
+			log.Printf("final barrier: %v", err)
+		}
+		return exitCode(err)
+	}
+	return worst
+}
+
+// loadJobData produces this rank's shard for one job: read from the
+// job's input file or generated. It returns a non-OK exit code instead
+// of data when the job cannot start locally.
+func loadJobData(p jobParams, rank, size int) ([]float64, int) {
+	if p.in != "" {
+		// Each rank seeks directly to its shard of the shared file.
+		data, err := recordio.ReadShard(p.in, codec.Float64{}, rank, size)
+		if err != nil {
+			log.Print(err)
+			return nil, exitLocalError
+		}
+		return data, exitOK
+	}
+	switch p.workload {
+	case "uniform":
+		return workload.Uniform(p.seed+int64(rank)*997, p.n), exitOK
+	case "zipf":
+		return workload.ZipfKeys(p.seed+int64(rank)*997, p.n, p.alpha, workload.DefaultZipfUniverse), exitOK
+	default:
+		log.Printf("unknown workload %q", p.workload)
+		return nil, exitUsage
+	}
+}
+
+// sortJob runs one collective sort on c with per-job metrics, reports
+// the phase breakdown, and writes the output shard when requested.
+// Every log line is prefixed with label so interleaved jobs of a served
+// stream stay attributable.
+func sortJob(c *comm.Comm, p jobParams, data []float64, ck *core.Checkpointing, label string) int {
+	opt := core.DefaultOptions()
+	opt.Stable = p.stable
+	opt.StageBytes = p.stage
+	var exch *metrics.ExchangeStats
+	if p.stage > 0 {
+		exch = &metrics.ExchangeStats{}
+		opt.Exchange = exch
+	}
+	tm := metrics.NewPhaseTimer()
+	opt.Timer = tm
+	if ck != nil {
+		opt.Checkpoint = ck
+	}
+
+	start := time.Now()
+	sorted, err := core.Sort(c, data, codec.Float64{}, cmpF, opt)
+	if err != nil {
+		if lost, ok := comm.PeerLost(err); ok {
+			// Degrade with a clear verdict rather than a hang: the
+			// retry budget for this peer is spent, the run is dead.
+			log.Printf("%ssort: peer rank %d lost (retry budget exhausted): %v", label, lost, err)
+		} else {
+			log.Printf("%ssort: %v", label, err)
+		}
+		return exitCode(err)
+	}
+	elapsed := time.Since(start)
+	// Snapshots commit in the background; make them durable before
+	// claiming success — the next epoch's resume depends on them.
+	if err := ck.Wait(); err != nil {
+		log.Printf("%scheckpoint: %v", label, err)
+		return exitLocalError
+	}
+	log.Printf("%sdone in %v: %d records held locally", label, elapsed.Round(time.Millisecond), len(sorted))
+	for _, ph := range metrics.Phases() {
+		log.Printf("  %-16s %s", ph.String(), metrics.FmtDur(tm.Get(ph)))
+	}
+	if exch != nil {
+		log.Printf("  %s", exch)
+	}
+
+	if p.out != "" {
+		if err := recordio.WriteFile(p.out, codec.Float64{}, sorted); err != nil {
+			log.Print(err)
+			return exitLocalError
+		}
+		log.Printf("%swrote %s", label, p.out)
 	}
 	return exitOK
 }

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"sdssort/internal/comm"
+	"sdssort/internal/engine"
 	"sdssort/internal/memlimit"
 	"sdssort/internal/metrics"
 	"sdssort/internal/trace"
@@ -144,6 +145,42 @@ func launch(topo Topology, opts Options, name string, fn func(c *comm.Comm) erro
 		}
 	}
 	return errors.Join(nonNil...)
+}
+
+// RunEngine builds an in-process fabric shaped like topo and hosts a
+// persistent job engine over it: where Run pays fabric construction for
+// one sort and tears everything down, RunEngine keeps transports and
+// rank workers warm so fn can submit any number of jobs — sequentially
+// or concurrently — against the same fabric. opts.Mem becomes the
+// engine's shared admission gauge and, as in RunOpts, is asserted to
+// have drained back to zero once the engine is closed; opts.Trace
+// receives the engine's life-cycle events at rank -1.
+//
+// The engine is drained and closed before RunEngine returns, even when
+// fn errors: jobs already submitted run to completion.
+func RunEngine(topo Topology, opts Options, fn func(e *engine.Engine) error) error {
+	if err := topo.Validate(); err != nil {
+		return err
+	}
+	size := topo.Size()
+	world, err := comm.NewWorld(size, comm.BlockNodes(size, topo.CoresPerNode))
+	if err != nil {
+		return err
+	}
+	defer world.Close()
+	eng := engine.New(world, engine.Options{
+		Mem:           opts.Mem,
+		WrapTransport: opts.WrapTransport,
+		Trace:         opts.Trace,
+	})
+	fnErr := fn(eng)
+	closeErr := eng.Close()
+	if fnErr == nil && closeErr == nil && opts.Mem != nil {
+		if used := opts.Mem.Used(); used != 0 {
+			return fmt.Errorf("cluster: memory gauge holds %d bytes after the engine drained (reservation leak)", used)
+		}
+	}
+	return errors.Join(fnErr, closeErr)
 }
 
 // Epoch identifies one supervised attempt. N is 0 for the initial run

@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"sdssort/internal/codec"
+	"sdssort/internal/comm"
+	"sdssort/internal/core"
+	"sdssort/internal/engine"
+	"sdssort/internal/engine/sortjob"
+	"sdssort/internal/memlimit"
+	"sdssort/internal/workload"
+)
+
+func cmpB(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func benchParts(data []float64, ranks int) [][]float64 {
+	out := make([][]float64, ranks)
+	per := len(data) / ranks
+	for r := 0; r < ranks; r++ {
+		lo, hi := r*per, (r+1)*per
+		if r == ranks-1 {
+			hi = len(data)
+		}
+		out[r] = data[lo:hi]
+	}
+	return out
+}
+
+// TestRunEngine drives the launcher-level entry point: several jobs —
+// sequential and concurrent — over one RunEngine fabric, with the
+// shared gauge drained at the end (RunEngine itself asserts that).
+func TestRunEngine(t *testing.T) {
+	topo := Topology{Nodes: 2, CoresPerNode: 2}
+	gauge := memlimit.New(32 << 20)
+	data := workload.Uniform(9, 4000)
+	parts := benchParts(data, topo.Size())
+	err := RunEngine(topo, Options{Mem: gauge}, func(e *engine.Engine) error {
+		var jobs []*sortjob.Job[float64]
+		for i := 0; i < 3; i++ {
+			j, err := sortjob.Submit(e, engine.JobSpec{Name: fmt.Sprintf("re%d", i), Footprint: 8 << 20},
+				core.DefaultOptions(), parts, codec.Float64{}, cmpB)
+			if err != nil {
+				return err
+			}
+			jobs = append(jobs, j)
+		}
+		for _, j := range jobs {
+			out, err := j.Output()
+			if err != nil {
+				return err
+			}
+			total := 0
+			for _, blk := range out {
+				total += len(blk)
+			}
+			if total != len(data) {
+				return fmt.Errorf("job %d: %d records, want %d", j.ID(), total, len(data))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used := gauge.Used(); used != 0 {
+		t.Fatalf("gauge holds %d bytes after RunEngine", used)
+	}
+}
+
+// BenchmarkEngineWarmFabric prices the tentpole claim: back-to-back
+// jobs on a persistent engine (one fabric, one worker pool, reused for
+// every job) against a fresh cluster.Run per job (fabric built and torn
+// down every time, one goroutine per rank respawned). Both run the
+// identical sort; the warm/iter metric is the proof the engine path
+// never respawns — it stays at Size() worker spawns total no matter
+// how many iterations the harness runs, while the cold path's
+// goroutines/iter stays at Size() per job.
+func BenchmarkEngineWarmFabric(b *testing.B) {
+	const (
+		nodes = 2
+		cores = 2
+		n     = 20_000
+	)
+	topo := Topology{Nodes: nodes, CoresPerNode: cores}
+	ranks := topo.Size()
+	data := workload.ZipfKeys(42, n, 1.4, workload.DefaultZipfUniverse)
+	parts := benchParts(data, ranks)
+
+	b.Run(fmt.Sprintf("warm-engine/p=%d/n=%d", ranks, n), func(b *testing.B) {
+		world, err := comm.NewWorld(ranks, comm.BlockNodes(ranks, cores))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer world.Close()
+		e := engine.New(world, engine.Options{})
+		defer e.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			j, err := sortjob.Submit(e, engine.JobSpec{},
+				core.DefaultOptions(), parts, codec.Float64{}, cmpB)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := j.Output(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		// Spawns amortise to ~0 per job: the pool from job one served
+		// every iteration.
+		b.ReportMetric(float64(e.WorkerSpawns())/float64(b.N), "spawns/job")
+	})
+
+	b.Run(fmt.Sprintf("cold-cluster/p=%d/n=%d", ranks, n), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			err := Run(topo, func(c *comm.Comm) error {
+				local := append([]float64(nil), parts[c.Rank()]...)
+				_, err := core.Sort(c, local, codec.Float64{}, cmpB, core.DefaultOptions())
+				return err
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		// Every iteration built a fabric and spawned Size() goroutines.
+		b.ReportMetric(float64(ranks), "spawns/job")
+	})
+}

@@ -49,6 +49,19 @@ type Transport interface {
 	Close() error
 }
 
+// CancelableTransport is implemented by transports whose blocking Recv
+// can be abandoned: RecvCancel behaves like Recv but returns a wrapped
+// ErrCanceled once cancel is closed, without consuming any message.
+// The waker (whoever closes cancel) must also nudge the transport —
+// for the in-process fabric that is World.Interrupt — so a receive
+// already parked inside the transport re-checks the channel. The
+// persistent job engine uses this to abort a failed job's collectives
+// without tearing down the shared fabric.
+type CancelableTransport interface {
+	Transport
+	RecvCancel(src int, ctx uint64, tag int32, cancel <-chan struct{}) ([]byte, error)
+}
+
 // Reserved internal tag space. User tags must be non-negative; all
 // internal collective traffic uses negative tags so it can never match a
 // user receive on the same communicator.
@@ -74,6 +87,7 @@ type Comm struct {
 	rank  int    // my rank within group
 	ctx   uint64 // message context, unique per communicator
 	name  string // hierarchical name the context is derived from
+	owned bool   // whether Close tears down the transport
 
 	mu       sync.Mutex
 	cond     *sync.Cond // broadcast on any request completion
@@ -93,6 +107,20 @@ func New(tr Transport) *Comm {
 // frame from a torn-down epoch undeliverable in the next one. All
 // ranks of a world must of course agree on the name.
 func NewNamed(tr Transport, name string) *Comm {
+	c := Attach(tr, name)
+	c.owned = true
+	return c
+}
+
+// Attach is NewNamed without transport ownership: the returned world
+// communicator spans every rank of tr and isolates its traffic under
+// name's context, but its Close never tears the transport down. This is
+// the constructor for multiplexing several communicators — one per job
+// — over one long-lived fabric: each job attaches under its own name
+// ("world/job0", "world/job1", ...) and discards its communicator
+// without disturbing the fabric or its sibling jobs. All ranks must of
+// course agree on the name.
+func Attach(tr Transport, name string) *Comm {
 	group := make([]int, tr.Size())
 	for i := range group {
 		group[i] = i
@@ -418,10 +446,13 @@ func (c *Comm) SplitByNode() (local, leaders *Comm, err error) {
 	return local, leaders, nil
 }
 
-// Close releases the communicator. Only the world communicator owns the
-// transport; closing a sub-communicator is a no-op.
+// Close releases the communicator. Only a root communicator built by
+// New/NewNamed owns the transport; closing a communicator derived by
+// Split, SplitByNode or Dup — or attached with Attach — is a no-op, so
+// a job can discard its job-scoped communicators without tearing down
+// the fabric its siblings are still using.
 func (c *Comm) Close() error {
-	if c.name == "world" {
+	if c.owned {
 		return c.tr.Close()
 	}
 	return nil

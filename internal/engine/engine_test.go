@@ -1,0 +1,421 @@
+package engine_test
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"sdssort/internal/codec"
+	"sdssort/internal/comm"
+	"sdssort/internal/core"
+	"sdssort/internal/engine"
+	"sdssort/internal/engine/sortjob"
+	"sdssort/internal/memlimit"
+	"sdssort/internal/workload"
+)
+
+func cmpF(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// newTestEngine builds an engine over a fresh in-process world and
+// registers cleanup for both.
+func newTestEngine(t *testing.T, ranks, coresPerNode int, opts engine.Options) *engine.Engine {
+	t.Helper()
+	world, err := comm.NewWorld(ranks, comm.BlockNodes(ranks, coresPerNode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := engine.New(world, opts)
+	t.Cleanup(func() {
+		if err := e.Close(); err != nil {
+			t.Errorf("engine close: %v", err)
+		}
+		world.Close()
+	})
+	return e
+}
+
+// parts cuts a generated dataset into per-rank shards.
+func parts(data []float64, ranks int) [][]float64 {
+	out := make([][]float64, ranks)
+	per := len(data) / ranks
+	for r := 0; r < ranks; r++ {
+		lo, hi := r*per, (r+1)*per
+		if r == ranks-1 {
+			hi = len(data)
+		}
+		out[r] = data[lo:hi]
+	}
+	return out
+}
+
+// checkSorted verifies the concatenation of the per-rank blocks is
+// globally sorted and holds exactly want records.
+func checkSorted(t *testing.T, label string, blocks [][]float64, want int) {
+	t.Helper()
+	var all []float64
+	for _, b := range blocks {
+		all = append(all, b...)
+	}
+	if len(all) != want {
+		t.Errorf("%s: got %d records, want %d", label, len(all), want)
+	}
+	if !sort.Float64sAreSorted(all) {
+		t.Errorf("%s: concatenated output is not globally sorted", label)
+	}
+}
+
+// TestConcurrentJobsIsolated is the PR's acceptance scenario: two jobs
+// submitted concurrently to one engine both produce verified sorted
+// output, their metrics report under separate scopes, and the shared
+// admission gauge is back at zero once both are done.
+func TestConcurrentJobsIsolated(t *testing.T) {
+	const ranks = 4
+	gauge := memlimit.New(64 << 20)
+	e := newTestEngine(t, ranks, 2, engine.Options{Mem: gauge})
+
+	zipf := workload.ZipfKeys(7, 4000, 1.4, workload.DefaultZipfUniverse)
+	unif := workload.Uniform(11, 3000)
+
+	j1, err := sortjob.Submit(e, engine.JobSpec{Name: "zipf", Footprint: 1 << 20},
+		core.DefaultOptions(), parts(zipf, ranks), codec.Float64{}, cmpF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := sortjob.Submit(e, engine.JobSpec{Name: "uniform", Footprint: 1 << 20},
+		core.DefaultOptions(), parts(unif, ranks), codec.Float64{}, cmpF)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out1, err := j1.Output()
+	if err != nil {
+		t.Fatalf("job zipf: %v", err)
+	}
+	out2, err := j2.Output()
+	if err != nil {
+		t.Fatalf("job uniform: %v", err)
+	}
+	checkSorted(t, "zipf", out1, len(zipf))
+	checkSorted(t, "uniform", out2, len(unif))
+
+	// Metrics are scoped per job: each scope's record totals are its own
+	// job's, not an aggregate, and both report their own elapsed time.
+	for _, tc := range []struct {
+		j    *sortjob.Job[float64]
+		want int
+	}{{j1, len(zipf)}, {j2, len(unif)}} {
+		m := tc.j.Metrics()
+		total := 0
+		for _, n := range m.Records() {
+			total += n
+		}
+		if total != tc.want {
+			t.Errorf("job %s metrics: %d records, want %d", m.Name, total, tc.want)
+		}
+		if m.Elapsed() <= 0 {
+			t.Errorf("job %s metrics: elapsed not recorded", m.Name)
+		}
+	}
+	if j1.Metrics() == j2.Metrics() {
+		t.Error("jobs share a metrics scope")
+	}
+	if got := e.Registry().Jobs(); len(got) != 2 {
+		t.Errorf("registry has %d jobs, want 2", len(got))
+	}
+
+	if used := gauge.Used(); used != 0 {
+		t.Errorf("shared gauge holds %d bytes after both jobs completed", used)
+	}
+}
+
+// TestSequentialJobsReuseWorkers pins the warm-fabric claim as a
+// counter: any number of back-to-back jobs spawn exactly Size() worker
+// goroutines — the pool from job one serves every later job.
+func TestSequentialJobsReuseWorkers(t *testing.T) {
+	const ranks = 3
+	e := newTestEngine(t, ranks, ranks, engine.Options{})
+	data := workload.Uniform(3, 900)
+	for i := 0; i < 3; i++ {
+		j, err := sortjob.Submit(e, engine.JobSpec{Name: fmt.Sprintf("seq%d", i)},
+			core.DefaultOptions(), parts(data, ranks), codec.Float64{}, cmpF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := j.Output()
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		checkSorted(t, fmt.Sprintf("seq%d", i), out, len(data))
+	}
+	if got := e.WorkerSpawns(); got != ranks {
+		t.Errorf("3 sequential jobs spawned %d workers, want %d (reuse)", got, ranks)
+	}
+}
+
+// TestAdmissionSerializes submits two jobs whose footprints cannot
+// coexist under the budget: the second must stay queued until the first
+// releases, and the gauge's peak must never exceed the budget.
+func TestAdmissionSerializes(t *testing.T) {
+	const ranks = 2
+	gauge := memlimit.New(1 << 20) // fits exactly one declared footprint
+	e := newTestEngine(t, ranks, ranks, engine.Options{Mem: gauge})
+
+	hold := make(chan struct{})
+	started := make(chan struct{}, ranks)
+	j1, err := e.Submit(engine.JobSpec{
+		Name: "holder", Footprint: 1 << 20,
+		Body: func(env engine.Env, rank int, c *comm.Comm) error {
+			started <- struct{}{}
+			<-hold
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ranks; i++ {
+		<-started // job 1 is genuinely running on every rank
+	}
+
+	j2, err := e.Submit(engine.JobSpec{
+		Name: "waiter", Footprint: 1 << 20,
+		Body: func(env engine.Env, rank int, c *comm.Comm) error { return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Admission is strict FIFO against the gauge: with job 1 holding the
+	// whole budget, job 2 must not start.
+	time.Sleep(20 * time.Millisecond)
+	if st := j2.State(); st != engine.Queued {
+		t.Fatalf("job 2 is %v while job 1 holds the whole budget, want queued", st)
+	}
+
+	close(hold)
+	if err := j1.Wait(); err != nil {
+		t.Fatalf("job 1: %v", err)
+	}
+	if err := j2.Wait(); err != nil {
+		t.Fatalf("job 2: %v", err)
+	}
+	if peak, budget := gauge.Peak(), gauge.Budget(); peak > budget {
+		t.Errorf("gauge peak %d exceeded budget %d: admission overlapped", peak, budget)
+	}
+	if used := gauge.Used(); used != 0 {
+		t.Errorf("gauge holds %d bytes after both jobs", used)
+	}
+}
+
+// TestSubmitRejections covers the submission-time contract.
+func TestSubmitRejections(t *testing.T) {
+	gauge := memlimit.New(1 << 10)
+	e := newTestEngine(t, 2, 2, engine.Options{Mem: gauge})
+	noop := func(env engine.Env, rank int, c *comm.Comm) error { return nil }
+
+	if _, err := e.Submit(engine.JobSpec{}); err == nil {
+		t.Error("Submit accepted a nil Body")
+	}
+	if _, err := e.Submit(engine.JobSpec{Body: noop, Footprint: -1}); err == nil {
+		t.Error("Submit accepted a negative footprint")
+	}
+	// A footprint above the whole budget could never be admitted; that
+	// is a submission error, not an eternal queue entry.
+	if _, err := e.Submit(engine.JobSpec{Body: noop, Footprint: 1 << 11}); err == nil {
+		t.Error("Submit accepted a footprint above the engine budget")
+	}
+	if _, err := sortjob.Submit(e, engine.JobSpec{Body: noop}, core.DefaultOptions(),
+		nil, codec.Float64{}, cmpF); err == nil {
+		t.Error("sortjob.Submit accepted a JobSpec with a Body")
+	}
+	if _, err := sortjob.Submit(e, engine.JobSpec{}, core.DefaultOptions(),
+		make([][]float64, 3), codec.Float64{}, cmpF); err == nil {
+		t.Error("sortjob.Submit accepted more input parts than ranks")
+	}
+}
+
+func TestSubmitAfterCloseFails(t *testing.T) {
+	world, err := comm.NewWorld(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer world.Close()
+	e := engine.New(world, engine.Options{})
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = e.Submit(engine.JobSpec{Body: func(env engine.Env, rank int, c *comm.Comm) error { return nil }})
+	if !errors.Is(err, engine.ErrEngineClosed) {
+		t.Errorf("Submit after Close: %v, want engine.ErrEngineClosed", err)
+	}
+}
+
+// TestJobDeadline parks every rank in a receive that can never be
+// satisfied and lets the per-job deadline cancel it: Wait must report
+// engine.ErrDeadline, the ranks must unblock via cancellation (not hang), and
+// the fabric must still run the next job.
+func TestJobDeadline(t *testing.T) {
+	const ranks = 2
+	e := newTestEngine(t, ranks, ranks, engine.Options{})
+	j, err := e.Submit(engine.JobSpec{
+		Name: "wedged", Deadline: 30 * time.Millisecond,
+		Body: func(env engine.Env, rank int, c *comm.Comm) error {
+			// Everyone receives, nobody sends: a deadlocked collective.
+			_, err := c.Recv((rank+1)%ranks, 99)
+			return err
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- j.Wait() }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, engine.ErrDeadline) {
+			t.Fatalf("Wait: %v, want engine.ErrDeadline", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("deadline did not cancel the wedged job")
+	}
+
+	// The fabric survived: a fresh job on the same engine completes.
+	data := workload.Uniform(5, 600)
+	j2, err := sortjob.Submit(e, engine.JobSpec{Name: "after"}, core.DefaultOptions(),
+		parts(data, ranks), codec.Float64{}, cmpF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := j2.Output()
+	if err != nil {
+		t.Fatalf("job after deadline: %v", err)
+	}
+	checkSorted(t, "after-deadline", out, len(data))
+}
+
+// TestCancelUnblocksJob cancels a job whose ranks are parked in
+// receives and checks they unblock with a cancellation error.
+func TestCancelUnblocksJob(t *testing.T) {
+	const ranks = 2
+	e := newTestEngine(t, ranks, ranks, engine.Options{})
+	j, err := e.Submit(engine.JobSpec{
+		Name: "cancelled",
+		Body: func(env engine.Env, rank int, c *comm.Comm) error {
+			_, err := c.Recv((rank+1)%ranks, 7)
+			return err
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond) // let the ranks park
+	j.Cancel()
+	err = j.Wait()
+	if !errors.Is(err, comm.ErrCanceled) {
+		t.Fatalf("Wait after Cancel: %v, want ErrCanceled", err)
+	}
+}
+
+// TestFailedJobDoesNotPoisonFabric fails one rank of a job whose
+// siblings are blocked in a collective: the siblings must unblock, the
+// job must report the real error (not the cancellation cascade), the
+// job's gauge reservation must drain, and the next job must succeed.
+func TestFailedJobDoesNotPoisonFabric(t *testing.T) {
+	const ranks = 4
+	gauge := memlimit.New(32 << 20)
+	e := newTestEngine(t, ranks, 2, engine.Options{Mem: gauge})
+
+	boom := errors.New("rank 0 exploded")
+	j, err := e.Submit(engine.JobSpec{
+		Name: "doomed", Footprint: 1 << 20,
+		Body: func(env engine.Env, rank int, c *comm.Comm) error {
+			if rank == 0 {
+				return boom
+			}
+			// The others head into a barrier rank 0 never joins.
+			return c.Barrier()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = j.Wait()
+	if !errors.Is(err, boom) {
+		t.Fatalf("doomed job: %v, want the rank-0 error", err)
+	}
+	if used := gauge.Used(); used != 0 {
+		t.Errorf("gauge holds %d bytes after the failed job", used)
+	}
+
+	data := workload.ZipfKeys(13, 2000, 1.2, workload.DefaultZipfUniverse)
+	j2, err := sortjob.Submit(e, engine.JobSpec{Name: "survivor", Footprint: 1 << 20},
+		core.DefaultOptions(), parts(data, ranks), codec.Float64{}, cmpF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := j2.Output()
+	if err != nil {
+		t.Fatalf("job after failure: %v", err)
+	}
+	checkSorted(t, "survivor", out, len(data))
+	if used := gauge.Used(); used != 0 {
+		t.Errorf("gauge holds %d bytes after the follow-up job", used)
+	}
+}
+
+// TestPanickingRankFailsJobOnly converts a rank panic into a job error
+// without taking down the process or the fabric.
+func TestPanickingRankFailsJobOnly(t *testing.T) {
+	const ranks = 2
+	e := newTestEngine(t, ranks, ranks, engine.Options{})
+	j, err := e.Submit(engine.JobSpec{
+		Name: "panicky",
+		Body: func(env engine.Env, rank int, c *comm.Comm) error {
+			if rank == 1 {
+				panic("kaboom")
+			}
+			return c.Barrier()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = j.Wait()
+	var pe *engine.PanicError
+	if !errors.As(err, &pe) || pe.Rank != 1 {
+		t.Fatalf("panicky job: %v, want engine.PanicError{Rank: 1}", err)
+	}
+
+	data := workload.Uniform(17, 800)
+	j2, err := sortjob.Submit(e, engine.JobSpec{Name: "calm"}, core.DefaultOptions(),
+		parts(data, ranks), codec.Float64{}, cmpF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := j2.Output()
+	if err != nil {
+		t.Fatalf("job after panic: %v", err)
+	}
+	checkSorted(t, "calm", out, len(data))
+}
+
+// TestJobCommName pins the cross-process naming convention: every
+// participant of a multiplexed fabric derives job i's communicator name
+// the same way, so the message contexts agree.
+func TestJobCommName(t *testing.T) {
+	if got := engine.JobCommName("world", 0); got != "world/job0" {
+		t.Errorf("engine.JobCommName(world, 0) = %q", got)
+	}
+	if got := engine.JobCommName("world@e2", 7); got != "world@e2/job7" {
+		t.Errorf("engine.JobCommName(world@e2, 7) = %q", got)
+	}
+}

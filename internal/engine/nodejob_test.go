@@ -1,0 +1,83 @@
+package engine_test
+
+import (
+	"strings"
+
+	"sdssort/internal/engine"
+	"testing"
+	"time"
+)
+
+func TestDecodeJobs(t *testing.T) {
+	manifest := `
+# warm-up, tiny
+{"name": "small", "workload": "uniform", "n": 1000}
+
+{"workload": "zipf", "alpha": 1.6, "n": 5000, "out": "/tmp/z.{rank}", "deadline": "30s"}
+{"in": "/data/shard.bin", "stable": true, "stage": 65536}
+`
+	jobs, err := engine.DecodeJobs(strings.NewReader(manifest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 3 {
+		t.Fatalf("decoded %d jobs, want 3 (blank lines and comments skipped)", len(jobs))
+	}
+	if jobs[0].Name != "small" || jobs[0].N != 1000 {
+		t.Errorf("job 0 = %+v", jobs[0])
+	}
+	// Unnamed jobs default to their stream index.
+	if jobs[1].Name != "job1" {
+		t.Errorf("job 1 name = %q, want job1", jobs[1].Name)
+	}
+	d, err := jobs[1].DeadlineDuration(0)
+	if err != nil || d != 30*time.Second {
+		t.Errorf("job 1 deadline = %v, %v", d, err)
+	}
+	if !jobs[2].Stable || jobs[2].Stage != 65536 || jobs[2].In != "/data/shard.bin" {
+		t.Errorf("job 2 = %+v", jobs[2])
+	}
+}
+
+func TestDecodeJobsRejectsUnknownField(t *testing.T) {
+	_, err := engine.DecodeJobs(strings.NewReader(`{"name": "x", "workloda": "zipf"}`))
+	if err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Fatalf("typo'd field: %v, want a line-1 error", err)
+	}
+}
+
+func TestDecodeJobsRejectsBadDeadline(t *testing.T) {
+	if _, err := engine.DecodeJobs(strings.NewReader(`{"deadline": "fast"}`)); err == nil {
+		t.Fatal("unparseable deadline accepted")
+	}
+	if _, err := engine.DecodeJobs(strings.NewReader(`{"deadline": "-1s"}`)); err == nil {
+		t.Fatal("negative deadline accepted")
+	}
+}
+
+func TestOutPath(t *testing.T) {
+	for _, tc := range []struct {
+		out  string
+		rank int
+		want string
+	}{
+		{"", 3, ""}, // no output requested stays no output
+		{"/tmp/sorted.{rank}.bin", 2, "/tmp/sorted.2.bin"},
+		{"/tmp/sorted.bin", 1, "/tmp/sorted.bin.r1"}, // ranks never clobber each other
+	} {
+		if got := (engine.NodeJob{Out: tc.out}).OutPath(tc.rank); got != tc.want {
+			t.Errorf("OutPath(%q, rank %d) = %q, want %q", tc.out, tc.rank, got, tc.want)
+		}
+	}
+}
+
+func TestDeadlineDurationFallback(t *testing.T) {
+	d, err := (engine.NodeJob{}).DeadlineDuration(5 * time.Second)
+	if err != nil || d != 5*time.Second {
+		t.Errorf("empty deadline: %v, %v, want the fallback", d, err)
+	}
+	d, err = (engine.NodeJob{Deadline: "100ms"}).DeadlineDuration(5 * time.Second)
+	if err != nil || d != 100*time.Millisecond {
+		t.Errorf("explicit deadline: %v, %v, want 100ms overriding the fallback", d, err)
+	}
+}

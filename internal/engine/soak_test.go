@@ -1,0 +1,153 @@
+package engine_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+
+	"sdssort/internal/codec"
+	"sdssort/internal/core"
+	"sdssort/internal/engine"
+	"sdssort/internal/engine/sortjob"
+	"sdssort/internal/faultnet"
+	"sdssort/internal/memlimit"
+	"sdssort/internal/workload"
+)
+
+// soakSeed draws the soak's RNG seed from FAULTNET_SEED so the CI
+// matrix pushes the kill point and job mix around between runs.
+func soakSeed(t *testing.T) int64 {
+	t.Helper()
+	seed := int64(1)
+	if s := os.Getenv("FAULTNET_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad FAULTNET_SEED %q: %v", s, err)
+		}
+		seed = v
+	}
+	return seed
+}
+
+// TestEngineSoakJobStream is the engine soak (its name matches the CI
+// lane's EngineSoak regex): a stream of mixed-size jobs over one warm
+// fabric, with one job mid-stream fault-killed through its per-job
+// transport wrapper. The killed job must fail as a peer loss, every
+// other job must produce verified sorted output, the shared admission
+// gauge must drain to zero between jobs, and the whole stream must run
+// on the worker pool of job one — no respawn.
+func TestEngineSoakJobStream(t *testing.T) {
+	seed := soakSeed(t)
+	rng := rand.New(rand.NewSource(seed))
+	const (
+		ranks = 4
+		nJobs = 8
+	)
+	gauge := memlimit.New(64 << 20)
+	e := newTestEngine(t, ranks, 2, engine.Options{Mem: gauge})
+
+	killIdx := 2 + rng.Intn(nJobs-4) // strictly mid-stream: jobs exist on both sides
+	for i := 0; i < nJobs; i++ {
+		var data []float64
+		n := 400 + rng.Intn(4000)
+		if i%2 == 0 {
+			data = workload.ZipfKeys(seed+int64(i), n, 1.1+rng.Float64(), workload.DefaultZipfUniverse)
+		} else {
+			data = workload.Uniform(seed+int64(i), n)
+		}
+		spec := engine.JobSpec{Name: fmt.Sprintf("soak%d", i), Footprint: 4 << 20}
+		var inj *faultnet.Injector
+		if i == killIdx {
+			var err error
+			inj, err = faultnet.New(faultnet.Plan{
+				Seed:     seed,
+				KillRank: rng.Intn(ranks),
+				// A 4-rank sort is only a handful of transport ops on
+				// the quietest rank, so the threshold stays tiny to
+				// guarantee the kill lands inside the job.
+				KillAfterOps: int64(1 + rng.Intn(2)),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec.WrapTransport = inj.Wrap
+		}
+		j, err := sortjob.Submit(e, spec, core.DefaultOptions(),
+			parts(data, ranks), codec.Float64{}, cmpF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := j.Output()
+		if i == killIdx {
+			if err == nil {
+				t.Fatalf("job %d: fault-killed job succeeded (kill never fired)", i)
+			}
+			if !errors.Is(err, faultnet.ErrKilled) {
+				t.Fatalf("job %d: %v, want the injected kill", i, err)
+			}
+		} else {
+			if err != nil {
+				t.Fatalf("job %d after kill at %d: %v", i, killIdx, err)
+			}
+			checkSorted(t, spec.Name, out, len(data))
+		}
+		// The gauge drains between jobs — including after the killed
+		// one, whose reservation release must not depend on success.
+		if used := gauge.Used(); used != 0 {
+			t.Fatalf("gauge holds %d bytes after job %d", used, i)
+		}
+	}
+
+	// The sequential stream, kill included, never needed a second
+	// worker per rank.
+	if got := e.WorkerSpawns(); got != ranks {
+		t.Errorf("sequential soak spawned %d workers, want %d", got, ranks)
+	}
+
+	// Burst phase: a batch submitted at once, admission arbitrating the
+	// shared gauge. All must succeed and the gauge must end empty.
+	type burstJob struct {
+		j    *sortjob.Job[float64]
+		name string
+		n    int
+	}
+	var burst []burstJob
+	for i := 0; i < 4; i++ {
+		n := 300 + rng.Intn(2000)
+		data := workload.Uniform(seed+100+int64(i), n)
+		name := fmt.Sprintf("burst%d", i)
+		j, err := sortjob.Submit(e, engine.JobSpec{Name: name, Footprint: 24 << 20},
+			core.DefaultOptions(), parts(data, ranks), codec.Float64{}, cmpF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		burst = append(burst, burstJob{j, name, n})
+	}
+	for _, bj := range burst {
+		out, err := bj.j.Output()
+		if err != nil {
+			t.Fatalf("%s: %v", bj.name, err)
+		}
+		checkSorted(t, bj.name, out, bj.n)
+	}
+	if used := gauge.Used(); used != 0 {
+		t.Errorf("gauge holds %d bytes after the burst", used)
+	}
+	if peak, budget := gauge.Peak(), gauge.Budget(); peak > budget {
+		t.Errorf("gauge peak %d exceeded budget %d during the burst", peak, budget)
+	}
+
+	// Per-job metrics scopes survived the stream: one per job, each
+	// with its own record totals.
+	if got := len(e.Registry().Jobs()); got != nJobs+len(burst) {
+		t.Errorf("registry has %d scopes, want %d", got, nJobs+len(burst))
+	}
+
+	// Two declared 24MiB footprints fit a 64MiB budget, so the burst
+	// should genuinely overlap — but that is scheduling, not contract;
+	// the contract checks above are what this soak enforces.
+	_ = killIdx
+}

@@ -1,0 +1,86 @@
+// Package sortjob runs collective core.Sort calls as jobs on a
+// persistent engine. It is the typed bridge between the two layers:
+// engine knows nothing about sorting (it schedules opaque job bodies),
+// core knows nothing about job multiplexing — this package wires a
+// sort body into a JobSpec and hands each rank its per-job options.
+package sortjob
+
+import (
+	"fmt"
+
+	"sdssort/internal/codec"
+	"sdssort/internal/comm"
+	"sdssort/internal/core"
+	"sdssort/internal/engine"
+)
+
+// Job is the typed handle Submit returns: the generic engine job plus
+// the per-rank output blocks.
+type Job[T any] struct {
+	*engine.Job
+	out [][]T
+}
+
+// Output waits for the job and returns the sorted per-rank blocks
+// (element r is rank r's block; concatenating in rank order yields the
+// globally sorted dataset).
+func (s *Job[T]) Output() ([][]T, error) {
+	if err := s.Wait(); err != nil {
+		return nil, err
+	}
+	return s.out, nil
+}
+
+// Submit submits a collective core.Sort of parts as one engine job:
+// parts[r] is rank r's input (copied before sorting, so the caller's
+// slices are never reordered). The engine hands each rank its per-job
+// options — the job's phase timer, exchange counters and memory gauge —
+// so concurrent jobs' metrics and budgets stay fully separated; opt
+// supplies the remaining algorithm tunables (τ thresholds, stability,
+// staging, pivot method, tracer, checkpointing).
+//
+// spec.Body must be unset; Submit provides it.
+func Submit[T any](e *engine.Engine, spec engine.JobSpec, opt core.Options, parts [][]T, cd codec.Codec[T], cmp func(a, b T) int) (*Job[T], error) {
+	if spec.Body != nil {
+		return nil, fmt.Errorf("sortjob: Submit builds the job body; JobSpec.Body must be nil")
+	}
+	p := e.Size()
+	if len(parts) > p {
+		return nil, fmt.Errorf("sortjob: %d input parts for %d ranks", len(parts), p)
+	}
+	out := make([][]T, p)
+	spec.Body = func(env engine.Env, rank int, c *comm.Comm) error {
+		o := opt
+		o.Timer = env.Metrics.Timer(rank)
+		o.Exchange = env.Metrics.Exchange
+		o.Mem = env.Mem
+		var local []T
+		if rank < len(parts) {
+			local = append([]T(nil), parts[rank]...)
+		}
+		sorted, err := core.Sort(c, local, cd, cmp, o)
+		if err != nil {
+			return err
+		}
+		out[rank] = sorted
+		env.Metrics.SetRecords(rank, len(sorted))
+		return nil
+	}
+	j, err := e.Submit(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &Job[T]{Job: j, out: out}, nil
+}
+
+// Footprint is a safe JobSpec.Footprint declaration for a sort job
+// moving totalRecords records of recSize bytes across ranks with a
+// staged exchange window of stage bytes per rank: input + receive
+// buffers (each totals one copy of the dataset), the staging windows,
+// and 50% slack for the transient double-holding of the τm node merge
+// and for skew concentrating receive volume before the partition
+// balances it.
+func Footprint(totalRecords int64, recSize, ranks int, stage int64) int64 {
+	b := totalRecords * int64(recSize)
+	return 2*b + b/2 + 2*stage*int64(ranks)
+}

@@ -1,0 +1,164 @@
+package metrics
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// JobMetrics is the measurement scope of one job on a multiplexed
+// fabric: per-rank phase timers, the job's exchange counters and the
+// final per-rank loads, all isolated from every other job running on
+// the same fabric. Before job scoping, a long-lived process had one
+// PhaseTimer and one ExchangeStats and every sort aggregated into them;
+// a JobMetrics makes "how long did job 7's exchange take" answerable.
+//
+// Each Timer(rank) is owned by that rank's goroutine (PhaseTimer is not
+// concurrency-safe); everything else on the type is safe for concurrent
+// use by the job's ranks.
+type JobMetrics struct {
+	// ID is the job's engine-assigned sequence number.
+	ID int
+	// Name labels the job in tables and traces.
+	Name string
+	// Exchange accrues the job's staged-exchange counters across ranks.
+	Exchange *ExchangeStats
+
+	timers  []*PhaseTimer
+	mu      sync.Mutex
+	records []int
+	elapsed time.Duration
+}
+
+// NewJobMetrics builds a scope for a job of the given rank count.
+// Engine users normally get one from JobRegistry.NewJob instead.
+func NewJobMetrics(id int, name string, ranks int) *JobMetrics {
+	if ranks < 1 {
+		ranks = 1
+	}
+	m := &JobMetrics{
+		ID:       id,
+		Name:     name,
+		Exchange: &ExchangeStats{},
+		timers:   make([]*PhaseTimer, ranks),
+		records:  make([]int, ranks),
+	}
+	for r := range m.timers {
+		m.timers[r] = NewPhaseTimer()
+	}
+	return m
+}
+
+// Ranks returns the job's rank count.
+func (m *JobMetrics) Ranks() int { return len(m.timers) }
+
+// Timer returns rank's phase timer. The timer is owned by that rank's
+// goroutine for the duration of the job.
+func (m *JobMetrics) Timer(rank int) *PhaseTimer { return m.timers[rank] }
+
+// SetRecords stores rank's final load (the m_i of the RDFA metric).
+func (m *JobMetrics) SetRecords(rank, n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.records[rank] = n
+}
+
+// Records returns a copy of the per-rank final loads.
+func (m *JobMetrics) Records() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]int(nil), m.records...)
+}
+
+// SetElapsed records the job's wall time (admission to completion).
+func (m *JobMetrics) SetElapsed(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.elapsed = d
+}
+
+// Elapsed returns the job's wall time, zero while it is still running.
+func (m *JobMetrics) Elapsed() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.elapsed
+}
+
+// MergedPhases folds the job's per-rank timers with MergeMax — the
+// slowest rank per phase, the number the paper's stacked bars report.
+func (m *JobMetrics) MergedPhases() map[Phase]time.Duration {
+	return MergeMax(m.timers)
+}
+
+// RDFA returns the job's load-balance metric over its final loads.
+func (m *JobMetrics) RDFA() float64 { return RDFA(m.Records()) }
+
+// JobRegistry hands out and retains JobMetrics scopes, one per job, in
+// submission order. It is the engine's answer to "phase tables must not
+// aggregate across jobs": each job reports under its own scope and the
+// registry renders them side by side.
+type JobRegistry struct {
+	mu   sync.Mutex
+	jobs []*JobMetrics
+}
+
+// NewJobRegistry returns an empty registry.
+func NewJobRegistry() *JobRegistry { return &JobRegistry{} }
+
+// NewJob allocates the next job's scope. IDs are assigned sequentially
+// from 0; an empty name defaults to "job<id>".
+func (r *JobRegistry) NewJob(name string, ranks int) *JobMetrics {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id := len(r.jobs)
+	if name == "" {
+		name = fmt.Sprintf("job%d", id)
+	}
+	m := NewJobMetrics(id, name, ranks)
+	r.jobs = append(r.jobs, m)
+	return m
+}
+
+// Get returns the scope of job id, or nil if no such job exists.
+func (r *JobRegistry) Get(id int) *JobMetrics {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id < 0 || id >= len(r.jobs) {
+		return nil
+	}
+	return r.jobs[id]
+}
+
+// Jobs returns every registered scope in submission order (a copy of
+// the slice; the scopes themselves are shared).
+func (r *JobRegistry) Jobs() []*JobMetrics {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*JobMetrics(nil), r.jobs...)
+}
+
+// Table renders one row per job: wall time, the MergeMax phase
+// breakdown, total records and RDFA — the service-shaped counterpart of
+// the per-run phase tables.
+func (r *JobRegistry) Table() *Table {
+	t := &Table{Title: "Jobs", Headers: []string{"job", "elapsed"}}
+	phases := Phases()
+	for _, p := range phases {
+		t.Headers = append(t.Headers, p.String())
+	}
+	t.Headers = append(t.Headers, "records", "RDFA")
+	for _, m := range r.Jobs() {
+		row := []string{m.Name, FmtDur(m.Elapsed())}
+		merged := m.MergedPhases()
+		for _, p := range phases {
+			row = append(row, FmtDur(merged[p]))
+		}
+		total := 0
+		for _, n := range m.Records() {
+			total += n
+		}
+		row = append(row, fmt.Sprint(total), FmtRDFA(m.RDFA()))
+		t.AddRow(row...)
+	}
+	return t
+}

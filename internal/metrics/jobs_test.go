@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestJobMetricsIsolation checks two scopes from one registry never
+// share state: timers, exchange counters, records and elapsed are all
+// per job.
+func TestJobMetricsIsolation(t *testing.T) {
+	reg := NewJobRegistry()
+	a := reg.NewJob("alpha", 2)
+	b := reg.NewJob("", 2) // defaults to job1
+
+	if a.ID != 0 || b.ID != 1 {
+		t.Fatalf("ids = %d, %d, want 0, 1", a.ID, b.ID)
+	}
+	if b.Name != "job1" {
+		t.Errorf("default name = %q, want job1", b.Name)
+	}
+	if a.Exchange == b.Exchange {
+		t.Error("jobs share an ExchangeStats")
+	}
+	if a.Timer(0) == b.Timer(0) || a.Timer(0) == a.Timer(1) {
+		t.Error("phase timers are shared across jobs or ranks")
+	}
+
+	a.Timer(0).Add(PhaseLocalSort, 3*time.Millisecond)
+	a.SetRecords(0, 100)
+	a.SetRecords(1, 300)
+	a.SetElapsed(7 * time.Millisecond)
+	b.SetRecords(0, 5)
+
+	if got := b.Timer(0).Get(PhaseLocalSort); got != 0 {
+		t.Errorf("job b inherited job a's timer: %v", got)
+	}
+	if got := a.Records(); got[0] != 100 || got[1] != 300 {
+		t.Errorf("job a records = %v", got)
+	}
+	if got := b.Records(); got[0] != 5 || got[1] != 0 {
+		t.Errorf("job b records = %v", got)
+	}
+	if a.Elapsed() != 7*time.Millisecond || b.Elapsed() != 0 {
+		t.Errorf("elapsed leaked across scopes: a=%v b=%v", a.Elapsed(), b.Elapsed())
+	}
+	if got := a.MergedPhases()[PhaseLocalSort]; got != 3*time.Millisecond {
+		t.Errorf("merged local-sort = %v, want 3ms", got)
+	}
+}
+
+func TestJobRegistryLookup(t *testing.T) {
+	reg := NewJobRegistry()
+	m := reg.NewJob("only", 1)
+	if reg.Get(0) != m {
+		t.Error("Get(0) did not return the registered scope")
+	}
+	if reg.Get(1) != nil || reg.Get(-1) != nil {
+		t.Error("Get out of range did not return nil")
+	}
+	if jobs := reg.Jobs(); len(jobs) != 1 || jobs[0] != m {
+		t.Errorf("Jobs() = %v", jobs)
+	}
+}
+
+func TestJobRegistryTable(t *testing.T) {
+	reg := NewJobRegistry()
+	a := reg.NewJob("first", 2)
+	a.SetRecords(0, 10)
+	a.SetRecords(1, 10)
+	a.SetElapsed(time.Millisecond)
+	reg.NewJob("second", 2)
+
+	out := reg.Table().String()
+	for _, want := range []string{"first", "second", "20"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
