@@ -3,7 +3,7 @@
 GO ?= go
 FAULTNET_SEED ?= 1
 
-.PHONY: all build test race vet lint bench bench-json soak soak-engine experiments experiments-quick fuzz clean
+.PHONY: all build test race vet lint bench bench-json soak soak-engine telemetry-smoke experiments experiments-quick fuzz clean
 
 all: build test
 
@@ -46,6 +46,13 @@ soak:
 # memory gauge must drain between jobs. Seeded like `soak`.
 soak-engine:
 	FAULTNET_SEED=$(FAULTNET_SEED) $(GO) test -race -run 'EngineSoak' -count=3 -timeout 15m ./internal/engine/
+
+# Telemetry smoke: boot a real 2-process sdsnode world in -serve mode
+# and curl /healthz and /metrics mid-soak, requiring the local series,
+# the fabric-wide aggregated totals and a clean drain. The Go-level
+# twins (scrape-under-load, the e2e serve test) run under `test`.
+telemetry-smoke:
+	sh scripts/telemetry_smoke.sh
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:

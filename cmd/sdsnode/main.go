@@ -54,7 +54,9 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net/http"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"sdssort/internal/checkpoint"
@@ -63,8 +65,11 @@ import (
 	"sdssort/internal/comm/tcpcomm"
 	"sdssort/internal/core"
 	"sdssort/internal/engine"
+	"sdssort/internal/memlimit"
 	"sdssort/internal/metrics"
 	"sdssort/internal/recordio"
+	"sdssort/internal/telemetry"
+	"sdssort/internal/trace"
 	"sdssort/internal/workload"
 )
 
@@ -130,7 +135,30 @@ func (p jobParams) withSpec(jb engine.NodeJob, rank int) jobParams {
 	return p
 }
 
-func run(args []string) int {
+// nodeEnv carries the per-process observability plumbing every job of
+// this rank shares: the trace sinks, the exported memory gauge and
+// exchange stats, and the node-level job counters.
+type nodeEnv struct {
+	tracer trace.Tracer
+	gauge  *memlimit.Gauge
+	exch   *metrics.ExchangeStats
+
+	jobsDone, jobsFailed atomic.Int64
+	jobSeconds           *telemetry.Histogram
+}
+
+func (e *nodeEnv) finishJob(elapsed time.Duration, failed bool) {
+	if failed {
+		e.jobsFailed.Add(1)
+	} else {
+		e.jobsDone.Add(1)
+	}
+	if e.jobSeconds != nil {
+		e.jobSeconds.Observe(elapsed.Seconds())
+	}
+}
+
+func run(args []string) (code int) {
 	log.SetFlags(0)
 	fs := flag.NewFlagSet("sdsnode", flag.ContinueOnError)
 	var (
@@ -151,6 +179,10 @@ func run(args []string) int {
 
 		serve    = fs.Bool("serve", false, "serve a stream of jobs over the warm fabric instead of one sort")
 		jobsPath = fs.String("jobs", "", "job manifest for -serve, one JSON spec per line (default: stdin)")
+
+		telAddr = fs.String("telemetry-addr", "", "serve /metrics, /healthz, /debug/pprof and /debug/trace on this address (e.g. :9090); rank 0 also serves fabric-wide totals")
+		trc     = fs.String("trace", "", "write JSONL trace events here; the first write error fails the run")
+		memB    = fs.Int64("mem", 0, "per-process memory budget in bytes, reserved against by sorts and exported at /metrics (0 = unlimited, untracked)")
 
 		epoch    = fs.Int("epoch", 0, "recovery epoch; rank 0's value is authoritative and adopted by all ranks")
 		ckptDir  = fs.String("ckpt-dir", "", "checkpoint directory shared by all ranks; enables phase snapshots and resume (one-shot mode only)")
@@ -210,6 +242,56 @@ func run(args []string) int {
 		}
 	}
 
+	// Trace sinks. The JSONL file's first write error is latched and
+	// surfaced at exit (a silently truncated trace is worse than none);
+	// the ring feeds /debug/trace when telemetry is on.
+	env := &nodeEnv{exch: &metrics.ExchangeStats{}}
+	if *memB > 0 {
+		env.gauge = memlimit.New(*memB)
+	}
+	var (
+		jl        *trace.JSONL
+		traceFile *os.File
+		ring      *trace.Ring
+		sinks     []trace.Tracer
+	)
+	if *trc != "" {
+		f, err := os.Create(*trc)
+		if err != nil {
+			log.Printf("trace: %v", err)
+			return exitLocalError
+		}
+		traceFile = f
+		jl = trace.NewJSONL(f)
+		sinks = append(sinks, jl)
+	}
+	if *telAddr != "" {
+		ring = trace.NewRing(1024)
+		sinks = append(sinks, ring)
+	}
+	env.tracer = trace.NewTee(sinks...)
+	defer func() {
+		// Deliberate trace finalisation: surface the first write error
+		// and the close error with a non-zero exit instead of silently
+		// shipping a truncated trace. (The serve-mode deadline exit
+		// bypasses this defer by design — the process is wedged.)
+		if jl == nil {
+			return
+		}
+		if err := jl.Err(); err != nil {
+			log.Printf("trace: write failed, %s is incomplete: %v", *trc, err)
+			if code == exitOK {
+				code = exitLocalError
+			}
+		}
+		if err := traceFile.Close(); err != nil {
+			log.Printf("trace: close %s: %v", *trc, err)
+			if code == exitOK {
+				code = exitLocalError
+			}
+		}
+	}()
+
 	// In one-shot mode the single sort is the job, so the per-job
 	// deadline is simply absolute for the process. When it fires the
 	// process is past saving — exit directly rather than threading
@@ -248,13 +330,65 @@ func run(args []string) int {
 	c := comm.NewNamed(tr, worldName)
 	log.Printf("joined world of %d ranks (epoch %d)", *size, ep)
 
+	// Telemetry plane. Every rank builds a registry and (rank > 0)
+	// parks an aggregation responder on the fabric, so a coordinator
+	// scrape can sum the whole world even when only rank 0 carries
+	// -telemetry-addr. The HTTP server itself is per-flag.
+	reg := telemetry.NewRegistry()
+	tr.Stats().Register(reg)
+	telemetry.RegisterNodeInfo(reg, *rank, *size, ep)
+	checkpoint.RegisterMetrics(reg)
+	env.exch.Register(reg)
+	if env.gauge != nil {
+		telemetry.RegisterMem(reg, env.gauge)
+	}
+	reg.CounterFunc("sds_node_jobs_done_total", "Jobs this rank completed successfully.",
+		func() float64 { return float64(env.jobsDone.Load()) })
+	reg.CounterFunc("sds_node_jobs_failed_total", "Jobs this rank saw fail or skip.",
+		func() float64 { return float64(env.jobsFailed.Load()) })
+	env.jobSeconds = reg.Histogram("sds_node_job_seconds", "Wall time of this rank's jobs.", telemetry.DefaultLatencyBuckets())
+	if *rank != 0 {
+		telemetry.StartResponder(tr, worldName, reg)
+	}
+	if *telAddr != "" {
+		var agg *telemetry.Aggregator
+		opts := telemetry.ServerOptions{
+			Trace: ring.MarshalJSONL,
+			Health: func() telemetry.Health {
+				h := telemetry.Health{
+					Status: "ok", Rank: *rank, Size: *size, Epoch: ep,
+					JobsDone:         env.jobsDone.Load(),
+					JobsFailed:       env.jobsFailed.Load(),
+					GatherAgeSeconds: -1,
+				}
+				if agg != nil {
+					if age := agg.GatherAge(); age >= 0 {
+						h.GatherAgeSeconds = age.Seconds()
+					}
+				}
+				return h
+			},
+		}
+		if *rank == 0 {
+			agg = telemetry.NewAggregator(tr, worldName, reg, 2*time.Second)
+			opts.Aggregate = func(w http.ResponseWriter) { agg.Render(w) }
+		}
+		srv, err := telemetry.NewServer(*telAddr, reg, opts)
+		if err != nil {
+			log.Printf("telemetry: %v", err)
+			return exitLocalError
+		}
+		defer srv.Close()
+		log.Printf("telemetry on http://%s", srv.Addr())
+	}
+
 	defaults := jobParams{
 		workload: *wl, alpha: *alpha, n: *n, seed: *seed,
 		in: *in, out: *out, stable: *stable, stage: *stage,
 	}
 
 	if *serve {
-		return serveJobs(c, tr, worldName, *rank, *size, defaults, jobs, *deadline)
+		return serveJobs(c, tr, worldName, *rank, *size, defaults, jobs, *deadline, env)
 	}
 
 	data, code := loadJobData(defaults, *rank, *size)
@@ -285,7 +419,7 @@ func run(args []string) int {
 		}
 	}
 
-	if code := sortJob(c, defaults, data, ck, ""); code != exitOK {
+	if code := sortJob(c, defaults, data, ck, "", env); code != exitOK {
 		return code
 	}
 	// Leave together: a final barrier keeps rank 0's process alive
@@ -308,7 +442,7 @@ func run(args []string) int {
 // one bad manifest entry degrades that job, not the stream; errors
 // inside a collective sort are fatal to the process, as they are in
 // one-shot mode, because a desynchronised rank cannot rejoin.
-func serveJobs(world *comm.Comm, tr comm.Transport, worldName string, rank, size int, defaults jobParams, jobs []engine.NodeJob, defDeadline time.Duration) int {
+func serveJobs(world *comm.Comm, tr comm.Transport, worldName string, rank, size int, defaults jobParams, jobs []engine.NodeJob, defDeadline time.Duration, env *nodeEnv) int {
 	worst := exitOK
 	for i, jb := range jobs {
 		p := defaults.withSpec(jb, rank)
@@ -356,11 +490,12 @@ func serveJobs(world *comm.Comm, tr comm.Transport, worldName string, rank, size
 				timer.Stop()
 			}
 			log.Printf("job %d/%d %q skipped (input unavailable on some rank)", i+1, len(jobs), p.name)
+			env.jobsFailed.Add(1)
 			worst = exitLocalError
 			continue
 		}
 
-		if code := sortJob(jc, p, data, nil, fmt.Sprintf("job %d/%d %q: ", i+1, len(jobs), p.name)); code != exitOK {
+		if code := sortJob(jc, p, data, nil, fmt.Sprintf("job %d/%d %q: ", i+1, len(jobs), p.name), env); code != exitOK {
 			// A failed collective leaves this rank desynchronised from
 			// the stream; stop here rather than corrupt later jobs.
 			return code
@@ -410,15 +545,21 @@ func loadJobData(p jobParams, rank, size int) ([]float64, int) {
 // the phase breakdown, and writes the output shard when requested.
 // Every log line is prefixed with label so interleaved jobs of a served
 // stream stay attributable.
-func sortJob(c *comm.Comm, p jobParams, data []float64, ck *core.Checkpointing, label string) int {
+func sortJob(c *comm.Comm, p jobParams, data []float64, ck *core.Checkpointing, label string, env *nodeEnv) int {
 	opt := core.DefaultOptions()
 	opt.Stable = p.stable
 	opt.StageBytes = p.stage
+	// The exchange stats are shared across the process's jobs so the
+	// telemetry plane exports them live (in particular the staging
+	// window gauge mid-exchange); the log line below is therefore
+	// cumulative in -serve mode.
 	var exch *metrics.ExchangeStats
 	if p.stage > 0 {
-		exch = &metrics.ExchangeStats{}
+		exch = env.exch
 		opt.Exchange = exch
 	}
+	opt.Mem = env.gauge
+	opt.Trace = env.tracer
 	tm := metrics.NewPhaseTimer()
 	opt.Timer = tm
 	if ck != nil {
@@ -428,6 +569,7 @@ func sortJob(c *comm.Comm, p jobParams, data []float64, ck *core.Checkpointing, 
 	start := time.Now()
 	sorted, err := core.Sort(c, data, codec.Float64{}, cmpF, opt)
 	if err != nil {
+		env.finishJob(time.Since(start), true)
 		if lost, ok := comm.PeerLost(err); ok {
 			// Degrade with a clear verdict rather than a hang: the
 			// retry budget for this peer is spent, the run is dead.
@@ -442,8 +584,10 @@ func sortJob(c *comm.Comm, p jobParams, data []float64, ck *core.Checkpointing, 
 	// claiming success — the next epoch's resume depends on them.
 	if err := ck.Wait(); err != nil {
 		log.Printf("%scheckpoint: %v", label, err)
+		env.finishJob(elapsed, true)
 		return exitLocalError
 	}
+	env.finishJob(elapsed, false)
 	log.Printf("%sdone in %v: %d records held locally", label, elapsed.Round(time.Millisecond), len(sorted))
 	for _, ph := range metrics.Phases() {
 		log.Printf("  %-16s %s", ph.String(), metrics.FmtDur(tm.Get(ph)))

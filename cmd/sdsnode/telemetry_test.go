@@ -1,0 +1,197 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"slices"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tryScrape fetches one telemetry path, returning an error while the
+// child is still booting.
+func tryScrape(addr, path string) (string, error) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	res, err := client.Get("http://" + addr + path)
+	if err != nil {
+		return "", err
+	}
+	defer res.Body.Close()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		return "", err
+	}
+	if res.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("%s: %d\n%s", path, res.StatusCode, body)
+	}
+	return string(body), nil
+}
+
+// waitScrape polls path until pred accepts the body or the deadline
+// passes.
+func waitScrape(t *testing.T, addr, path string, pred func(string) bool) string {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	var body string
+	var err error
+	for time.Now().Before(deadline) {
+		body, err = tryScrape(addr, path)
+		if err == nil && pred(body) {
+			return body
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("%s never matched; last error: %v, last body:\n%s", path, err, body)
+	return ""
+}
+
+// metricValue extracts an un-labelled series value, or -1 if absent.
+func metricValue(body, name string) float64 {
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			if v, err := strconv.ParseFloat(rest, 64); err == nil {
+				return v
+			}
+		}
+	}
+	return -1
+}
+
+// TestServeTelemetryPlane is the end-to-end acceptance run: a real
+// 2-process TCP world in -serve mode with -telemetry-addr on the
+// coordinator, scraped over HTTP while a long job stream runs. It
+// checks the local series, the fabric-wide totals (which need rank 1's
+// responder to answer over the fabric), /healthz, /debug/pprof and
+// /debug/trace. The stream is sized so the world stays busy while the
+// scrapers probe it; every scrape-dependent assertion happens before
+// the stream can drain.
+func TestServeTelemetryPlane(t *testing.T) {
+	const (
+		p     = 2
+		nJobs = 30
+	)
+	dir := t.TempDir()
+	registry := freePort(t)
+	telAddr := freePort(t)
+
+	// All jobs are decoded before the world boots, so the whole stream
+	// is written up front. The last job is much larger than the rest:
+	// a long tail that keeps the plane alive for the final scrapes.
+	var manifest strings.Builder
+	for i := 0; i < nJobs; i++ {
+		n := 20000
+		if i == nJobs-1 {
+			n = 400000
+		}
+		fmt.Fprintf(&manifest, `{"name": "tel%d", "workload": "zipf", "n": %d, "seed": %d, "out": %q}`+"\n",
+			i, n, i+1, filepath.Join(dir, fmt.Sprintf("job%d.{rank}.f64", i)))
+	}
+
+	cmds := make([]*exec.Cmd, p)
+	for r := 0; r < p; r++ {
+		args := []string{
+			"-rank", fmt.Sprint(r), "-size", fmt.Sprint(p),
+			"-registry", registry, "-serve",
+			"-mem", fmt.Sprint(256 << 20),
+		}
+		if r == 0 {
+			args = append(args, "-telemetry-addr", telAddr)
+		}
+		cmd := exec.Command(os.Args[0], args...)
+		cmd.Env = append(os.Environ(), "SDSNODE_CLI_CHILD=1")
+		cmd.Stdin = strings.NewReader(manifest.String())
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		cmds[r] = cmd
+	}
+
+	// The plane is up while the stream runs: node info, the memory
+	// budget and the transport counters are scrapeable.
+	body := waitScrape(t, telAddr, "/metrics", func(b string) bool {
+		return strings.Contains(b, "sds_node_info")
+	})
+	if !strings.Contains(body, `sds_node_info{epoch="0",rank="0",size="2"} 1`) {
+		t.Errorf("node info series wrong:\n%s", body)
+	}
+	if v := metricValue(body, "sds_mem_budget_bytes"); v != 256<<20 {
+		t.Errorf("sds_mem_budget_bytes = %v, want %d", v, 256<<20)
+	}
+
+	// At least one job completes and its sort crossed the wire.
+	body = waitScrape(t, telAddr, "/metrics", func(b string) bool {
+		return metricValue(b, "sds_node_jobs_done_total") >= 1 &&
+			metricValue(b, "sds_tcp_frames_sent_total") >= 1
+	})
+	if v := metricValue(body, "sds_node_jobs_failed_total"); v != 0 {
+		t.Errorf("sds_node_jobs_failed_total = %v, want 0", v)
+	}
+
+	// Fabric-wide totals: scrapes kick background gathers until rank
+	// 1's snapshot lands.
+	body = waitScrape(t, telAddr, "/metrics", func(b string) bool {
+		return metricValue(b, "sds_fabric_node_jobs_done_total") >= 1
+	})
+	if v := metricValue(body, "sds_fabric_ranks"); v != p {
+		t.Errorf("sds_fabric_ranks = %v, want %d", v, p)
+	}
+	// The fabric total sums both ranks' sends, but at the cached gather
+	// instant — it can trail the live local counter, so presence is all
+	// a point-in-time scrape can assert (the summation itself is pinned
+	// down by the aggregator unit tests).
+	if v := metricValue(body, "sds_fabric_tcp_frames_sent_total"); v < 1 {
+		t.Errorf("sds_fabric_tcp_frames_sent_total = %v, want >= 1", v)
+	}
+
+	// /healthz agrees, as JSON, with a non-negative gather age now that
+	// a fabric gather has landed.
+	hb := waitScrape(t, telAddr, "/healthz", func(b string) bool { return true })
+	var h struct {
+		Status string  `json:"status"`
+		Rank   int     `json:"rank"`
+		Size   int     `json:"size"`
+		Done   int64   `json:"jobs_done"`
+		Age    float64 `json:"gather_age_seconds"`
+	}
+	if err := json.Unmarshal([]byte(hb), &h); err != nil {
+		t.Fatalf("healthz not JSON: %v\n%s", err, hb)
+	}
+	if h.Status != "ok" || h.Rank != 0 || h.Size != p || h.Done < 1 || h.Age < 0 {
+		t.Errorf("healthz payload: %+v", h)
+	}
+
+	// /debug/trace replays recent events as JSONL; /debug/pprof is
+	// mounted.
+	tb := waitScrape(t, telAddr, "/debug/trace", func(b string) bool {
+		return strings.Contains(b, "sort.done")
+	})
+	if !strings.Contains(tb, `"kind":`) {
+		t.Errorf("trace not JSONL:\n%s", tb)
+	}
+	if _, err := tryScrape(telAddr, "/debug/pprof/"); err != nil {
+		t.Errorf("pprof: %v", err)
+	}
+
+	// The stream drains and the world exits clean.
+	for r, cmd := range cmds {
+		if code := exitOf(cmd); code != 0 {
+			t.Fatalf("rank %d exited %d, want 0", r, code)
+		}
+	}
+
+	// And the jobs were real sorts: spot-check the first one.
+	flat := readJobOutput(t, filepath.Join(dir, "job0.%d.f64"), p)
+	if len(flat) != 20000*p {
+		t.Errorf("job0 output %d records, want %d", len(flat), 20000*p)
+	}
+	if !slices.IsSorted(flat) {
+		t.Error("job0 output not globally sorted")
+	}
+}

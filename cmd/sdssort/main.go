@@ -63,14 +63,30 @@ func main() {
 		runExternal(*in, *out, *typ, *col, *chunk, *cores, *stable)
 		return
 	}
+	// The trace file is finalised deliberately: JSONL latches its first
+	// write error, so without checking Err() a full disk would silently
+	// truncate the trace while the command exits 0. finishTrace runs
+	// after the sort and turns either a latched write error or a close
+	// error into a non-zero exit. (Failure paths inside the sort exit
+	// via log.Fatal already — only the success path needs this.)
 	var tracer trace.Tracer
+	finishTrace := func() {}
 	if *trc != "" {
 		f, err := os.Create(*trc)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
-		tracer = trace.NewJSONL(f)
+		jl := trace.NewJSONL(f)
+		tracer = jl
+		name := *trc
+		finishTrace = func() {
+			if err := jl.Err(); err != nil {
+				log.Fatalf("trace: write failed, %s is incomplete: %v", name, err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatalf("trace: close %s: %v", name, err)
+			}
+		}
 	}
 	switch *typ {
 	case "f64":
@@ -88,6 +104,7 @@ func main() {
 	default:
 		log.Fatalf("unknown record type %q", *typ)
 	}
+	finishTrace()
 }
 
 // runExternal performs the out-of-core sort: bounded memory, spill runs,

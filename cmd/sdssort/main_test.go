@@ -156,3 +156,47 @@ func TestCLIErrors(t *testing.T) {
 		t.Fatal("external without -out accepted")
 	}
 }
+
+// TestCLITraceWriteFailure points -trace at /dev/full: the sort itself
+// succeeds, but the trace file lost every event to ENOSPC, so the run
+// must exit non-zero and say so instead of shipping a silently
+// truncated trace. (Before the deliberate finalisation this passed with
+// exit 0.)
+func TestCLITraceWriteFailure(t *testing.T) {
+	if _, err := os.Stat("/dev/full"); err != nil {
+		t.Skip("/dev/full not available on this platform")
+	}
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.f64")
+	if err := recordio.WriteFile(in, codec.Float64{}, workload.Uniform(3, 2000)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCLI(t, "-in", in, "-verify=false", "-trace", "/dev/full")
+	if err == nil {
+		t.Fatalf("full trace device accepted with exit 0:\n%s", out)
+	}
+	if !strings.Contains(out, "trace: write failed") || !strings.Contains(out, "incomplete") {
+		t.Fatalf("no clear trace-loss message:\n%s", out)
+	}
+}
+
+// TestCLITraceWrites is the happy path of the same contract: a healthy
+// -trace run exits 0 and leaves a parseable JSONL file behind.
+func TestCLITraceWrites(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.f64")
+	trc := filepath.Join(dir, "run.jsonl")
+	if err := recordio.WriteFile(in, codec.Float64{}, workload.Uniform(4, 2000)); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := runCLI(t, "-in", in, "-verify=false", "-trace", trc); err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	data, err := os.ReadFile(trc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"kind":"sort.start"`) {
+		t.Fatalf("trace missing sort.start:\n%.400s", data)
+	}
+}

@@ -1,16 +1,21 @@
 // Command sdstrace summarises a JSONL event trace produced by
 // cmd/sdssort -trace (or sdssort.TraceJSON): event counts per kind,
-// per-rank exchange volumes with the observed imbalance, and whether
-// skew-aware duplicate splitting engaged.
+// per-rank exchange volumes with the observed imbalance, how the sorts
+// terminated, and whether skew-aware duplicate splitting engaged.
+//
+// Multiple trace files — one per rank or per sdsnode process — are
+// merged into a single timeline by elapsed time before analysis:
 //
 //	sdssort -in zipf.f64 -trace run.jsonl
 //	sdstrace run.jsonl
+//	sdstrace rank0.jsonl rank1.jsonl rank2.jsonl
 package main
 
 import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 
 	"sdssort/internal/trace"
 )
@@ -18,17 +23,37 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sdstrace: ")
-	if len(os.Args) != 2 {
-		log.Fatal("usage: sdstrace <trace.jsonl>")
+	if len(os.Args) < 2 {
+		log.Fatal("usage: sdstrace <trace.jsonl> [more.jsonl ...]")
 	}
-	f, err := os.Open(os.Args[1])
+	var events []trace.Event
+	for _, name := range os.Args[1:] {
+		part, err := readFile(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		events = append(events, part...)
+	}
+	if len(os.Args) > 2 {
+		// Per-process traces each start their own clock; a stable sort on
+		// elapsed time interleaves them into one approximate timeline
+		// while preserving each file's internal order among ties.
+		sort.SliceStable(events, func(i, j int) bool {
+			return events[i].ElapsedUS < events[j].ElapsedUS
+		})
+	}
+	fmt.Print(trace.Analyze(events).Render())
+}
+
+func readFile(name string) ([]trace.Event, error) {
+	f, err := os.Open(name)
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
 	defer f.Close()
 	events, err := trace.ReadJSONL(f)
 	if err != nil {
-		log.Fatal(err)
+		return nil, fmt.Errorf("%s: %w", name, err)
 	}
-	fmt.Print(trace.Analyze(events).Render())
+	return events, nil
 }

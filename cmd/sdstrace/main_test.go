@@ -51,3 +51,48 @@ func TestBadArgs(t *testing.T) {
 		t.Fatalf("missing file accepted:\n%s", out)
 	}
 }
+
+func TestMergeMultipleTraces(t *testing.T) {
+	dir := t.TempDir()
+	r0 := filepath.Join(dir, "rank0.jsonl")
+	r1 := filepath.Join(dir, "rank1.jsonl")
+	if err := os.WriteFile(r0, []byte(strings.Join([]string{
+		`{"seq":1,"elapsed_us":0,"rank":0,"kind":"sort.start","detail":{"records":10}}`,
+		`{"seq":2,"elapsed_us":40,"rank":0,"kind":"exchange.plan","detail":{"recv_records":6}}`,
+		`{"seq":3,"elapsed_us":90,"rank":0,"kind":"sort.done","detail":{"reason":"completed"}}`,
+	}, "\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(r1, []byte(strings.Join([]string{
+		`{"seq":1,"elapsed_us":5,"rank":1,"kind":"sort.start","detail":{"records":10}}`,
+		`{"seq":2,"elapsed_us":45,"rank":1,"kind":"exchange.plan","detail":{"recv_records":4}}`,
+		`{"seq":3,"elapsed_us":80,"rank":1,"kind":"sort.done","detail":{"reason":"follower"}}`,
+	}, "\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCLI(t, r0, r1)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"6 events across 2 ranks",
+		"exchange: 10 records",
+		"sorts: 2 started, 2 completed",
+		"done reasons: completed=1 follower=1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMergeRejectsBadFileAmongMany(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.jsonl")
+	if err := os.WriteFile(good, []byte(`{"seq":1,"elapsed_us":0,"rank":0,"kind":"sort.start"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := runCLI(t, good, filepath.Join(dir, "missing.jsonl")); err == nil {
+		t.Fatalf("missing second file accepted:\n%s", out)
+	}
+}

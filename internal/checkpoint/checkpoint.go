@@ -9,11 +9,35 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"sdssort/internal/codec"
 	"sdssort/internal/comm"
 	"sdssort/internal/recordio"
 )
+
+// CheckpointStats are process-wide cumulative checkpoint counters,
+// exported live by the telemetry plane. They are package-level rather
+// than per-Store because Stores are created per job while the counters
+// describe the process ("how much checkpoint I/O has this node done").
+type CheckpointStats struct {
+	// Saves counts committed snapshots (SaveBytes renames plus
+	// hard-linked aliases); SavedBytes is the payload bytes written
+	// (aliases contribute nothing — that is the point of aliasing).
+	Saves      atomic.Int64
+	SavedBytes atomic.Int64
+	// SaveErrors counts snapshot commits that failed.
+	SaveErrors atomic.Int64
+	// Loads counts verified snapshot reads; LoadErrors the failed or
+	// corrupt ones.
+	Loads      atomic.Int64
+	LoadErrors atomic.Int64
+}
+
+var stats CheckpointStats
+
+// Stats exposes the package's live checkpoint counters.
+func Stats() *CheckpointStats { return &stats }
 
 // dataTable is the polynomial for the record-data checksum: CRC-32C,
 // which is hardware-accelerated on the common platforms. Saving sits
@@ -84,6 +108,16 @@ func Save[T any](s *Store, m Manifest, cd codec.Codec[T], recs []T) error {
 // write-to-temp-and-rename, manifest last, so a crash mid-save leaves
 // no valid checkpoint rather than a torn one.
 func SaveBytes(s *Store, m Manifest, payload []byte, records int64, recSize int) error {
+	if err := saveBytes(s, m, payload, records, recSize); err != nil {
+		stats.SaveErrors.Add(1)
+		return err
+	}
+	stats.Saves.Add(1)
+	stats.SavedBytes.Add(int64(len(payload)))
+	return nil
+}
+
+func saveBytes(s *Store, m Manifest, payload []byte, records int64, recSize int) error {
 	dir := s.epochDir(m.Epoch)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
@@ -148,6 +182,7 @@ func (s *Store) writeManifest(m Manifest) error {
 func SaveAlias(s *Store, m Manifest, src Phase) error {
 	sm, err := s.readManifest(m.Epoch, src, m.Rank)
 	if err != nil {
+		stats.SaveErrors.Add(1)
 		return fmt.Errorf("checkpoint: alias source: %w", err)
 	}
 	srcData := s.DataPath(m.Epoch, src, m.Rank)
@@ -158,6 +193,7 @@ func SaveAlias(s *Store, m Manifest, src Phase) error {
 		// temp-and-rename.
 		payload, rerr := os.ReadFile(srcData)
 		if rerr != nil {
+			stats.SaveErrors.Add(1)
 			return fmt.Errorf("checkpoint: alias data: %w", rerr)
 		}
 		mm := m
@@ -165,7 +201,13 @@ func SaveAlias(s *Store, m Manifest, src Phase) error {
 		return SaveBytes(s, mm, payload, sm.Records, sm.RecordSize)
 	}
 	m.Records, m.RecordSize, m.Checksum = sm.Records, sm.RecordSize, sm.Checksum
-	return s.writeManifest(m)
+	if err := s.writeManifest(m); err != nil {
+		stats.SaveErrors.Add(1)
+		return err
+	}
+	// An alias commit is a save that wrote no payload bytes.
+	stats.Saves.Add(1)
+	return nil
 }
 
 // Load reads and verifies one rank's snapshot, returning the manifest
@@ -173,6 +215,16 @@ func SaveAlias(s *Store, m Manifest, src Phase) error {
 // the requested (epoch, phase, rank) or the data file does not match
 // the manifest's count and checksum.
 func Load[T any](s *Store, epoch int, ph Phase, rank int, cd codec.Codec[T]) (*Manifest, []T, error) {
+	m, recs, err := load(s, epoch, ph, rank, cd)
+	if err != nil {
+		stats.LoadErrors.Add(1)
+		return nil, nil, err
+	}
+	stats.Loads.Add(1)
+	return m, recs, nil
+}
+
+func load[T any](s *Store, epoch int, ph Phase, rank int, cd codec.Codec[T]) (*Manifest, []T, error) {
 	m, err := s.readManifest(epoch, ph, rank)
 	if err != nil {
 		return nil, nil, err

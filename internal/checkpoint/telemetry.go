@@ -1,0 +1,16 @@
+package checkpoint
+
+import "sdssort/internal/telemetry"
+
+// RegisterMetrics exposes the process-wide checkpoint counters on r.
+// It lives here rather than in the telemetry collectors because the
+// dependency must point this way: cluster (imported by this package's
+// tests) depends on telemetry, so telemetry cannot depend on
+// checkpoint without a cycle.
+func RegisterMetrics(r *telemetry.Registry) {
+	r.CounterFunc("sds_checkpoint_saves_total", "Committed checkpoint snapshots (aliases included).", telemetry.FInt(stats.Saves.Load))
+	r.CounterFunc("sds_checkpoint_saved_bytes_total", "Checkpoint payload bytes written to disk.", telemetry.FInt(stats.SavedBytes.Load))
+	r.CounterFunc("sds_checkpoint_save_errors_total", "Checkpoint commits that failed.", telemetry.FInt(stats.SaveErrors.Load))
+	r.CounterFunc("sds_checkpoint_loads_total", "Verified checkpoint snapshot reads.", telemetry.FInt(stats.Loads.Load))
+	r.CounterFunc("sds_checkpoint_load_errors_total", "Checkpoint reads that failed or were corrupt.", telemetry.FInt(stats.LoadErrors.Load))
+}

@@ -14,6 +14,7 @@ import (
 	"sdssort/internal/engine"
 	"sdssort/internal/memlimit"
 	"sdssort/internal/metrics"
+	"sdssort/internal/telemetry"
 	"sdssort/internal/trace"
 )
 
@@ -61,6 +62,11 @@ type Options struct {
 	// to zero, turning a reservation leak into a loud failure instead
 	// of an eventual spurious out-of-memory in a long-lived process.
 	Mem *memlimit.Gauge
+	// Telemetry, when non-nil, gets this launch's collectors registered
+	// on it: RunEngine registers the engine's job life-cycle series and
+	// (when Mem is set) the admission gauge. Use a fresh registry per
+	// launch — series registration is once-only.
+	Telemetry *telemetry.Registry
 }
 
 // Run launches one goroutine per rank, each receiving the world
@@ -173,6 +179,12 @@ func RunEngine(topo Topology, opts Options, fn func(e *engine.Engine) error) err
 		WrapTransport: opts.WrapTransport,
 		Trace:         opts.Trace,
 	})
+	if opts.Telemetry != nil {
+		eng.RegisterMetrics(opts.Telemetry)
+		if opts.Mem != nil {
+			telemetry.RegisterMem(opts.Telemetry, opts.Mem)
+		}
+	}
 	fnErr := fn(eng)
 	closeErr := eng.Close()
 	if fnErr == nil && closeErr == nil && opts.Mem != nil {

@@ -35,6 +35,15 @@ type StagedOptions struct {
 	// Drain consumes one arriving chunk from src, starting at payload
 	// offset off. Drain must not retain chunk after returning.
 	Drain func(src int, off int64, chunk []byte) error
+	// OnWindow, when non-nil, observes live stage-window occupancy: the
+	// collective calls it with +n when it takes hold of an n-byte chunk
+	// buffer (outgoing chunk filled, incoming chunk received) and -n
+	// when it lets go. The running sum is the staging window in bytes —
+	// at most one outgoing plus one incoming chunk by construction —
+	// and is guaranteed to return to its starting value when the
+	// collective exits, error paths included. Must be cheap and safe
+	// for concurrent use.
+	OnWindow func(delta int64)
 }
 
 // StagedStats reports what a StagedAlltoallv moved.
@@ -95,6 +104,22 @@ func (c *Comm) StagedAlltoallv(o StagedOptions) (StagedStats, error) {
 	}
 	stage := o.StageBytes
 
+	// win tracks the chunk bytes this collective currently holds and
+	// mirrors them into OnWindow; the deferred release makes the
+	// occupancy contribution net zero on every exit path.
+	var winHeld int64
+	win := func(d int64) {
+		if o.OnWindow != nil {
+			o.OnWindow(d)
+		}
+		winHeld += d
+	}
+	defer func() {
+		if winHeld != 0 {
+			win(-winHeld)
+		}
+	}()
+
 	// Round 0: the self "exchange" — chunked through the same Fill /
 	// Drain pipeline so the caller sees one code path and the stage
 	// window bounds the self-copy too.
@@ -111,12 +136,14 @@ func (c *Comm) StagedAlltoallv(o StagedOptions) (StagedStats, error) {
 		if int64(len(buf)) != n {
 			return st, fmt.Errorf("comm: staged fill for self returned %d bytes, want %d", len(buf), n)
 		}
+		win(n)
 		if err := o.Drain(me, off, buf); err != nil {
 			return st, fmt.Errorf("comm: staged drain for self: %w", err)
 		}
 		if o.FillDone != nil {
 			o.FillDone(me, buf)
 		}
+		win(-n)
 		st.BytesStaged += n
 		st.Chunks++
 		off += n
@@ -145,12 +172,14 @@ func (c *Comm) StagedAlltoallv(o StagedOptions) (StagedStats, error) {
 					return st, fmt.Errorf("comm: staged fill for rank %d returned %d bytes, want %d",
 						sendTo, len(buf), n)
 				}
+				win(n)
 				if err := c.sendInternal(sendTo, tagStaged, buf); err != nil {
 					return st, fmt.Errorf("comm: staged send to rank %d: %w", sendTo, err)
 				}
 				if o.FillDone != nil {
 					o.FillDone(sendTo, buf)
 				}
+				win(-n)
 				st.BytesStaged += n
 				st.Chunks++
 				sOff += n
@@ -160,6 +189,7 @@ func (c *Comm) StagedAlltoallv(o StagedOptions) (StagedStats, error) {
 				if err != nil {
 					return st, fmt.Errorf("comm: staged recv from rank %d: %w", recvFrom, err)
 				}
+				win(int64(len(chunk)))
 				if int64(len(chunk)) == 0 || rOff+int64(len(chunk)) > rTotal {
 					return st, fmt.Errorf("comm: staged recv from rank %d: %d bytes at offset %d exceeds advertised %d",
 						recvFrom, len(chunk), rOff, rTotal)
@@ -167,6 +197,7 @@ func (c *Comm) StagedAlltoallv(o StagedOptions) (StagedStats, error) {
 				if err := o.Drain(recvFrom, rOff, chunk); err != nil {
 					return st, fmt.Errorf("comm: staged drain from rank %d: %w", recvFrom, err)
 				}
+				win(-int64(len(chunk)))
 				rOff += int64(len(chunk))
 			}
 		}

@@ -36,6 +36,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sdssort/internal/comm"
@@ -127,6 +128,36 @@ type peerInfo struct {
 	Epoch int    `json:"epoch"`
 }
 
+// Stats are the transport's cumulative wire counters, updated with
+// atomics on the data path and exported live by the telemetry plane.
+// Self-sends short-circuit through the mailbox without touching the
+// wire and are deliberately not counted. All fields except
+// InflightSends are monotonic.
+type Stats struct {
+	// FramesSent/BytesSent cover frames (header included) that reached
+	// a successful write+flush; a frame retransmitted across a
+	// reconnect counts once per transmission.
+	FramesSent, BytesSent atomic.Int64
+	// FramesReceived/BytesReceived cover every frame read off an
+	// accepted connection, duplicates included (dedup happens after).
+	FramesReceived, BytesReceived atomic.Int64
+	// SendRetries counts retry attempts after a failed dial or write.
+	SendRetries atomic.Int64
+	// Connects counts first successful dials per destination;
+	// Reconnects counts successful redials after a drop.
+	Connects, Reconnects atomic.Int64
+	// DedupDropped counts received frames discarded as retransmitted
+	// duplicates (sequence already delivered).
+	DedupDropped atomic.Int64
+	// SendErrors counts sends that exhausted the retry budget and
+	// returned comm.ErrPeerLost.
+	SendErrors atomic.Int64
+	// PeersLost counts sources declared lost by the gap timer.
+	PeersLost atomic.Int64
+	// InflightSends is a gauge: wire sends currently inside Send.
+	InflightSends atomic.Int64
+}
+
 // Transport implements comm.Transport over TCP.
 type Transport struct {
 	cfg   Config
@@ -135,6 +166,7 @@ type Transport struct {
 	peers []peerInfo // indexed by rank
 	epoch int        // effective epoch: the coordinator's, not necessarily cfg.Epoch
 	box   *mailbox
+	stats Stats
 
 	connMu sync.Mutex
 	conns  map[int]*sendConn
@@ -164,10 +196,11 @@ type srcStream struct {
 // connection inside it may die and be redialed; the frame sequence
 // counter survives reconnects so the receiver can dedup retransmits.
 type sendConn struct {
-	mu  sync.Mutex
-	c   net.Conn // nil while disconnected
-	w   *bufio.Writer
-	seq uint64 // next frame sequence on this stream
+	mu     sync.Mutex
+	c      net.Conn // nil while disconnected
+	w      *bufio.Writer
+	seq    uint64 // next frame sequence on this stream
+	dialed bool   // a dial has succeeded before (redials are reconnects)
 }
 
 // New creates the rank's endpoint, runs the registration barrier, and
@@ -321,6 +354,11 @@ func (t *Transport) NodeOf(r int) int { return t.peers[r].Node }
 // worker's own Config.Epoch after a supervised restart.
 func (t *Transport) Epoch() int { return t.epoch }
 
+// Stats exposes the transport's live wire counters. The returned
+// pointer stays valid for the transport's lifetime; read its fields
+// with their atomic loads.
+func (t *Transport) Stats() *Stats { return &t.stats }
+
 // frame layout: src int32 | ctx uint64 | tag int32 | len uint32 |
 // seq uint64 | body. seq increases per (src, dst) pair and survives
 // reconnects, carrying the retransmit-dedup contract.
@@ -348,6 +386,8 @@ func (t *Transport) Send(dst int, ctx uint64, tag int32, data []byte) error {
 	}
 
 	sc := t.sendState(dst)
+	t.stats.InflightSends.Add(1)
+	defer t.stats.InflightSends.Add(-1)
 	// The per-destination lock is held across reconnects and
 	// retransmits, so frames (and their sequence numbers) reach the
 	// wire in assignment order even under concurrent Isends.
@@ -366,6 +406,7 @@ func (t *Transport) Send(dst int, ctx uint64, tag int32, data []byte) error {
 	var lastErr error
 	for attempt := 0; attempt < t.retry.Policy().MaxAttempts; attempt++ {
 		if attempt > 0 {
+			t.stats.SendRetries.Add(1)
 			select {
 			case <-time.After(t.retry.Backoff(attempt - 1)):
 			case <-t.closed:
@@ -388,8 +429,11 @@ func (t *Transport) Send(dst int, ctx uint64, tag int32, data []byte) error {
 			continue
 		}
 		sc.c.SetWriteDeadline(time.Time{})
+		t.stats.FramesSent.Add(1)
+		t.stats.BytesSent.Add(int64(frameHeader + len(data)))
 		return nil
 	}
+	t.stats.SendErrors.Add(1)
 	return &comm.ErrPeerLost{Rank: dst, Err: lastErr}
 }
 
@@ -442,6 +486,12 @@ func (t *Transport) ensureConn(sc *sendConn, dst int) error {
 	c.SetWriteDeadline(time.Time{})
 	sc.c = c
 	sc.w = bufio.NewWriterSize(c, 256<<10)
+	if sc.dialed {
+		t.stats.Reconnects.Add(1)
+	} else {
+		sc.dialed = true
+		t.stats.Connects.Add(1)
+	}
 	return nil
 }
 
@@ -522,6 +572,7 @@ func (t *Transport) admitFrame(src int, seq uint64, m message) error {
 		t.streams[src] = s
 	}
 	if seq < s.expected {
+		t.stats.DedupDropped.Add(1)
 		return nil // retransmitted duplicate
 	}
 	if seq > s.expected {
@@ -578,6 +629,7 @@ func (t *Transport) gapExpired(src int) {
 	}
 	missing := lo - s.expected
 	t.seqMu.Unlock()
+	t.stats.PeersLost.Add(1)
 	t.box.fail(src, &comm.ErrPeerLost{
 		Rank: src,
 		Err:  fmt.Errorf("tcpcomm: %d frame(s) from rank %d lost across reconnect", missing, src),
@@ -627,6 +679,8 @@ func (t *Transport) readLoop(conn net.Conn) {
 		if _, err := io.ReadFull(r, body); err != nil {
 			return
 		}
+		t.stats.FramesReceived.Add(1)
+		t.stats.BytesReceived.Add(int64(frameHeader) + int64(n))
 		if t.admitFrame(src, seq, message{src: src, ctx: ctx, tag: tag, data: body}) != nil {
 			return
 		}

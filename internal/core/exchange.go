@@ -87,6 +87,7 @@ func syncExchange[T any](wc *comm.Comm, work []T, bounds []int, rcounts []int64,
 			RecvBytes:  scale(rcounts, recSize),
 			Fill:       stagedFill(work, bounds, cd, recSize, pool),
 			FillDone:   func(_ int, buf []byte) { pool.Put(buf) },
+			OnWindow:   opt.Exchange.AddWindow,
 			Drain: func(src int, _ int64, chunk []byte) error {
 				var derr error
 				chunks[src], derr = codec.DecodeAppend(cd, chunks[src], chunk)
@@ -215,12 +216,15 @@ func overlapExchange[T any](wc *comm.Comm, work []T, bounds []int, rcounts []int
 						n = stage
 					}
 					buf, _ := fill(dst, off, n)
+					opt.Exchange.AddWindow(n)
 					if err := wc.Send(dst, tagExchange, buf); err != nil {
+						opt.Exchange.AddWindow(-n)
 						opt.Exchange.AddStaged(bytes, nchunks)
 						sendErr <- fmt.Errorf("core: staged send to %d: %w", dst, err)
 						return
 					}
 					pool.Put(buf)
+					opt.Exchange.AddWindow(-n)
 					bytes += n
 					nchunks++
 					off += n
@@ -257,8 +261,15 @@ func overlapExchange[T any](wc *comm.Comm, work []T, bounds []int, rcounts []int
 		}
 		src := srcs[i]
 		// Decode on the exchange clock (receive half of the transfer);
-		// only the merge is local ordering.
+		// only the merge is local ordering. The encoded buffer counts
+		// toward the staging window until it has been decoded.
+		if stage > 0 {
+			opt.Exchange.AddWindow(int64(len(buf)))
+		}
 		chunk, err := codec.DecodeSlice(cd, buf)
+		if stage > 0 {
+			opt.Exchange.AddWindow(-int64(len(buf)))
+		}
 		if err != nil {
 			return nil, fmt.Errorf("core: decode from rank %d: %w", src, err)
 		}

@@ -119,6 +119,12 @@ type Engine struct {
 	tr      trace.Tracer
 	spawned atomic.Int64
 
+	// life-cycle counters behind Stats(), read live by telemetry.
+	submitted atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	admitWait atomic.Int64 // total queued→admitted wait, nanoseconds
+
 	mu     sync.Mutex
 	cond   *sync.Cond
 	queue  []*Job // submitted, not yet admitted (FIFO)
@@ -167,6 +173,50 @@ func (e *Engine) Registry() *metrics.JobRegistry { return e.reg }
 // number of sequential jobs this is exactly Size() — the "no goroutine
 // respawn" claim, as a counter.
 func (e *Engine) WorkerSpawns() int64 { return e.spawned.Load() }
+
+// Stats is a point-in-time view of the engine's job life cycle, the
+// payload behind the telemetry plane's engine gauges.
+type Stats struct {
+	// Submitted / Completed / Failed are monotonic job counts;
+	// Completed covers successful jobs only.
+	Submitted, Completed, Failed int64
+	// Queued jobs await admission; Running jobs hold their footprint.
+	Queued, Running int
+	// WorkersAlive / WorkersBusy sum the warm pools across ranks.
+	WorkersAlive, WorkersBusy int
+	// WorkerSpawns is the lifetime worker-goroutine count.
+	WorkerSpawns int64
+	// AdmissionWait is the cumulative time admitted jobs spent queued —
+	// the admission-blocked time the memory budget imposed.
+	AdmissionWait time.Duration
+}
+
+// Stats returns the engine's current life-cycle counters. Safe to call
+// concurrently with job execution; the snapshot is internally
+// consistent for the queue/active counts but the worker sums are read
+// pool by pool.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	queued := len(e.queue)
+	running := e.active - queued
+	e.mu.Unlock()
+	s := Stats{
+		Submitted:     e.submitted.Load(),
+		Completed:     e.completed.Load(),
+		Failed:        e.failed.Load(),
+		Queued:        queued,
+		Running:       running,
+		WorkerSpawns:  e.spawned.Load(),
+		AdmissionWait: time.Duration(e.admitWait.Load()),
+	}
+	for _, w := range e.workers {
+		w.mu.Lock()
+		s.WorkersAlive += w.alive
+		s.WorkersBusy += w.busy
+		w.mu.Unlock()
+	}
+	return s
+}
 
 // Env is what the engine hands a job body on each rank: the job's
 // metrics scope and its slice of the memory budget. The communicator is
@@ -242,6 +292,7 @@ type Job struct {
 	cancel    chan struct{}
 	cancelled sync.Once
 	done      chan struct{}
+	queuedAt  time.Time
 	start     time.Time
 	dl        *time.Timer
 
@@ -353,6 +404,8 @@ func (e *Engine) Submit(spec JobSpec) (*Job, error) {
 		j.mem = memlimit.New(spec.Footprint)
 	}
 	j.remaining.Store(int32(size))
+	j.queuedAt = time.Now()
+	e.submitted.Add(1)
 	e.active++
 	e.queue = append(e.queue, j)
 	e.tr.Emit(-1, "engine.submit", map[string]any{
@@ -381,6 +434,7 @@ func (e *Engine) scheduleLocked() {
 // startLocked dispatches an admitted job's rank tasks to the warm pool.
 func (e *Engine) startLocked(j *Job) {
 	j.start = time.Now()
+	e.admitWait.Add(j.start.Sub(j.queuedAt).Nanoseconds())
 	j.state.Store(int32(Running))
 	if j.spec.Deadline > 0 {
 		j.dl = time.AfterFunc(j.spec.Deadline, func() {
@@ -444,6 +498,11 @@ func (e *Engine) jobDone(j *Job) {
 	err := j.err
 	j.mu.Unlock()
 	j.state.Store(int32(Done))
+	if err != nil {
+		e.failed.Add(1)
+	} else {
+		e.completed.Add(1)
+	}
 	close(j.done)
 	e.mu.Lock()
 	if j.spec.Footprint > 0 {

@@ -1,0 +1,160 @@
+package engine_test
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"sdssort/internal/codec"
+	"sdssort/internal/core"
+	"sdssort/internal/engine"
+	"sdssort/internal/engine/sortjob"
+	"sdssort/internal/memlimit"
+	"sdssort/internal/telemetry"
+	"sdssort/internal/workload"
+)
+
+// scrape fetches /metrics and returns the exposition body.
+func scrape(t *testing.T, addr string) string {
+	t.Helper()
+	res, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	defer res.Body.Close()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatalf("scrape body: %v", err)
+	}
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("scrape: %d\n%s", res.StatusCode, body)
+	}
+	return string(body)
+}
+
+// seriesValue extracts one un-labelled series value from an exposition.
+func seriesValue(t *testing.T, body, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				t.Fatalf("series %s: bad value %q", name, rest)
+			}
+			return v
+		}
+	}
+	t.Fatalf("series %s not in scrape:\n%s", name, body)
+	return 0
+}
+
+// TestEngineSoakScrapeUnderLoad (name matches the CI lane's EngineSoak
+// regex) hammers /metrics from concurrent scrapers while a job stream
+// runs on a warm engine, then checks the advertised life-cycle series
+// add up. Under -race this doubles as the proof that scrape-time reads
+// of the engine's counters are safe against the job path.
+func TestEngineSoakScrapeUnderLoad(t *testing.T) {
+	const (
+		ranks = 4
+		nJobs = 6
+	)
+	gauge := memlimit.New(64 << 20)
+	e := newTestEngine(t, ranks, 2, engine.Options{Mem: gauge})
+
+	reg := telemetry.NewRegistry()
+	e.RegisterMetrics(reg)
+	telemetry.RegisterMem(reg, gauge)
+	srv, err := telemetry.NewServer("127.0.0.1:0", reg, telemetry.ServerOptions{
+		Health: func() telemetry.Health {
+			s := e.Stats()
+			return telemetry.Health{Status: "ok", Size: ranks,
+				JobsQueued: int64(s.Queued), JobsRunning: int64(s.Running),
+				JobsDone: s.Completed, JobsFailed: s.Failed, GatherAgeSeconds: -1}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Background scrapers: each checks that the submitted counter never
+	// moves backwards across its own scrape sequence.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last float64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				body := scrape(t, srv.Addr())
+				v := seriesValue(t, body, "sds_engine_jobs_submitted_total")
+				if v < last {
+					t.Errorf("sds_engine_jobs_submitted_total went backwards: %v -> %v", last, v)
+					return
+				}
+				last = v
+			}
+		}()
+	}
+
+	for i := 0; i < nJobs; i++ {
+		data := workload.Uniform(int64(i), 500+200*i)
+		j, err := sortjob.Submit(e, engine.JobSpec{Name: fmt.Sprintf("scrape%d", i), Footprint: 4 << 20},
+			core.DefaultOptions(), parts(data, ranks), codec.Float64{}, cmpF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := j.Output()
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkSorted(t, fmt.Sprintf("scrape%d", i), out, len(data))
+		// Between jobs the admission gauge must read zero through the
+		// scrape path, not just through the Go API.
+		if v := seriesValue(t, scrape(t, srv.Addr()), "sds_mem_used_bytes"); v != 0 {
+			t.Fatalf("sds_mem_used_bytes = %v between jobs", v)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	body := scrape(t, srv.Addr())
+	if v := seriesValue(t, body, "sds_engine_jobs_submitted_total"); v != nJobs {
+		t.Errorf("submitted = %v, want %d", v, nJobs)
+	}
+	if v := seriesValue(t, body, "sds_engine_jobs_completed_total"); v != nJobs {
+		t.Errorf("completed = %v, want %d", v, nJobs)
+	}
+	if v := seriesValue(t, body, "sds_engine_jobs_failed_total"); v != 0 {
+		t.Errorf("failed = %v, want 0", v)
+	}
+	if v := seriesValue(t, body, "sds_engine_jobs_running"); v != 0 {
+		t.Errorf("running = %v, want 0", v)
+	}
+	if v := seriesValue(t, body, "sds_engine_workers_alive"); v != ranks {
+		t.Errorf("workers alive = %v, want %d", v, ranks)
+	}
+	if v := seriesValue(t, body, "sds_engine_worker_spawns_total"); v != ranks {
+		t.Errorf("worker spawns = %v, want %d", v, ranks)
+	}
+	// The health endpoint agrees with the scrape.
+	res, err := http.Get("http://" + srv.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK || !strings.Contains(string(hb), `"jobs_done": 6`) {
+		t.Errorf("/healthz = %d:\n%s", res.StatusCode, hb)
+	}
+}

@@ -1,0 +1,21 @@
+package engine
+
+import "sdssort/internal/telemetry"
+
+// RegisterMetrics exposes the engine's job life cycle on r. Every
+// series reads Stats() live at scrape time; register once per engine
+// on a fresh registry.
+func (e *Engine) RegisterMetrics(r *telemetry.Registry) {
+	stat := func(f func(Stats) float64) func() float64 {
+		return func() float64 { return f(e.Stats()) }
+	}
+	r.CounterFunc("sds_engine_jobs_submitted_total", "Jobs submitted to the engine.", stat(func(s Stats) float64 { return float64(s.Submitted) }))
+	r.CounterFunc("sds_engine_jobs_completed_total", "Jobs that finished successfully.", stat(func(s Stats) float64 { return float64(s.Completed) }))
+	r.CounterFunc("sds_engine_jobs_failed_total", "Jobs that finished with an error (cancellation and deadline included).", stat(func(s Stats) float64 { return float64(s.Failed) }))
+	r.GaugeFunc("sds_engine_jobs_queued", "Jobs awaiting footprint admission.", stat(func(s Stats) float64 { return float64(s.Queued) }))
+	r.GaugeFunc("sds_engine_jobs_running", "Jobs currently holding their footprint and executing.", stat(func(s Stats) float64 { return float64(s.Running) }))
+	r.CounterFunc("sds_engine_admission_wait_seconds_total", "Cumulative time admitted jobs spent queued behind the memory budget.", stat(func(s Stats) float64 { return s.AdmissionWait.Seconds() }))
+	r.CounterFunc("sds_engine_worker_spawns_total", "Rank worker goroutines ever started (== ranks for any sequential stream).", stat(func(s Stats) float64 { return float64(s.WorkerSpawns) }))
+	r.GaugeFunc("sds_engine_workers_alive", "Warm rank workers currently alive across all pools.", stat(func(s Stats) float64 { return float64(s.WorkersAlive) }))
+	r.GaugeFunc("sds_engine_workers_busy", "Rank workers currently executing a job body.", stat(func(s Stats) float64 { return float64(s.WorkersBusy) }))
+}

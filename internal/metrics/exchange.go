@@ -24,6 +24,20 @@ type ExchangeStats struct {
 	// served from the free list versus freshly allocated.
 	PoolHits   atomic.Int64
 	PoolMisses atomic.Int64
+	// WindowBytes is a live gauge of staging-window occupancy: chunk
+	// bytes currently held by in-flight staged exchanges, summed across
+	// every rank sharing this ExchangeStats. It returns to zero when no
+	// exchange is running.
+	WindowBytes atomic.Int64
+}
+
+// AddWindow accrues a (possibly negative) staging-window delta; it is
+// the comm.StagedOptions.OnWindow hook.
+func (s *ExchangeStats) AddWindow(delta int64) {
+	if s == nil {
+		return
+	}
+	s.WindowBytes.Add(delta)
 }
 
 // ObservePeakStaging raises PeakStagingReserved to v if v is larger.

@@ -1,0 +1,25 @@
+package metrics
+
+import "sdssort/internal/telemetry"
+
+// Register exposes the staged-exchange counters, including the live
+// staging-window occupancy gauge.
+func (s *ExchangeStats) Register(r *telemetry.Registry) {
+	r.CounterFunc("sds_exchange_bytes_staged_total", "Payload bytes that passed through staging buffers.", telemetry.FInt(s.BytesStaged.Load))
+	r.CounterFunc("sds_exchange_chunks_total", "Stage chunks the staged bytes were cut into.", telemetry.FInt(s.StageChunks.Load))
+	r.GaugeFunc("sds_exchange_window_bytes", "Live staging-window occupancy: chunk bytes currently held by in-flight exchanges.", telemetry.FInt(s.WindowBytes.Load))
+	r.GaugeFunc("sds_exchange_peak_staging_bytes", "Largest staging-window reservation any exchange made.", telemetry.FInt(s.PeakStagingReserved.Load))
+	r.CounterFunc("sds_exchange_pool_hits_total", "Encode-buffer pool lookups served from the free list.", telemetry.FInt(s.PoolHits.Load))
+	r.CounterFunc("sds_exchange_pool_misses_total", "Encode-buffer pool lookups that allocated.", telemetry.FInt(s.PoolMisses.Load))
+}
+
+// Register exposes supervisor-level recovery counters.
+func (s *RecoveryStats) Register(r *telemetry.Registry) {
+	snap := func(f func(RecoverySnapshot) int64) func() float64 {
+		return func() float64 { return float64(f(s.Snapshot())) }
+	}
+	r.CounterFunc("sds_recovery_restarts_total", "Supervisor restarts (recovery epochs started).", snap(func(v RecoverySnapshot) int64 { return v.Restarts }))
+	r.CounterFunc("sds_recovery_peers_lost_total", "Ranks lost to transport failure.", snap(func(v RecoverySnapshot) int64 { return v.PeersLost }))
+	r.CounterFunc("sds_recovery_rank_panics_total", "Ranks lost to panic.", snap(func(v RecoverySnapshot) int64 { return v.RankPanics }))
+	r.CounterFunc("sds_recovery_wasted_records_total", "Records re-sorted because an epoch failed.", snap(func(v RecoverySnapshot) int64 { return v.WastedRecords }))
+}

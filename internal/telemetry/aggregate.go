@@ -1,0 +1,256 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"sdssort/internal/comm"
+)
+
+// Fabric-wide aggregation: the coordinator's /metrics additionally
+// serves cluster totals summed from every rank's registry snapshot.
+//
+// The protocol is deliberately not a lockstep collective — the other
+// ranks are usually busy inside a sort job and must not be required to
+// rendezvous with a scrape. Instead each non-coordinator rank runs a
+// lightweight responder goroutine parked on a dedicated communicator
+// ("<world>/telemetry", context-isolated from job traffic); the
+// coordinator sends an empty request and sums the JSON-encoded
+// snapshots it gets back. Scrapes never block on the network: they
+// serve the cached totals and, when the cache is older than MaxAge,
+// kick a single-flight background refresh. Staleness is observable as
+// sds_fabric_gather_age_seconds.
+
+const (
+	tagTelemetryReq = 11
+	tagTelemetryRep = 12
+)
+
+// TelemetryCommName is the communicator name the aggregation protocol
+// attaches under for a given world.
+func TelemetryCommName(world string) string { return world + "/telemetry" }
+
+// StartResponder launches the aggregation responder for this rank: a
+// goroutine that answers each coordinator request with a snapshot of
+// reg. It exits when the transport closes (its Recv fails). Call on
+// every rank except the aggregating coordinator.
+func StartResponder(tr comm.Transport, world string, reg *Registry) {
+	c := comm.Attach(tr, TelemetryCommName(world))
+	go func() {
+		for {
+			if _, err := c.Recv(0, tagTelemetryReq); err != nil {
+				return
+			}
+			buf, err := json.Marshal(reg.Snapshot())
+			if err != nil {
+				buf = []byte("[]")
+			}
+			if err := c.Send(0, tagTelemetryRep, buf); err != nil {
+				return
+			}
+		}
+	}()
+}
+
+// Aggregator gathers and caches fabric-wide metric totals on the
+// coordinator (rank 0 of the world).
+type Aggregator struct {
+	c     *comm.Comm
+	local *Registry
+	size  int
+	// MaxAge bounds cache staleness: a scrape arriving later than this
+	// after the previous gather triggers a background refresh.
+	maxAge time.Duration
+
+	mu         sync.Mutex
+	cached     []Sample
+	lastGather time.Time
+	inflight   bool
+	gathers    int64
+	gatherErrs int64
+}
+
+// NewAggregator builds the coordinator-side aggregator. maxAge <= 0
+// defaults to 2s.
+func NewAggregator(tr comm.Transport, world string, local *Registry, maxAge time.Duration) *Aggregator {
+	if maxAge <= 0 {
+		maxAge = 2 * time.Second
+	}
+	return &Aggregator{
+		c:      comm.Attach(tr, TelemetryCommName(world)),
+		local:  local,
+		size:   tr.Size(),
+		maxAge: maxAge,
+	}
+}
+
+// RefreshNow gathers synchronously from every rank and replaces the
+// cache. Used by tests and by callers that want fresh totals at a
+// known point; the scrape path never calls it.
+func (a *Aggregator) RefreshNow() error {
+	a.mu.Lock()
+	if a.inflight {
+		a.mu.Unlock()
+		return fmt.Errorf("telemetry: gather already in flight")
+	}
+	a.inflight = true
+	a.mu.Unlock()
+	err := a.gather()
+	a.mu.Lock()
+	a.inflight = false
+	a.mu.Unlock()
+	return err
+}
+
+// gather performs one fabric-wide collection and installs the result.
+func (a *Aggregator) gather() error {
+	samples := a.local.Snapshot()
+	var firstErr error
+	for r := 1; r < a.size; r++ {
+		if err := a.c.Send(r, tagTelemetryReq, nil); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("telemetry: request rank %d: %w", r, err)
+			}
+			continue
+		}
+		buf, err := a.c.Recv(r, tagTelemetryRep)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("telemetry: reply rank %d: %w", r, err)
+			}
+			continue
+		}
+		var remote []Sample
+		if err := json.Unmarshal(buf, &remote); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("telemetry: decode rank %d: %w", r, err)
+			}
+			continue
+		}
+		samples = append(samples, remote...)
+	}
+	summed := sumSamples(samples)
+	a.mu.Lock()
+	a.gathers++
+	if firstErr != nil {
+		a.gatherErrs++
+	} else {
+		a.cached = summed
+		a.lastGather = time.Now()
+	}
+	a.mu.Unlock()
+	return firstErr
+}
+
+// sumSamples merges per-rank samples into fabric totals keyed by
+// (name, suffix, labels), renaming the family sds_* -> sds_fabric_*.
+// Cumulative histogram buckets sum correctly because every rank shares
+// the same bound set.
+func sumSamples(samples []Sample) []Sample {
+	type key struct{ name, suffix, sig string }
+	totals := map[key]*Sample{}
+	var order []key
+	for _, s := range samples {
+		k := key{fabricName(s.Name), s.Suffix, signature(s.Labels)}
+		if t, ok := totals[k]; ok {
+			t.Value += s.Value
+			continue
+		}
+		c := s
+		c.Name = k.name
+		c.Labels = append([]Label(nil), s.Labels...)
+		totals[k] = &c
+		order = append(order, k)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].name != order[j].name {
+			return order[i].name < order[j].name
+		}
+		if order[i].suffix != order[j].suffix {
+			return order[i].suffix < order[j].suffix
+		}
+		return order[i].sig < order[j].sig
+	})
+	out := make([]Sample, 0, len(order))
+	for _, k := range order {
+		out = append(out, *totals[k])
+	}
+	return out
+}
+
+func fabricName(name string) string {
+	if rest, ok := strings.CutPrefix(name, "sds_"); ok {
+		return "sds_fabric_" + rest
+	}
+	return "sds_fabric_" + name
+}
+
+// GatherAge returns the age of the cached totals, or -1 if no gather
+// has succeeded yet.
+func (a *Aggregator) GatherAge() time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.lastGather.IsZero() {
+		return -1
+	}
+	return time.Since(a.lastGather)
+}
+
+// Render writes the cached fabric totals plus the aggregation's own
+// meta-series, then kicks a background refresh if the cache is stale.
+// It never blocks on the network, so a dead rank degrades a scrape to
+// stale totals instead of hanging it.
+func (a *Aggregator) Render(w io.Writer) {
+	a.mu.Lock()
+	cached := a.cached
+	age := -1.0
+	if !a.lastGather.IsZero() {
+		age = time.Since(a.lastGather).Seconds()
+	}
+	stale := a.lastGather.IsZero() || time.Since(a.lastGather) > a.maxAge
+	kick := stale && !a.inflight
+	if kick {
+		a.inflight = true
+	}
+	gathers, gatherErrs := a.gathers, a.gatherErrs
+	a.mu.Unlock()
+
+	if kick {
+		go func() {
+			a.gather() //nolint:errcheck // error is counted in gatherErrs
+			a.mu.Lock()
+			a.inflight = false
+			a.mu.Unlock()
+		}()
+	}
+
+	meta := []Sample{
+		{Name: "sds_fabric_ranks", Kind: KindGauge, Value: float64(a.size)},
+		{Name: "sds_fabric_gather_age_seconds", Kind: KindGauge, Value: age},
+		{Name: "sds_fabric_gathers_total", Kind: KindCounter, Value: float64(gathers)},
+		{Name: "sds_fabric_gather_errors_total", Kind: KindCounter, Value: float64(gatherErrs)},
+	}
+	writeSamples(w, append(meta, cached...), fabricHelp) //nolint:errcheck // client may vanish mid-scrape
+}
+
+func fabricHelp(name string) string {
+	switch name {
+	case "sds_fabric_ranks":
+		return "Number of ranks in the aggregated world."
+	case "sds_fabric_gather_age_seconds":
+		return "Age of the cached fabric-wide gather (-1 before the first one)."
+	case "sds_fabric_gathers_total":
+		return "Fabric-wide metric gathers attempted."
+	case "sds_fabric_gather_errors_total":
+		return "Fabric-wide metric gathers that failed (totals kept stale)."
+	}
+	if rest, ok := strings.CutPrefix(name, "sds_fabric_"); ok {
+		return "Fabric-wide sum of sds_" + rest + " across all ranks."
+	}
+	return ""
+}

@@ -1,0 +1,127 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sdssort/internal/comm"
+)
+
+// buildWorld sets up a 3-rank in-proc fabric where every rank carries a
+// registry with rank-distinct counter values, responders parked on
+// ranks 1 and 2, and the aggregator on rank 0.
+func buildWorld(t *testing.T) *Aggregator {
+	t.Helper()
+	world, err := comm.NewWorld(3, comm.BlockNodes(3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { world.Close() })
+
+	regs := make([]*Registry, 3)
+	for r := 0; r < 3; r++ {
+		regs[r] = NewRegistry()
+		regs[r].Counter("sds_test_frames_total", "Frames.").Add(int64(10 + r))
+		h := regs[r].Histogram("sds_test_job_seconds", "Jobs.", []float64{1, 10})
+		h.Observe(0.5)
+		h.Observe(float64(r) * 5)
+	}
+	StartResponder(world.Transport(1), "world", regs[1])
+	StartResponder(world.Transport(2), "world", regs[2])
+	return NewAggregator(world.Transport(0), "world", regs[0], time.Hour)
+}
+
+func TestAggregatorSumsFabric(t *testing.T) {
+	agg := buildWorld(t)
+	if age := agg.GatherAge(); age >= 0 {
+		t.Fatalf("GatherAge before first gather = %v, want negative", age)
+	}
+	if err := agg.RefreshNow(); err != nil {
+		t.Fatal(err)
+	}
+	if age := agg.GatherAge(); age < 0 {
+		t.Fatalf("GatherAge after gather = %v", age)
+	}
+
+	var b strings.Builder
+	agg.Render(&b)
+	out := b.String()
+	for _, want := range []string{
+		"sds_fabric_ranks 3\n",
+		"sds_fabric_gathers_total 1\n",
+		"sds_fabric_gather_errors_total 0\n",
+		"# TYPE sds_fabric_test_frames_total counter\n",
+		"sds_fabric_test_frames_total 33\n", // 10+11+12
+		`sds_fabric_test_job_seconds_bucket{le="1"} 4`, // rank 0 contributes {0.5, 0}, ranks 1 and 2 just {0.5}
+		"sds_fabric_test_job_seconds_count 6\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderKicksBackgroundRefresh(t *testing.T) {
+	world, err := comm.NewWorld(2, comm.BlockNodes(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { world.Close() })
+	remote := NewRegistry()
+	remote.Counter("sds_test_total", "").Add(5)
+	StartResponder(world.Transport(1), "world", remote)
+
+	local := NewRegistry()
+	// Tiny maxAge so every Render finds the cache stale.
+	agg := NewAggregator(world.Transport(0), "world", local, time.Nanosecond)
+
+	// First render: empty cache, kicks a refresh in the background.
+	var b strings.Builder
+	agg.Render(&b)
+	if !strings.Contains(b.String(), "sds_fabric_gather_age_seconds -1\n") {
+		t.Errorf("first render should report no gather yet:\n%s", b.String())
+	}
+	// The kicked gather lands shortly; totals then appear on a scrape.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var b strings.Builder
+		agg.Render(&b)
+		if strings.Contains(b.String(), "sds_fabric_test_total 5\n") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("background gather never landed:\n%s", b.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestGatherErrorKeepsStaleCache(t *testing.T) {
+	world, err := comm.NewWorld(2, comm.BlockNodes(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote := NewRegistry()
+	remote.Counter("sds_test_total", "").Add(7)
+	StartResponder(world.Transport(1), "world", remote)
+	local := NewRegistry()
+	agg := NewAggregator(world.Transport(0), "world", local, time.Hour)
+	if err := agg.RefreshNow(); err != nil {
+		t.Fatal(err)
+	}
+	world.Close() // rank 1 gone: the next gather must fail
+
+	if err := agg.RefreshNow(); err == nil {
+		t.Fatal("gather against a closed fabric succeeded")
+	}
+	var b strings.Builder
+	agg.Render(&b)
+	out := b.String()
+	if !strings.Contains(out, "sds_fabric_test_total 7\n") {
+		t.Errorf("stale totals dropped after failed gather:\n%s", out)
+	}
+	if !strings.Contains(out, "sds_fabric_gather_errors_total 1\n") {
+		t.Errorf("gather error not counted:\n%s", out)
+	}
+}

@@ -1,0 +1,220 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("sds_test_frames_total", "Frames handled.", L("dir", "in"))
+	c.Add(3)
+	c.Inc()
+	c.Add(-7) // ignored: counters are monotonic
+	g := r.Gauge("sds_test_depth", "Queue depth.")
+	g.Set(5)
+	g.Add(-2)
+
+	out := render(t, r)
+	for _, want := range []string{
+		"# HELP sds_test_frames_total Frames handled.\n",
+		"# TYPE sds_test_frames_total counter\n",
+		`sds_test_frames_total{dir="in"} 4` + "\n",
+		"# TYPE sds_test_depth gauge\n",
+		"sds_test_depth 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Families render sorted by name: depth before frames_total.
+	if strings.Index(out, "sds_test_depth") > strings.Index(out, "sds_test_frames_total") {
+		t.Errorf("families not sorted:\n%s", out)
+	}
+}
+
+func TestLabelSortingAndEscaping(t *testing.T) {
+	r := NewRegistry()
+	// Registered unsorted; must render with keys sorted.
+	r.CounterFunc("sds_test_esc_total", `Backslash \ and`+"\nnewline.", func() float64 { return 1 },
+		L("zeta", `quote " here`), L("alpha", "line\nbreak"), L("mid", `back\slash`))
+
+	out := render(t, r)
+	if want := `# HELP sds_test_esc_total Backslash \\ and\nnewline.` + "\n"; !strings.Contains(out, want) {
+		t.Errorf("help not escaped, missing %q in:\n%s", want, out)
+	}
+	want := `sds_test_esc_total{alpha="line\nbreak",mid="back\\slash",zeta="quote \" here"} 1` + "\n"
+	if !strings.Contains(out, want) {
+		t.Errorf("series line wrong, missing %q in:\n%s", want, out)
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("sds_test_latency_seconds", "Latencies.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+	if got := h.Sum(); got != 56.05 {
+		t.Fatalf("Sum = %v, want 56.05", got)
+	}
+
+	out := render(t, r)
+	wantLines := []string{
+		"# TYPE sds_test_latency_seconds histogram",
+		`sds_test_latency_seconds_bucket{le="0.1"} 1`,
+		`sds_test_latency_seconds_bucket{le="1"} 3`,
+		`sds_test_latency_seconds_bucket{le="10"} 4`,
+		`sds_test_latency_seconds_bucket{le="+Inf"} 5`,
+		"sds_test_latency_seconds_sum 56.05",
+		"sds_test_latency_seconds_count 5",
+	}
+	pos := -1
+	for _, want := range wantLines {
+		i := strings.Index(out, want+"\n")
+		if i < 0 {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+		if i < pos {
+			t.Fatalf("%q out of order (buckets must be cumulative, +Inf last):\n%s", want, out)
+		}
+		pos = i
+	}
+}
+
+func TestBoundaryObservationsAreInclusive(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("sds_test_edge_seconds", "", []float64{1, 2})
+	h.Observe(1) // le="1" is an inclusive upper bound
+	h.Observe(2)
+	out := render(t, r)
+	for _, want := range []string{
+		`sds_test_edge_seconds_bucket{le="1"} 1`,
+		`sds_test_edge_seconds_bucket{le="2"} 2`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistrationConflictsPanic(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.Counter("sds_test_total", "", L("a", "1"))
+	mustPanic("duplicate series", func() { r.Counter("sds_test_total", "", L("a", "1")) })
+	mustPanic("kind mismatch", func() { r.Gauge("sds_test_total", "", L("a", "2")) })
+	mustPanic("invalid name", func() { r.Counter("0bad-name", "") })
+	// Same family, distinct labels: fine.
+	r.Counter("sds_test_total", "", L("a", "2"))
+}
+
+func TestSnapshotRoundTripsThroughJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sds_test_a_total", "", L("rank", "1")).Add(7)
+	h := r.Histogram("sds_test_b_seconds", "", []float64{1})
+	h.Observe(0.5)
+
+	buf, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []Sample
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1+4 { // counter + (2 buckets, sum, count)
+		t.Fatalf("got %d samples: %+v", len(back), back)
+	}
+	if back[0].Name != "sds_test_a_total" || back[0].Value != 7 || back[0].Labels[0] != L("rank", "1") {
+		t.Errorf("counter sample mangled: %+v", back[0])
+	}
+	var infSeen bool
+	for _, s := range back[1:] {
+		if s.Suffix == "_bucket" && s.Labels[len(s.Labels)-1].Value == "+Inf" {
+			infSeen = true
+			if s.Value != 1 {
+				t.Errorf("+Inf bucket = %v, want 1", s.Value)
+			}
+		}
+	}
+	if !infSeen {
+		t.Errorf("no +Inf bucket in %+v", back)
+	}
+}
+
+func TestSumSamplesMergesRanks(t *testing.T) {
+	rank := func(n float64) []Sample {
+		return []Sample{
+			{Name: "sds_tcp_frames_sent_total", Kind: KindCounter, Value: n},
+			{Name: "sds_job_seconds", Kind: KindHistogram, Suffix: "_bucket", Labels: []Label{L("le", "1")}, Value: n},
+			{Name: "sds_job_seconds", Kind: KindHistogram, Suffix: "_count", Value: 1},
+			{Name: "sds_node_info", Kind: KindGauge, Labels: []Label{L("rank", formatFloat(n))}, Value: 1},
+		}
+	}
+	got := sumSamples(append(rank(2), rank(3)...))
+
+	find := func(name, suffix string) *Sample {
+		for i := range got {
+			if got[i].Name == name && got[i].Suffix == suffix {
+				return &got[i]
+			}
+		}
+		t.Fatalf("no %s%s in %+v", name, suffix, got)
+		return nil
+	}
+	if s := find("sds_fabric_tcp_frames_sent_total", ""); s.Value != 5 {
+		t.Errorf("summed counter = %v, want 5", s.Value)
+	}
+	if s := find("sds_fabric_job_seconds", "_bucket"); s.Value != 5 {
+		t.Errorf("summed bucket = %v, want 5", s.Value)
+	}
+	if s := find("sds_fabric_job_seconds", "_count"); s.Value != 2 {
+		t.Errorf("summed count = %v, want 2", s.Value)
+	}
+	// Distinctly-labelled series stay distinct.
+	var infoSeries int
+	for _, s := range got {
+		if s.Name == "sds_fabric_node_info" {
+			infoSeries++
+		}
+	}
+	if infoSeries != 2 {
+		t.Errorf("node_info series = %d, want 2 (distinct labels must not merge)", infoSeries)
+	}
+}
+
+func TestFormatFloatEdges(t *testing.T) {
+	cases := map[float64]string{
+		0:    "0",
+		2.5:  "2.5",
+		-1:   "-1",
+		1e21: "1e+21",
+	}
+	for v, want := range cases {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

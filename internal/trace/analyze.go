@@ -163,5 +163,17 @@ func (a Analysis) Render() string {
 		}
 		b.WriteByte('\n')
 	}
+	if len(a.DoneReasons) > 0 {
+		reasons := make([]string, 0, len(a.DoneReasons))
+		for r := range a.DoneReasons {
+			reasons = append(reasons, r)
+		}
+		sort.Strings(reasons)
+		b.WriteString("done reasons:")
+		for _, r := range reasons {
+			fmt.Fprintf(&b, " %s=%d", r, a.DoneReasons[r])
+		}
+		b.WriteByte('\n')
+	}
 	return b.String()
 }

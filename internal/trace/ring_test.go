@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRingRetainsLastN(t *testing.T) {
+	r := NewRing(3)
+	if got := r.Events(); len(got) != 0 {
+		t.Fatalf("fresh ring holds %d events", len(got))
+	}
+	for i := 0; i < 5; i++ {
+		r.Emit(i, fmt.Sprintf("k%d", i), nil)
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("ring of 3 holds %d events", len(evs))
+	}
+	for i, e := range evs {
+		if want := fmt.Sprintf("k%d", i+2); e.Kind != want {
+			t.Errorf("event %d = %q, want %q (oldest first)", i, e.Kind, want)
+		}
+	}
+	if evs[0].Seq >= evs[1].Seq || evs[1].Seq >= evs[2].Seq {
+		t.Errorf("sequence not increasing: %d %d %d", evs[0].Seq, evs[1].Seq, evs[2].Seq)
+	}
+	if got := r.Dropped(); got != 2 {
+		t.Errorf("Dropped = %d, want 2", got)
+	}
+}
+
+func TestRingMarshalJSONL(t *testing.T) {
+	r := NewRing(4)
+	r.Emit(0, "sort.start", map[string]any{"records": 10})
+	r.Emit(0, "sort.done", map[string]any{"reason": "completed"})
+	lines := r.MarshalJSONL()
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	// The output is what a JSONL sink would write: readable by ReadJSONL.
+	events, err := ReadJSONL(strings.NewReader(string(lines[0]) + "\n" + string(lines[1]) + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[0].Kind != "sort.start" || events[1].Kind != "sort.done" {
+		t.Fatalf("round trip mangled events: %+v", events)
+	}
+}
+
+func TestRingConcurrentEmit(t *testing.T) {
+	r := NewRing(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Emit(rank, "spin", nil)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(r.Events()); got != 8 {
+		t.Errorf("ring holds %d events after concurrent emits, want 8", got)
+	}
+	if got := r.Dropped(); got != 400-8 {
+		t.Errorf("Dropped = %d, want %d", got, 400-8)
+	}
+}
+
+func TestTeeFansOutAndDropsNil(t *testing.T) {
+	a, b := NewRing(2), NewRing(2)
+	tee := NewTee(a, nil, b)
+	if len(tee) != 2 {
+		t.Fatalf("tee kept %d sinks, want 2 (nil dropped)", len(tee))
+	}
+	tee.Emit(1, "ev", nil)
+	if len(a.Events()) != 1 || len(b.Events()) != 1 {
+		t.Errorf("fan-out missed a sink: %d/%d", len(a.Events()), len(b.Events()))
+	}
+	// An empty tee is a usable no-op sink.
+	NewTee().Emit(0, "ignored", nil)
+}

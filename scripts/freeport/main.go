@@ -1,0 +1,41 @@
+// Command freeport prints one free 127.0.0.1 host:port per argument
+// count (default 1) — the shell-script equivalent of the test suites'
+// freePort helper, used by scripts/telemetry_smoke.sh to hand sdsnode
+// ranks agreed-upon registry and telemetry addresses.
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+)
+
+func main() {
+	n := 1
+	if len(os.Args) > 1 {
+		v, err := strconv.Atoi(os.Args[1])
+		if err != nil || v < 1 {
+			fmt.Fprintf(os.Stderr, "usage: freeport [count]\n")
+			os.Exit(2)
+		}
+		n = v
+	}
+	// Hold every listener until all ports are drawn so the same port is
+	// never handed out twice.
+	lns := make([]net.Listener, 0, n)
+	defer func() {
+		for _, ln := range lns {
+			ln.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		lns = append(lns, ln)
+		fmt.Println(ln.Addr().String())
+	}
+}
