@@ -1,9 +1,26 @@
 # Convenience targets; everything is plain `go` underneath.
 
+# bash + pipefail so a `go test | tee` pipeline fails when go test
+# fails, not with tee's exit status — the bug that let a broken
+# benchmark lane stay green.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -ec
+
 GO ?= go
 FAULTNET_SEED ?= 1
 
-.PHONY: all build test race vet lint bench bench-json soak soak-engine telemetry-smoke experiments experiments-quick fuzz clean
+# The hot-path benchmark lane the perf ratchet diffs: pinned parallelism
+# and a fixed -benchtime/-count so runs are comparable across machines
+# and days. -count=5 gives benchdiff five samples per benchmark to take
+# the median of; 1s per sample keeps the cluster benchmarks' medians
+# within a few percent run to run (300ms was not enough).
+BENCH_PROCS    ?= 4
+BENCH_TIME     ?= 1s
+BENCH_COUNT    ?= 5
+BENCH_HOT      := ^(BenchmarkExchange|BenchmarkLocalSortIntKeys|BenchmarkMergeKernel)$$
+BENCH_HOT_PKGS := ./internal/core/ ./internal/psort/
+
+.PHONY: all build test race vet lint bench bench-json bench-json-all bench-baseline bench-diff soak soak-engine telemetry-smoke experiments experiments-quick fuzz clean
 
 all: build test
 
@@ -26,13 +43,34 @@ lint:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Single-iteration benchmark pass in JSON form, as the CI bench-smoke
-# job publishes it. BenchmarkExchange compares the staged and
-# monolithic all-to-all and reports peak-staging-bytes;
-# BenchmarkEngineWarmFabric compares jobs on a persistent engine with
-# one-shot launches and reports spawns/job.
+# The ratcheted hot-path benchmarks in JSON form, as the CI bench-smoke
+# job runs them: pinned GOMAXPROCS, fixed -benchtime, -count repeats.
+# BenchmarkExchange covers the staged/monolithic × zero-copy/marshal
+# exchange grid (with peak-staging-bytes), BenchmarkLocalSortIntKeys the
+# radix dispatch, BenchmarkMergeKernel the branchless merge.
 bench-json:
-	$(GO) test -bench=. -benchtime=1x -run xxx -json ./... | tee BENCH_ci.json
+	GOMAXPROCS=$(BENCH_PROCS) $(GO) test -run xxx -json \
+		-bench '$(BENCH_HOT)' -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) \
+		$(BENCH_HOT_PKGS) | tee BENCH_ci.json
+
+# Single-iteration sweep over every benchmark in the tree (including
+# BenchmarkEngineWarmFabric and its spawns/job metric) — a smoke pass
+# that everything still runs, not a timing source.
+bench-json-all:
+	$(GO) test -bench=. -benchtime=1x -run xxx -json ./... | tee BENCH_all.json
+
+# Refresh the committed baseline the perf ratchet falls back to when no
+# CI artifact from main is reachable. Run on a quiet machine, then
+# commit BENCH_baseline.json.
+bench-baseline:
+	GOMAXPROCS=$(BENCH_PROCS) $(GO) test -run xxx -json \
+		-bench '$(BENCH_HOT)' -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) \
+		$(BENCH_HOT_PKGS) | tee BENCH_baseline.json
+
+# Diff the local hot-path run against the committed baseline; fails on
+# a >15% ns/op or peak-staging-bytes regression.
+bench-diff: bench-json
+	$(GO) run ./cmd/benchdiff -old BENCH_baseline.json -new BENCH_ci.json
 
 # Fault-injection soak: repeat the Fault|Retry|Reconnect|Recovery test
 # families under the race detector. Vary the schedule with
@@ -70,6 +108,8 @@ fuzz:
 	$(GO) test ./internal/partition -fuzz FuzzStablePartition -fuzztime 30s -run xxx
 	$(GO) test ./internal/checkpoint -fuzz FuzzManifest -fuzztime 30s -run xxx
 
+# BENCH_baseline.json is a committed artifact, not a build product —
+# clean leaves it alone.
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_ci.json
+	rm -f BENCH_ci.json BENCH_all.json

@@ -552,12 +552,10 @@ func sortJob(c *comm.Comm, p jobParams, data []float64, ck *core.Checkpointing, 
 	// The exchange stats are shared across the process's jobs so the
 	// telemetry plane exports them live (in particular the staging
 	// window gauge mid-exchange); the log line below is therefore
-	// cumulative in -serve mode.
-	var exch *metrics.ExchangeStats
-	if p.stage > 0 {
-		exch = env.exch
-		opt.Exchange = exch
-	}
+	// cumulative in -serve mode. Wired unconditionally: the zero-copy
+	// counters are meaningful for the monolithic exchange too.
+	exch := env.exch
+	opt.Exchange = exch
 	opt.Mem = env.gauge
 	opt.Trace = env.tracer
 	tm := metrics.NewPhaseTimer()
@@ -594,6 +592,11 @@ func sortJob(c *comm.Comm, p jobParams, data []float64, ck *core.Checkpointing, 
 	}
 	if exch != nil {
 		log.Printf("  %s", exch)
+		zc := "no"
+		if exch.ZeroCopyUsed() {
+			zc = "yes"
+		}
+		log.Printf("  zero-copy: %s", zc)
 	}
 
 	if p.out != "" {

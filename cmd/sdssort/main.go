@@ -193,9 +193,11 @@ func runRecords[T any](records []T, out string, cd codec.Codec[T], cmp func(a, b
 		timers[i] = metrics.NewPhaseTimer()
 	}
 	// One shared, atomic stats block across the ranks, like the shared
-	// memory gauge.
+	// memory gauge. Always present for the sds algorithm so the
+	// zero-copy line below reflects what the exchange actually did,
+	// staged or not.
 	var exch *metrics.ExchangeStats
-	if stage > 0 {
+	if algo == "sds" {
 		exch = &metrics.ExchangeStats{}
 	}
 	start := time.Now()
@@ -256,6 +258,11 @@ func runRecords[T any](records []T, out string, cd codec.Codec[T], cmp func(a, b
 		}
 		if exch != nil {
 			fmt.Printf("  %s\n", exch)
+			zc := "no"
+			if exch.ZeroCopyUsed() {
+				zc = "yes"
+			}
+			fmt.Printf("  zero-copy: %s (codec eligible: %v)\n", zc, codec.IsZeroCopy(cd))
 		}
 	}
 	if out != "" {

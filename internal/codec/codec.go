@@ -34,8 +34,12 @@ type BulkAppender[T any] interface {
 }
 
 // EncodeSlice appends the wire form of recs to dst and returns the
-// extended buffer.
+// extended buffer. Zero-copy-capable codecs (see IsZeroCopy) take a
+// single-memcpy fast path; the wire bytes are identical either way.
 func EncodeSlice[T any](c Codec[T], dst []byte, recs []T) []byte {
+	if wire, ok := View(c, recs); ok {
+		return append(dst, wire...)
+	}
 	if ba, ok := any(c).(BulkAppender[T]); ok {
 		return ba.AppendSlice(dst, recs)
 	}
@@ -50,11 +54,15 @@ func EncodeSlice[T any](c Codec[T], dst []byte, recs []T) []byte {
 }
 
 // DecodeSlice decodes all records in src, which must be a whole number
-// of records.
+// of records. Zero-copy-capable codecs decode by one memcpy into the
+// fresh slice instead of per-record Unmarshal calls.
 func DecodeSlice[T any](c Codec[T], src []byte) ([]T, error) {
 	sz := c.Size()
 	if len(src)%sz != 0 {
 		return nil, fmt.Errorf("codec: buffer length %d is not a multiple of record size %d", len(src), sz)
+	}
+	if IsZeroCopy(c) {
+		return appendRaw(make([]T, 0, len(src)/sz), src, sz), nil
 	}
 	out := make([]T, 0, len(src)/sz)
 	for off := 0; off < len(src); off += sz {
@@ -64,11 +72,15 @@ func DecodeSlice[T any](c Codec[T], src []byte) ([]T, error) {
 }
 
 // DecodeAppend decodes src into dst (appending) and returns the extended
-// slice, avoiding an allocation when dst has capacity.
+// slice, avoiding an allocation when dst has capacity. Zero-copy-capable
+// codecs append by one memcpy.
 func DecodeAppend[T any](c Codec[T], dst []T, src []byte) ([]T, error) {
 	sz := c.Size()
 	if len(src)%sz != 0 {
 		return dst, fmt.Errorf("codec: buffer length %d is not a multiple of record size %d", len(src), sz)
+	}
+	if IsZeroCopy(c) {
+		return appendRaw(dst, src, sz), nil
 	}
 	for off := 0; off < len(src); off += sz {
 		dst = append(dst, c.Unmarshal(src[off:off+sz]))
@@ -80,6 +92,9 @@ func DecodeAppend[T any](c Codec[T], dst []T, src []byte) ([]T, error) {
 type Float64 struct{}
 
 func (Float64) Size() int { return 8 }
+
+// ZeroCopy: the wire form is the float's memory image (LE IEEE-754).
+func (Float64) ZeroCopy() bool { return true }
 
 func (Float64) Marshal(dst []byte, v float64) {
 	binary.LittleEndian.PutUint64(dst, math.Float64bits(v))
@@ -108,6 +123,10 @@ type Uint64 struct{}
 func (Uint64) Size() int                    { return 8 }
 func (Uint64) Marshal(dst []byte, v uint64) { binary.LittleEndian.PutUint64(dst, v) }
 func (Uint64) Unmarshal(src []byte) uint64  { return binary.LittleEndian.Uint64(src) }
+func (Uint64) ZeroCopy() bool               { return true }
+
+// Uint64Key: the record is its own radix key.
+func (Uint64) Uint64Key(v uint64) uint64 { return v }
 
 // Int64 encodes int64 keys little-endian (two's complement).
 type Int64 struct{}
@@ -115,14 +134,25 @@ type Int64 struct{}
 func (Int64) Size() int                   { return 8 }
 func (Int64) Marshal(dst []byte, v int64) { binary.LittleEndian.PutUint64(dst, uint64(v)) }
 func (Int64) Unmarshal(src []byte) int64  { return int64(binary.LittleEndian.Uint64(src)) }
+func (Int64) ZeroCopy() bool              { return true }
+
+// Uint64Key flips the sign bit so unsigned order matches signed order.
+func (Int64) Uint64Key(v int64) uint64 { return uint64(v) ^ (1 << 63) }
 
 // Funcs adapts three functions into a Codec, for ad-hoc record types.
 type Funcs[T any] struct {
 	Width     int
 	MarshalFn func(dst []byte, rec T)
 	UnmarshFn func(src []byte) T
+	// ZeroCopyOK, when set, asserts that MarshalFn writes exactly the
+	// record's little-endian memory image (fixed payload, no padding,
+	// fields in declaration order) — the zero-copy contract of
+	// IsZeroCopy. Leave false for any codec that reorders, omits or
+	// transforms fields.
+	ZeroCopyOK bool
 }
 
 func (f Funcs[T]) Size() int               { return f.Width }
 func (f Funcs[T]) Marshal(dst []byte, r T) { f.MarshalFn(dst, r) }
 func (f Funcs[T]) Unmarshal(src []byte) T  { return f.UnmarshFn(src) }
+func (f Funcs[T]) ZeroCopy() bool          { return f.ZeroCopyOK }

@@ -31,6 +31,10 @@ type PTFCodec struct{}
 
 func (PTFCodec) Size() int { return 16 }
 
+// ZeroCopy: wire layout (score, objid; both 8 bytes LE) is the struct
+// layout.
+func (PTFCodec) ZeroCopy() bool { return true }
+
 func (PTFCodec) Marshal(dst []byte, r PTFRecord) {
 	binary.LittleEndian.PutUint64(dst[0:], math.Float64bits(r.Score))
 	binary.LittleEndian.PutUint64(dst[8:], r.ObjID)
@@ -66,6 +70,16 @@ func CompareParticles(a, b Particle) int {
 type ParticleCodec struct{}
 
 func (ParticleCodec) Size() int { return 32 }
+
+// ZeroCopy: wire layout (cluster id, 3×pos, 3×vel) is the struct
+// layout with no padding.
+func (ParticleCodec) ZeroCopy() bool { return true }
+
+// Uint64Key: particles sort by ClusterID; flipping the sign bit makes
+// unsigned order match the signed comparator. Records with equal
+// cluster ids have equal keys, so the stable LSD pass preserves their
+// order.
+func (ParticleCodec) Uint64Key(p Particle) uint64 { return uint64(p.ClusterID) ^ (1 << 63) }
 
 func (ParticleCodec) Marshal(dst []byte, p Particle) {
 	binary.LittleEndian.PutUint64(dst[0:], uint64(p.ClusterID))
@@ -109,6 +123,9 @@ func CompareTagged(a, b Tagged) int {
 type TaggedCodec struct{}
 
 func (TaggedCodec) Size() int { return 16 }
+
+// ZeroCopy: wire layout (key, rank, index) is the struct layout.
+func (TaggedCodec) ZeroCopy() bool { return true }
 
 func (TaggedCodec) Marshal(dst []byte, r Tagged) {
 	binary.LittleEndian.PutUint64(dst[0:], math.Float64bits(r.Key))

@@ -1,0 +1,195 @@
+package codec
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"unsafe"
+)
+
+// marshalLoop is the reference encoder: the plain per-record Marshal
+// loop with no fast paths. The zero-copy property tests compare every
+// accelerated encode against it byte for byte.
+func marshalLoop[T any](c Codec[T], recs []T) []byte {
+	sz := c.Size()
+	out := make([]byte, sz*len(recs))
+	for i, r := range recs {
+		c.Marshal(out[i*sz:(i+1)*sz], r)
+	}
+	return out
+}
+
+// unmarshalLoop is the reference decoder.
+func unmarshalLoop[T any](c Codec[T], wire []byte) []T {
+	sz := c.Size()
+	out := make([]T, 0, len(wire)/sz)
+	for off := 0; off < len(wire); off += sz {
+		out = append(out, c.Unmarshal(wire[off:off+sz]))
+	}
+	return out
+}
+
+// checkZeroCopyCodec asserts the full zero-copy contract for one codec
+// on one input: View is byte-identical to the marshal loop, EncodeSlice
+// agrees, DecodeSlice/DecodeAppend invert it, and appending to a view
+// does not scribble into the record slab.
+func checkZeroCopyCodec[T any](t *testing.T, c Codec[T], recs []T) {
+	t.Helper()
+	if !IsZeroCopy[T](c) {
+		t.Fatalf("%T does not qualify for zero copy on this machine", c)
+	}
+	want := marshalLoop(c, recs)
+
+	wire, ok := View(c, recs)
+	if !ok {
+		t.Fatalf("%T: View refused a zero-copy codec", c)
+	}
+	if !bytes.Equal(wire, want) {
+		t.Fatalf("%T: View bytes differ from the marshal loop", c)
+	}
+	if got := EncodeSlice(c, nil, recs); !bytes.Equal(got, want) {
+		t.Fatalf("%T: EncodeSlice bytes differ from the marshal loop", c)
+	}
+	// Appending onto a non-empty prefix must splice, not corrupt.
+	prefix := []byte{0xde, 0xad}
+	if got := EncodeSlice(c, prefix, recs); !bytes.Equal(got[2:], want) || got[0] != 0xde {
+		t.Fatalf("%T: EncodeSlice with prefix corrupted the buffer", c)
+	}
+
+	dec, err := DecodeSlice(c, want)
+	if err != nil {
+		t.Fatalf("%T: DecodeSlice: %v", c, err)
+	}
+	if !reflect.DeepEqual(dec, unmarshalLoop(c, want)) {
+		t.Fatalf("%T: DecodeSlice differs from the unmarshal loop", c)
+	}
+	if len(recs) > 0 && !reflect.DeepEqual(dec, recs) {
+		t.Fatalf("%T: decode(encode(recs)) != recs", c)
+	}
+	app, err := DecodeAppend(c, append([]T(nil), recs[:min(1, len(recs))]...), want)
+	if err != nil {
+		t.Fatalf("%T: DecodeAppend: %v", c, err)
+	}
+	if len(app) != min(1, len(recs))+len(recs) {
+		t.Fatalf("%T: DecodeAppend length %d", c, len(app))
+	}
+
+	if len(recs) > 0 {
+		// len == cap on views: an append must reallocate, leaving the
+		// record slab untouched.
+		if len(wire) != cap(wire) {
+			t.Fatalf("%T: view has spare capacity %d", c, cap(wire)-len(wire))
+		}
+		before := append([]T(nil), recs...)
+		_ = append(wire, 0xff)
+		if !reflect.DeepEqual(recs, before) {
+			t.Fatalf("%T: appending to a view mutated the records", c)
+		}
+	}
+}
+
+// TestZeroCopyMatchesMarshal is the property test of the tentpole: for
+// every built-in zero-copy codec, the view of a record slab is
+// byte-identical to the per-record marshal loop and decodes back to the
+// same records, across empty, single and bulk inputs.
+func TestZeroCopyMatchesMarshal(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sizes := []int{0, 1, 3, 257, 4096}
+	for _, n := range sizes {
+		f64 := make([]float64, n)
+		u64 := make([]uint64, n)
+		i64 := make([]int64, n)
+		ptf := make([]PTFRecord, n)
+		par := make([]Particle, n)
+		tag := make([]Tagged, n)
+		for i := 0; i < n; i++ {
+			f64[i] = rng.NormFloat64()
+			u64[i] = rng.Uint64()
+			i64[i] = int64(rng.Uint64())
+			ptf[i] = PTFRecord{Score: rng.Float64(), ObjID: rng.Uint64()}
+			par[i] = Particle{
+				ClusterID: int64(rng.Uint64()),
+				Pos:       [3]float32{rng.Float32(), rng.Float32(), rng.Float32()},
+				Vel:       [3]float32{rng.Float32(), rng.Float32(), rng.Float32()},
+			}
+			tag[i] = Tagged{Key: rng.Float64(), Rank: int32(rng.Intn(64)), Index: int32(i)}
+		}
+		checkZeroCopyCodec[float64](t, Float64{}, f64)
+		checkZeroCopyCodec[uint64](t, Uint64{}, u64)
+		checkZeroCopyCodec[int64](t, Int64{}, i64)
+		checkZeroCopyCodec[PTFRecord](t, PTFCodec{}, ptf)
+		checkZeroCopyCodec[Particle](t, ParticleCodec{}, par)
+		checkZeroCopyCodec[Tagged](t, TaggedCodec{}, tag)
+	}
+}
+
+// TestIsZeroCopyGates walks the qualification matrix: undeclared codecs
+// never qualify, declared ones do only when the in-memory width matches
+// the wire width, and Funcs follows its ZeroCopyOK knob.
+func TestIsZeroCopyGates(t *testing.T) {
+	plain := Funcs[uint64]{
+		Width:     8,
+		MarshalFn: Uint64{}.Marshal,
+		UnmarshFn: Uint64{}.Unmarshal,
+	}
+	if IsZeroCopy[uint64](plain) {
+		t.Error("Funcs without ZeroCopyOK qualified")
+	}
+	plain.ZeroCopyOK = true
+	if !IsZeroCopy[uint64](plain) {
+		t.Error("Funcs with ZeroCopyOK and matching width did not qualify")
+	}
+	if _, ok := View[uint64](Funcs[uint64]{Width: 8, MarshalFn: plain.MarshalFn, UnmarshFn: plain.UnmarshFn}, []uint64{1}); ok {
+		t.Error("View succeeded on a non-zero-copy codec")
+	}
+
+	// A codec that (wrongly) declares zero copy with a wire width that
+	// differs from the memory width must be rejected by the size leg —
+	// that check is what keeps a mistaken declaration from corrupting
+	// data.
+	type padded struct {
+		A uint32
+		B uint64 // 4 bytes of struct padding before this field
+	}
+	bad := Funcs[padded]{
+		Width:      12, // wire: 4 + 8; memory: 16 with padding
+		MarshalFn:  func(dst []byte, r padded) {},
+		UnmarshFn:  func(src []byte) padded { return padded{} },
+		ZeroCopyOK: true,
+	}
+	if unsafe.Sizeof(padded{}) == 12 {
+		t.Fatal("test premise broken: padded struct has no padding")
+	}
+	if IsZeroCopy[padded](bad) {
+		t.Error("codec with padded in-memory layout qualified for zero copy")
+	}
+}
+
+// TestUint64KeyOrder: the integer keys the radix dispatch sorts by must
+// order exactly like the codecs' canonical comparators, including the
+// signed/unsigned boundary.
+func TestUint64KeyOrder(t *testing.T) {
+	ints := []int64{-1 << 63, -12345, -1, 0, 1, 98765, 1<<63 - 1}
+	key, ok := Uint64KeyOf[int64](Int64{})
+	if !ok {
+		t.Fatal("Int64 has no Uint64Key")
+	}
+	for i := 1; i < len(ints); i++ {
+		if key(ints[i-1]) >= key(ints[i]) {
+			t.Errorf("key(%d) = %d not below key(%d) = %d",
+				ints[i-1], key(ints[i-1]), ints[i], key(ints[i]))
+		}
+	}
+	pkey, ok := Uint64KeyOf[Particle](ParticleCodec{})
+	if !ok {
+		t.Fatal("ParticleCodec has no Uint64Key")
+	}
+	a, b := Particle{ClusterID: -5}, Particle{ClusterID: 3}
+	if pkey(a) >= pkey(b) {
+		t.Errorf("particle key order broken: %d >= %d", pkey(a), pkey(b))
+	}
+	if _, ok := Uint64KeyOf[float64](Float64{}); ok {
+		t.Error("Float64 claims an integer key")
+	}
+}

@@ -26,14 +26,20 @@ type StagedOptions struct {
 	RecvBytes []int64
 	// Fill produces the next outgoing chunk for dst: the n bytes at
 	// payload offset off, encoded into a buffer the caller owns
-	// (typically from a codec.BufferPool). The collective never retains
-	// the buffer past the Send that consumes it.
+	// (typically from a codec.BufferPool) — or, on the zero-copy path,
+	// a view aliasing the caller's record slab directly. Either is
+	// safe: the collective never retains the buffer past the Send that
+	// consumes it, and the transports do not mutate send buffers. A
+	// caller returning aliased views must not mutate the viewed
+	// records until the collective returns.
 	Fill func(dst int, off, n int64) ([]byte, error)
 	// FillDone, when non-nil, is called once the chunk buffer returned
 	// by Fill has been handed to the transport and may be recycled.
 	FillDone func(dst int, buf []byte)
 	// Drain consumes one arriving chunk from src, starting at payload
-	// offset off. Drain must not retain chunk after returning.
+	// offset off. Drain must not retain chunk after returning (the
+	// zero-copy path memcpys it into the receive slab; the generic
+	// path decodes it record by record).
 	Drain func(src int, off int64, chunk []byte) error
 	// OnWindow, when non-nil, observes live stage-window occupancy: the
 	// collective calls it with +n when it takes hold of an n-byte chunk

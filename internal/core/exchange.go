@@ -64,8 +64,16 @@ func syncExchange[T any](wc *comm.Comm, work []T, bounds []int, rcounts []int64,
 	stage := effStage(opt.StageBytes, recSize)
 
 	var chunks [][]T
+	var slab []T // zero-copy path: the contiguous rank-ordered receive slab backing chunks
 	var total int64
-	if stage > 0 {
+	if zeroCopyEligible(cd, opt) {
+		var err error
+		slab, chunks, err = zeroCopyAlltoall(wc, work, bounds, rcounts, cd, recSize, stage, opt, acct)
+		if err != nil {
+			return nil, err
+		}
+		total = int64(len(slab))
+	} else if stage > 0 {
 		// Staged: reserve the window — one outgoing chunk being filled,
 		// one incoming chunk being drained — before any buffer exists.
 		window := 2 * stage
@@ -125,17 +133,26 @@ func syncExchange[T any](wc *comm.Comm, work []T, bounds []int, rcounts []int64,
 	tm.Start(metrics.PhaseLocalOrdering)
 	if p < opt.TauS {
 		// Merge the p sorted chunks: O(m log p), stable by source
-		// rank (SdssMergeAll).
+		// rank (SdssMergeAll). On the zero-copy path the chunks are
+		// subslices of the receive slab; the merge reads them in
+		// place.
 		return psort.KWayMerge(chunks, cmp), nil
 	}
 	// Re-sort: O(m log m) but independent of p (SdssLocalSort on the
 	// incoming data). Concatenating in rank order first keeps the
-	// stable variant stable.
-	out := make([]T, 0, total)
-	for _, chunk := range chunks {
-		out = append(out, chunk...)
+	// stable variant stable; the zero-copy slab already is that
+	// concatenation. Integer-keyed codecs dispatch to the LSD radix
+	// pass.
+	out := slab
+	if out == nil {
+		out = make([]T, 0, total)
+		for _, chunk := range chunks {
+			out = append(out, chunk...)
+		}
 	}
-	psort.ParallelSort(out, opt.cores(), opt.Stable, cmp)
+	if !reorderFast(out, cd, cmp, opt) {
+		psort.ParallelSort(out, opt.cores(), opt.Stable, cmp)
+	}
 	return out, nil
 }
 
@@ -163,9 +180,19 @@ func overlapExchange[T any](wc *comm.Comm, work []T, bounds []int, rcounts []int
 	me := wc.Rank()
 	recSize := int64(cd.Size())
 	stage := effStage(opt.StageBytes, recSize)
+	// Zero-copy sends stream views sliced from the work slab, so only
+	// the incoming chunk occupies staging memory.
+	zc := zeroCopyEligible(cd, opt)
+	var workBytes []byte
+	if zc {
+		workBytes, _ = codec.View(cd, work)
+	}
 
 	if stage > 0 {
 		window := 2 * stage
+		if zc {
+			window = stage
+		}
 		if err := acct.reserve(window); err != nil {
 			return nil, fmt.Errorf("core: staging window of %d bytes: %w", window, err)
 		}
@@ -200,9 +227,12 @@ func overlapExchange[T any](wc *comm.Comm, work []T, bounds []int, rcounts []int
 	var sends []*comm.Request
 	sendErr := make(chan error, 1)
 	if stage > 0 {
-		// One sender goroutine walks the destinations chunk by chunk
-		// through a pooled buffer: at most one encoded chunk alive, and
-		// the eager transports never block it on a matching receive.
+		// One sender goroutine walks the destinations chunk by chunk.
+		// Marshal path: each chunk is encoded into a pooled buffer, so
+		// at most one encoded chunk is alive. Zero-copy path: each
+		// chunk is a view of the work slab — nothing is encoded and
+		// nothing occupies the outgoing window. Either way the eager
+		// transports never block the sender on a matching receive.
 		pool := &codec.BufferPool{}
 		fill := stagedFill(work, bounds, cd, recSize, pool)
 		go func() {
@@ -215,37 +245,61 @@ func overlapExchange[T any](wc *comm.Comm, work []T, bounds []int, rcounts []int
 					if n > stage {
 						n = stage
 					}
-					buf, _ := fill(dst, off, n)
-					opt.Exchange.AddWindow(n)
+					var buf []byte
+					if zc {
+						lo := int64(bounds[dst])*recSize + off
+						buf = workBytes[lo : lo+n : lo+n]
+					} else {
+						buf, _ = fill(dst, off, n)
+						opt.Exchange.AddWindow(n)
+					}
 					if err := wc.Send(dst, tagExchange, buf); err != nil {
-						opt.Exchange.AddWindow(-n)
+						if !zc {
+							opt.Exchange.AddWindow(-n)
+						}
 						opt.Exchange.AddStaged(bytes, nchunks)
 						sendErr <- fmt.Errorf("core: staged send to %d: %w", dst, err)
 						return
 					}
-					pool.Put(buf)
-					opt.Exchange.AddWindow(-n)
+					if !zc {
+						pool.Put(buf)
+						opt.Exchange.AddWindow(-n)
+					}
 					bytes += n
 					nchunks++
 					off += n
 				}
 			}
 			opt.Exchange.AddStaged(bytes, nchunks)
-			opt.Exchange.AddPool(pool.Stats())
+			if zc {
+				opt.Exchange.AddZeroCopy(bytes, nchunks)
+			} else {
+				opt.Exchange.AddPool(pool.Stats())
+			}
 			sendErr <- nil
 		}()
 	} else {
+		var zcBytes, zcChunks int64
 		for dst := 0; dst < p; dst++ {
 			if dst == me || bounds[dst+1] == bounds[dst] {
 				continue
 			}
-			buf := codec.EncodeSlice(cd, nil, work[bounds[dst]:bounds[dst+1]])
+			var buf []byte
+			if zc {
+				lo, hi := int64(bounds[dst])*recSize, int64(bounds[dst+1])*recSize
+				buf = workBytes[lo:hi:hi]
+				zcBytes += hi - lo
+				zcChunks++
+			} else {
+				buf = codec.EncodeSlice(cd, nil, work[bounds[dst]:bounds[dst+1]])
+			}
 			s, err := wc.Isend(dst, tagExchange, buf)
 			if err != nil {
 				return nil, fmt.Errorf("core: isend to %d: %w", dst, err)
 			}
 			sends = append(sends, s)
 		}
+		opt.Exchange.AddZeroCopy(zcBytes, zcChunks)
 	}
 
 	// Seed the result with our own slice; each arrival merges in.

@@ -106,6 +106,16 @@ type Options struct {
 	// internal/checkpoint. Nil disables checkpointing entirely.
 	Checkpoint *Checkpointing
 
+	// DisableZeroCopy forces the exchange through the generic marshal
+	// path — encode into pooled buffers, decode record by record —
+	// even for zero-copy-capable codecs. Benchmark/ablation knob: the
+	// wire bytes and the output are identical either way.
+	DisableZeroCopy bool
+
+	// DisableRadixDispatch keeps local ordering on the comparison
+	// sorts even for integer-keyed codecs. Benchmark/ablation knob.
+	DisableRadixDispatch bool
+
 	// DisableSkewAware replaces the skew-aware partition with the
 	// classical plain upper-bound partition (every record equal to a
 	// pivot goes below it). Output remains correct but duplicates

@@ -149,7 +149,13 @@ func Sort[T any](c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int
 				// failed epochs computed is being redone.
 				ck.Recovery.Wasted(int64(len(data)))
 			}
-			psort.AdaptiveSort(data, opt.cores(), opt.Stable, opt.RunThreshold, cmp)
+			// Integer-keyed codecs dispatch to the LSD radix pass;
+			// everything else (and every stable sort) takes the
+			// comparison sort. Both are charged to the local-sort
+			// clock.
+			if !localSortFast(data, cd, cmp, opt) {
+				psort.AdaptiveSort(data, opt.cores(), opt.Stable, opt.RunThreshold, cmp)
+			}
 		}
 		if err := saveCkpt(ck, tr, rank, checkpoint.PhaseLocalSort, false, true, nil, cd, data); err != nil {
 			return nil, err
@@ -269,6 +275,7 @@ func Sort[T any](c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int
 		"send_records": len(work), "recv_records": m,
 		"overlap":     !opt.Stable && p <= opt.TauO,
 		"stage_bytes": stage, "staged": stage > 0,
+		"zero_copy": zeroCopyEligible(cd, opt),
 	})
 	if err := acct.reserve(m * recSize); err != nil {
 		return nil, fmt.Errorf("core: receive buffer of %d records: %w", m, err)

@@ -24,6 +24,7 @@ import (
 	"sdssort/internal/partition"
 	"sdssort/internal/pivots"
 	"sdssort/internal/psort"
+	"sdssort/internal/radix"
 )
 
 const tagExchange = 3
@@ -79,7 +80,11 @@ func Sort[T any](c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int
 		return nil, fmt.Errorf("hyksort: input buffer: %w", err)
 	}
 	tm.Start(metrics.PhaseLocalSort)
-	psort.ParallelSort(data, opt.cores(), false, cmp)
+	// HykSort is never stable, so integer-keyed codecs always qualify
+	// for the LSD radix dispatch.
+	if !radix.DispatchLocal(data, cd, cmp) {
+		psort.ParallelSort(data, opt.cores(), false, cmp)
+	}
 
 	local := data
 	cur := c
@@ -151,7 +156,18 @@ func round[T any](cur *comm.Comm, local []T, cd codec.Codec[T], cmp func(a, b T)
 			ge = groupStart(j + 1)
 		}
 		target := gs + myRank%(ge-gs)
-		parts[target] = codec.EncodeSlice(cd, parts[target], local[bounds[j]:bounds[j+1]])
+		seg := local[bounds[j]:bounds[j+1]]
+		if parts[target] == nil {
+			// Zero-copy-capable codecs scatter the bucket straight
+			// from the record slab. The view has no spare capacity,
+			// so a second bucket for the same target below appends
+			// into a fresh buffer rather than the slab.
+			if wire, ok := codec.View(cd, seg); ok {
+				parts[target] = wire
+				continue
+			}
+		}
+		parts[target] = codec.EncodeSlice(cd, parts[target], seg)
 	}
 
 	tm.Start(metrics.PhaseExchange)

@@ -24,6 +24,13 @@ type ExchangeStats struct {
 	// served from the free list versus freshly allocated.
 	PoolHits   atomic.Int64
 	PoolMisses atomic.Int64
+	// ZeroCopyBytes / ZeroCopyChunks count exchange payload moved by
+	// the zero-copy path: scatter-gathered directly between record
+	// slabs and the transport, with no encode/decode through pooled
+	// buffers. Zero on both means every exchange took the generic
+	// marshal path.
+	ZeroCopyBytes  atomic.Int64
+	ZeroCopyChunks atomic.Int64
 	// WindowBytes is a live gauge of staging-window occupancy: chunk
 	// bytes currently held by in-flight staged exchanges, summed across
 	// every rank sharing this ExchangeStats. It returns to zero when no
@@ -72,6 +79,21 @@ func (s *ExchangeStats) AddStaged(bytes, chunks int64) {
 	s.StageChunks.Add(chunks)
 }
 
+// AddZeroCopy accrues payload moved by the zero-copy path.
+func (s *ExchangeStats) AddZeroCopy(bytes, chunks int64) {
+	if s == nil {
+		return
+	}
+	s.ZeroCopyBytes.Add(bytes)
+	s.ZeroCopyChunks.Add(chunks)
+}
+
+// ZeroCopyUsed reports whether any exchange traffic took the zero-copy
+// path since the counters were created.
+func (s *ExchangeStats) ZeroCopyUsed() bool {
+	return s != nil && s.ZeroCopyChunks.Load() > 0
+}
+
 // PoolHitRate returns the fraction of pool lookups served without
 // allocating, or 0 when the pool was never used.
 func (s *ExchangeStats) PoolHitRate() float64 {
@@ -90,6 +112,7 @@ func (s *ExchangeStats) String() string {
 	if s == nil {
 		return "exchange: unstaged"
 	}
-	return fmt.Sprintf("exchange: %d bytes staged in %d chunks, peak staging %dB, pool hit rate %.2f",
-		s.BytesStaged.Load(), s.StageChunks.Load(), s.PeakStagingReserved.Load(), s.PoolHitRate())
+	return fmt.Sprintf("exchange: %d bytes staged in %d chunks, peak staging %dB, pool hit rate %.2f, zero-copy %dB in %d chunks",
+		s.BytesStaged.Load(), s.StageChunks.Load(), s.PeakStagingReserved.Load(), s.PoolHitRate(),
+		s.ZeroCopyBytes.Load(), s.ZeroCopyChunks.Load())
 }

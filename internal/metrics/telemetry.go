@@ -11,6 +11,8 @@ func (s *ExchangeStats) Register(r *telemetry.Registry) {
 	r.GaugeFunc("sds_exchange_peak_staging_bytes", "Largest staging-window reservation any exchange made.", telemetry.FInt(s.PeakStagingReserved.Load))
 	r.CounterFunc("sds_exchange_pool_hits_total", "Encode-buffer pool lookups served from the free list.", telemetry.FInt(s.PoolHits.Load))
 	r.CounterFunc("sds_exchange_pool_misses_total", "Encode-buffer pool lookups that allocated.", telemetry.FInt(s.PoolMisses.Load))
+	r.CounterFunc("sds_exchange_zero_copy_bytes_total", "Exchange payload moved by the zero-copy path (no encode/decode staging copies).", telemetry.FInt(s.ZeroCopyBytes.Load))
+	r.CounterFunc("sds_exchange_zero_copy_chunks_total", "Chunks moved by the zero-copy path.", telemetry.FInt(s.ZeroCopyChunks.Load))
 }
 
 // Register exposes supervisor-level recovery counters.

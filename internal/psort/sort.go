@@ -175,19 +175,30 @@ func insertionSortStable[T any](data []T, cmp func(a, b T) int) {
 }
 
 // mergeInto merges sorted a and b into dst (len(dst) == len(a)+len(b)),
-// taking from a on ties — the stability rule.
+// taking from a on ties — the stability rule. The kernel is branchless:
+// the comparison outcome selects the source element and advances the
+// indices through conditional moves instead of an unpredictable branch,
+// so merging random keys is bound by memory and the comparator, not by
+// branch mispredictions. (The b-before-a tie check is what makes
+// take-a-on-ties fall out of `cmp(b, a) < 0`.)
 func mergeInto[T any](dst, a, b []T, cmp func(x, y T) int) {
-	i, j, k := 0, 0, 0
-	for i < len(a) && j < len(b) {
-		if cmp(b[j], a[i]) < 0 {
-			dst[k] = b[j]
-			j++
-		} else {
-			dst[k] = a[i]
-			i++
+	i, j := 0, 0
+	for k := 0; i < len(a) && j < len(b); k++ {
+		av, bv := a[i], b[j]
+		takeB := cmp(bv, av) < 0
+		v := av
+		if takeB {
+			v = bv
 		}
-		k++
+		dst[k] = v
+		t := 0
+		if takeB {
+			t = 1
+		}
+		j += t
+		i += 1 - t
 	}
+	k := i + j
 	k += copy(dst[k:], a[i:])
 	copy(dst[k:], b[j:])
 }

@@ -17,6 +17,7 @@ import (
 	"sdssort/internal/partition"
 	"sdssort/internal/pivots"
 	"sdssort/internal/psort"
+	"sdssort/internal/radix"
 )
 
 // Options configures PSRS.
@@ -58,7 +59,11 @@ func Sort[T any](c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int
 	}
 
 	tm.Start(metrics.PhaseLocalSort)
-	psort.ParallelSort(data, opt.cores(), false, cmp)
+	// PSRS is never stable, so integer-keyed codecs always qualify for
+	// the LSD radix dispatch.
+	if !radix.DispatchLocal(data, cd, cmp) {
+		psort.ParallelSort(data, opt.cores(), false, cmp)
+	}
 	p := c.Size()
 	if p == 1 {
 		return data, nil
@@ -121,6 +126,12 @@ func Sort[T any](c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int
 	tm.Start(metrics.PhaseExchange)
 	sendParts := make([][]byte, p)
 	for dst := 0; dst < p; dst++ {
+		// Zero-copy-capable codecs scatter straight from the record
+		// slab; data is not touched again until the exchange returns.
+		if wire, ok := codec.View(cd, data[bounds[dst]:bounds[dst+1]]); ok {
+			sendParts[dst] = wire
+			continue
+		}
 		sendParts[dst] = codec.EncodeSlice(cd, nil, data[bounds[dst]:bounds[dst+1]])
 	}
 	recv, err := c.Alltoall(sendParts)

@@ -16,6 +16,7 @@ import (
 	"sdssort/internal/codec"
 	"sdssort/internal/comm"
 	"sdssort/internal/metrics"
+	"sdssort/internal/psort"
 )
 
 // topBits is the width of the distribution histogram. Floating-point
@@ -110,6 +111,13 @@ func Sort[T any](c *comm.Comm, data []T, cd codec.Codec[T], key func(T) uint64, 
 	}
 	sendParts := make([][]byte, p)
 	for dst := 0; dst < p; dst++ {
+		// Zero-copy-capable codecs scatter straight from the bucket
+		// slab; the buckets are not touched again until the exchange
+		// returns, so aliasing the storage is safe.
+		if wire, ok := codec.View(cd, outParts[dst]); ok {
+			sendParts[dst] = wire
+			continue
+		}
 		sendParts[dst] = codec.EncodeSlice(cd, nil, outParts[dst])
 	}
 	recv, err := c.Alltoall(sendParts)
@@ -127,6 +135,27 @@ func Sort[T any](c *comm.Comm, data []T, cd codec.Codec[T], key func(T) uint64, 
 	}
 	LSDSort(mine, key)
 	return mine, nil
+}
+
+// DispatchLocal sorts data in place with the LSD radix pass when cd
+// extracts an integer sort key (codec.Uint64Keyer) and the result
+// agrees with the caller's comparator, reporting whether it did. The
+// agreement sweep is one O(n) comparison pass — cheap next to the sort
+// it replaces — and is what makes the dispatch safe against a
+// comparator that disagrees with the codec's canonical key order: on
+// disagreement the caller falls back to its comparison sort (data is
+// left permuted but intact). Stability note: the LSD pass is stable
+// with respect to the full key, so callers that need comparator-level
+// stability must not dispatch unless key equality implies comparator
+// equality; core gates the dispatch to non-stable sorts for exactly
+// that reason.
+func DispatchLocal[T any](data []T, cd codec.Codec[T], cmp func(a, b T) int) bool {
+	key, ok := codec.Uint64KeyOf(cd)
+	if !ok {
+		return false
+	}
+	LSDSort(data, key)
+	return psort.IsSorted(data, cmp)
 }
 
 // LSDSort sorts data in place by 8 passes of byte-wise counting sort

@@ -216,7 +216,7 @@ func (s *Sorter[T]) options() core.Options {
 // local records (which Sort may reorder) and receives its block of the
 // globally sorted output. All ranks of c must call Sort.
 func (s *Sorter[T]) Sort(c *Comm, data []T) ([]T, error) {
-	return core.Sort(c, data, codecAdapter[T]{s.cd}, s.cmp, s.options())
+	return core.Sort(c, data, internalCodec(s.cd), s.cmp, s.options())
 }
 
 // SortStats is Sort plus a per-rank phase breakdown and final load.
@@ -224,7 +224,7 @@ func (s *Sorter[T]) SortStats(c *Comm, data []T) ([]T, Stats, error) {
 	opt := s.options()
 	tm := metrics.NewPhaseTimer()
 	opt.Timer = tm
-	out, err := core.Sort(c, data, codecAdapter[T]{s.cd}, s.cmp, opt)
+	out, err := core.Sort(c, data, internalCodec(s.cd), s.cmp, opt)
 	if err != nil {
 		return nil, Stats{}, err
 	}
@@ -245,7 +245,7 @@ func (s *Sorter[T]) SortStats(c *Comm, data []T) ([]T, Stats, error) {
 // cheap — one boundary message per rank plus a reduction — and intended
 // to run after production sorts.
 func (s *Sorter[T]) Verify(c *Comm, data []T) error {
-	return core.Verify(c, data, codecAdapter[T]{s.cd}, s.cmp)
+	return core.Verify(c, data, internalCodec(s.cd), s.cmp)
 }
 
 // SortLocal sorts parts on an in-process cluster shaped topo: parts[r]
@@ -322,17 +322,15 @@ func RunLocal(topo Topology, fn func(c *Comm) error) error {
 // file size. This is the library's out-of-core extension; SDS-Sort
 // itself (and the paper) is in-memory.
 func ExternalSortFile[T any](in, out string, cd Codec[T], cmp func(a, b T) int, chunkRecords int, stable bool) error {
-	return extsort.SortFile(in, out, codecAdapter[T]{cd}, cmp, extsort.Options{
+	return extsort.SortFile(in, out, internalCodec(cd), cmp, extsort.Options{
 		ChunkRecords: chunkRecords,
 		Stable:       stable,
 	})
 }
 
-// codecAdapter bridges the public Codec to the internal one (the method
-// sets are identical; Go's structural interfaces make this a no-op
-// wrapper kept only for package-boundary clarity).
-type codecAdapter[T any] struct{ c Codec[T] }
-
-func (a codecAdapter[T]) Size() int               { return a.c.Size() }
-func (a codecAdapter[T]) Marshal(dst []byte, r T) { a.c.Marshal(dst, r) }
-func (a codecAdapter[T]) Unmarshal(src []byte) T  { return a.c.Unmarshal(src) }
+// internalCodec converts the public Codec to the internal one. The
+// method sets are identical, so Go's structural interfaces make this a
+// plain interface conversion — crucially NOT a wrapper struct, which
+// would hide the optional capability interfaces (zero-copy views,
+// integer radix keys) the hot paths type-assert for.
+func internalCodec[T any](c Codec[T]) codec.Codec[T] { return c }
