@@ -20,7 +20,7 @@ BENCH_COUNT    ?= 5
 BENCH_HOT      := ^(BenchmarkExchange|BenchmarkLocalSortIntKeys|BenchmarkMergeKernel)$$
 BENCH_HOT_PKGS := ./internal/core/ ./internal/psort/
 
-.PHONY: all build test race vet lint bench bench-json bench-json-all bench-baseline bench-diff soak soak-engine telemetry-smoke experiments experiments-quick fuzz clean
+.PHONY: all build test race vet lint bench bench-json bench-json-all bench-baseline bench-diff soak soak-engine soak-shrink telemetry-smoke experiments experiments-quick fuzz clean
 
 all: build test
 
@@ -84,6 +84,14 @@ soak:
 # memory gauge must drain between jobs. Seeded like `soak`.
 soak-engine:
 	FAULTNET_SEED=$(FAULTNET_SEED) $(GO) test -race -run 'EngineSoak' -count=3 -timeout 15m ./internal/engine/
+
+# Shrink soak: the degraded-mode recovery paths — in-proc supervised
+# shrink and cascade (internal/core), engine jobs shrinking onto
+# survivors, and the multi-process sdsnode e2e that hard-kills a rank
+# mid-exchange. The seed moves the kill rank and fault schedule.
+soak-shrink:
+	FAULTNET_SEED=$(FAULTNET_SEED) $(GO) test -race -run 'Shrink' -count=3 -timeout 15m ./internal/core/ ./internal/engine/
+	FAULTNET_SEED=$(FAULTNET_SEED) $(GO) test -race -run 'DistributedShrink' -count=1 -timeout 15m ./cmd/sdsnode/
 
 # Telemetry smoke: boot a real 2-process sdsnode world in -serve mode
 # and curl /healthz and /metrics mid-soak, requiring the local series,

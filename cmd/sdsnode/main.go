@@ -30,6 +30,9 @@
 //	2  usage error (bad flags or a bad job manifest)
 //	3  a peer rank was lost (retry budget exhausted) — restartable
 //	4  -job-deadline exceeded
+//	5  degraded success: with -allow-shrink, the sort lost ranks but
+//	   finished on the survivors — output is complete and globally
+//	   sorted, the world is just smaller than launched
 //
 // -job-deadline applies per job: in one-shot mode the single sort IS
 // the job, and in -serve mode the clock restarts for every job in the
@@ -47,6 +50,17 @@
 // so only the coordinator's flag strictly matters. The relaunched world
 // agrees on the latest globally consistent checkpoint cut and resumes
 // from it instead of re-sorting from scratch.
+//
+// With -allow-shrink additionally set (requires -ckpt-dir, one-shot
+// mode), losing a peer does not end the run: the survivors detect who
+// died, re-form a smaller world over the live fabric, redistribute the
+// dead rank's checkpointed shards among themselves, and finish the sort
+// from the last consistent cut, exiting 5 instead of 3. Pair it with a
+// finite -recv-timeout so a survivor blocked on the dead rank fails out
+// of the sort instead of waiting forever. If the shrink itself cannot
+// proceed (no cut, fewer than two survivors, or a second loss while
+// shrinking) the process exits 3 and the ordinary relaunch contract
+// applies. See shrink.go.
 package main
 
 import (
@@ -65,6 +79,7 @@ import (
 	"sdssort/internal/comm/tcpcomm"
 	"sdssort/internal/core"
 	"sdssort/internal/engine"
+	"sdssort/internal/faultnet"
 	"sdssort/internal/memlimit"
 	"sdssort/internal/metrics"
 	"sdssort/internal/recordio"
@@ -81,6 +96,7 @@ const (
 	exitUsage      = 2
 	exitPeerLost   = 3
 	exitDeadline   = 4
+	exitDegraded   = 5
 )
 
 func main() {
@@ -145,6 +161,11 @@ type nodeEnv struct {
 
 	jobsDone, jobsFailed atomic.Int64
 	jobSeconds           *telemetry.Histogram
+
+	// Degraded-mode state, flipped by a successful shrink and surfaced
+	// through /healthz.
+	degraded  atomic.Bool
+	worldSize atomic.Int64
 }
 
 func (e *nodeEnv) finishJob(elapsed time.Duration, failed bool) {
@@ -186,7 +207,20 @@ func run(args []string) (code int) {
 
 		epoch    = fs.Int("epoch", 0, "recovery epoch; rank 0's value is authoritative and adopted by all ranks")
 		ckptDir  = fs.String("ckpt-dir", "", "checkpoint directory shared by all ranks; enables phase snapshots and resume (one-shot mode only)")
+		shrink   = fs.Bool("allow-shrink", false, "on losing a peer, finish the sort on the survivors from the last checkpoint cut instead of exiting 3 (requires -ckpt-dir; exits 5 on degraded success)")
 		deadline = fs.Duration("job-deadline", 0, "kill the process after this per-job wall-clock budget (0 = none)")
+
+		ckptSync = fs.Bool("ckpt-sync", false, "commit checkpoints synchronously at each phase boundary instead of on the background writer (durable-at-boundary; slower)")
+
+		// Fault-injection harness, for recovery drills and the
+		// multi-process end-to-end tests: every rank of the world must
+		// pass -fault-wrap (the injected framing is world-wide), and a
+		// victim additionally names itself and its trigger file. The
+		// kill is hard — the process exits 137 mid-operation, a SIGKILL
+		// as far as the fabric is concerned.
+		faultWrap     = fs.Bool("fault-wrap", false, "wrap the transport in the deterministic fault-injection harness (all ranks must agree on this flag)")
+		faultKillRank = fs.Int("fault-kill-rank", -1, "fault harness: world rank to kill (requires -fault-wrap; -1 = nobody)")
+		faultKillFile = fs.String("fault-kill-after-file", "", "fault harness: the kill fires on the victim's first transport operation after this file exists")
 
 		retries   = fs.Int("retries", 5, "per-frame send attempts before declaring the peer lost")
 		retryBase = fs.Duration("retry-base", 2*time.Millisecond, "initial send retry backoff (doubles per attempt)")
@@ -208,6 +242,10 @@ func run(args []string) (code int) {
 	}
 	if *serve && *ckptDir != "" {
 		log.Printf("sdsnode: -ckpt-dir is not supported with -serve (checkpointed recovery is per one-shot job)")
+		return exitUsage
+	}
+	if *shrink && *ckptDir == "" {
+		log.Printf("sdsnode: -allow-shrink needs -ckpt-dir (the survivors resume from the checkpointed cut)")
 		return exitUsage
 	}
 	log.SetPrefix(fmt.Sprintf("sdsnode[%d]: ", *rank))
@@ -304,7 +342,12 @@ func run(args []string) (code int) {
 		})
 	}
 
-	tr, err := tcpcomm.New(tcpcomm.Config{
+	if (*faultKillRank >= 0 || *faultKillFile != "") && !*faultWrap {
+		log.Printf("sdsnode: -fault-kill-rank/-fault-kill-after-file need -fault-wrap on every rank")
+		return exitUsage
+	}
+
+	tcp, err := tcpcomm.New(tcpcomm.Config{
 		Rank: *rank, Size: *size, Node: nodeID, Epoch: *epoch,
 		Registry: *registry, Listen: *listen, Timeout: *timeout,
 		Retry: comm.RetryPolicy{
@@ -319,23 +362,45 @@ func run(args []string) (code int) {
 		log.Printf("bootstrap: %v", err)
 		return exitCode(err)
 	}
-	defer tr.Close()
+	defer tcp.Close()
+	var tr comm.Transport = tcp
+	if *faultWrap {
+		inj, err := faultnet.New(faultnet.Plan{
+			Seed: *seed, KillRank: *faultKillRank,
+			KillAfterFile: *faultKillFile, KillHard: true,
+		})
+		if err != nil {
+			log.Printf("fault harness: %v", err)
+			return exitUsage
+		}
+		tr = inj.Wrap(tr)
+		if *faultKillRank == *rank {
+			log.Printf("fault harness armed: this rank dies after %s exists", *faultKillFile)
+		}
+	}
 	// The coordinator's epoch won at registration; name the world after
 	// it so frames from an older incarnation are undeliverable here.
-	ep := tr.Epoch()
+	ep := tcp.Epoch()
 	worldName := "world"
 	if ep > 0 {
 		worldName = fmt.Sprintf("world@e%d", ep)
 	}
 	c := comm.NewNamed(tr, worldName)
 	log.Printf("joined world of %d ranks (epoch %d)", *size, ep)
+	env.worldSize.Store(int64(*size))
+	if *shrink {
+		// Liveness responders must be up before the sort: after a
+		// failure, survivors probe each other while some are still stuck
+		// inside the dying collective.
+		startProber(tr, worldName)
+	}
 
 	// Telemetry plane. Every rank builds a registry and (rank > 0)
 	// parks an aggregation responder on the fabric, so a coordinator
 	// scrape can sum the whole world even when only rank 0 carries
 	// -telemetry-addr. The HTTP server itself is per-flag.
 	reg := telemetry.NewRegistry()
-	tr.Stats().Register(reg)
+	tcp.Stats().Register(reg)
 	telemetry.RegisterNodeInfo(reg, *rank, *size, ep)
 	checkpoint.RegisterMetrics(reg)
 	env.exch.Register(reg)
@@ -350,8 +415,8 @@ func run(args []string) (code int) {
 	if *rank != 0 {
 		telemetry.StartResponder(tr, worldName, reg)
 	}
+	var agg *telemetry.Aggregator
 	if *telAddr != "" {
-		var agg *telemetry.Aggregator
 		opts := telemetry.ServerOptions{
 			Trace: ring.MarshalJSONL,
 			Health: func() telemetry.Health {
@@ -360,6 +425,10 @@ func run(args []string) (code int) {
 					JobsDone:         env.jobsDone.Load(),
 					JobsFailed:       env.jobsFailed.Load(),
 					GatherAgeSeconds: -1,
+				}
+				if env.degraded.Load() {
+					h.Degraded = true
+					h.WorldSize = int(env.worldSize.Load())
 				}
 				if agg != nil {
 					if age := agg.GatherAge(); age >= 0 {
@@ -403,7 +472,7 @@ func run(args []string) (code int) {
 			log.Printf("checkpoint: %v", err)
 			return exitLocalError
 		}
-		ck = &core.Checkpointing{Store: store, Epoch: ep}
+		ck = &core.Checkpointing{Store: store, Epoch: ep, Sync: *ckptSync}
 		if ep > 0 {
 			cut, ok, err := checkpoint.AgreeCut(c, store)
 			if err != nil {
@@ -420,6 +489,9 @@ func run(args []string) (code int) {
 	}
 
 	if code := sortJob(c, defaults, data, ck, "", env); code != exitOK {
+		if code == exitPeerLost && *shrink {
+			return shrinkAndResume(tr, worldName, ep, *ckptDir, defaults, ck, env, agg)
+		}
 		return code
 	}
 	// Leave together: a final barrier keeps rank 0's process alive
@@ -427,6 +499,13 @@ func run(args []string) (code int) {
 	if err := c.Barrier(); err != nil {
 		if lost, ok := comm.PeerLost(err); ok {
 			log.Printf("final barrier: peer rank %d lost: %v", lost, err)
+			// A rank that died between its last send and the farewell
+			// barrier is still a loss the survivors can absorb: the
+			// final cut is checkpointed, so the shrink re-derives the
+			// dead rank's output shard onto the survivors.
+			if *shrink {
+				return shrinkAndResume(tr, worldName, ep, *ckptDir, defaults, ck, env, agg)
+			}
 		} else {
 			log.Printf("final barrier: %v", err)
 		}

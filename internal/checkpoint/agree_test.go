@@ -1,0 +1,46 @@
+// External test package: these tests drive checkpoint through cluster,
+// which itself imports checkpoint (the supervisor's shrink path calls
+// Redistribute) — an in-package test would be an import cycle.
+package checkpoint_test
+
+import (
+	"testing"
+
+	"sdssort/internal/checkpoint"
+	"sdssort/internal/cluster"
+	"sdssort/internal/codec"
+	"sdssort/internal/comm"
+)
+
+func TestAgreeCutBroadcastsRankZeroView(t *testing.T) {
+	dir := t.TempDir()
+	topo := cluster.Topology{Nodes: 2, CoresPerNode: 2}
+	s, err := checkpoint.NewStore(dir, topo.Size())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < topo.Size(); r++ {
+		m := checkpoint.Manifest{Epoch: 5, Phase: checkpoint.PhasePartition, Rank: r, Leader: true}
+		if err := checkpoint.Save(s, m, codec.Float64{}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cuts, err := cluster.Gather(topo, cluster.Options{}, func(c *comm.Comm) (checkpoint.Cut, error) {
+		cut, ok, err := checkpoint.AgreeCut(c, s)
+		if err != nil {
+			return checkpoint.Cut{}, err
+		}
+		if !ok {
+			t.Error("no cut agreed")
+		}
+		return cut, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, cut := range cuts {
+		if cut != (checkpoint.Cut{Epoch: 5, Phase: checkpoint.PhasePartition}) {
+			t.Fatalf("rank %d agreed on %+v", r, cut)
+		}
+	}
+}

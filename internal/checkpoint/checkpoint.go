@@ -148,8 +148,11 @@ func saveBytes(s *Store, m Manifest, payload []byte, records int64, recSize int)
 }
 
 // writeManifest commits the manifest via temp-and-rename; its rename
-// is the snapshot's commit point.
+// is the snapshot's commit point. It stamps the store's rank count as
+// the manifest's world, so every committed snapshot records which
+// world size it belongs to.
 func (s *Store) writeManifest(m Manifest) error {
+	m.World = s.ranks
 	mf, err := os.CreateTemp(s.epochDir(m.Epoch), ".ckpt-*")
 	if err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
@@ -269,6 +272,14 @@ func (s *Store) readManifest(epoch int, ph Phase, rank int) (*Manifest, error) {
 	if m.Epoch != epoch || m.Phase != ph || m.Rank != rank {
 		return nil, fmt.Errorf("%w: manifest at %s identifies (epoch %d, %s, rank %d)",
 			ErrCorrupt, s.ManifestPath(epoch, ph, rank), m.Epoch, m.Phase, m.Rank)
+	}
+	if m.World != 0 && m.World != s.ranks {
+		// A snapshot written by a different world size is not usable by
+		// this store: resuming a p-rank cut on p−1 ranks would silently
+		// drop records, and a full-world relaunch must not adopt a
+		// degraded world's redistributed snapshots.
+		return nil, fmt.Errorf("%w: manifest at %s was written for a %d-rank world, store has %d",
+			ErrCorrupt, s.ManifestPath(epoch, ph, rank), m.World, s.ranks)
 	}
 	return m, nil
 }

@@ -6,24 +6,22 @@ import (
 	"slices"
 	"testing"
 
-	"sdssort/internal/cluster"
 	"sdssort/internal/codec"
-	"sdssort/internal/comm"
 )
 
 func TestManifestRoundTrip(t *testing.T) {
 	cases := []Manifest{
 		{Epoch: 0, Phase: PhaseLocalSort, Rank: 0, Records: 0, RecordSize: 8, Checksum: 0xcbf29ce484222325},
-		{Epoch: 3, Phase: PhasePartition, Rank: 17, Records: 1 << 40, RecordSize: 16,
+		{Epoch: 3, Phase: PhasePartition, Rank: 17, World: 32, Records: 1 << 40, RecordSize: 16,
 			Checksum: 42, Merged: true, Leader: true, Bounds: []int64{0, 5, 5, 9}},
-		{Epoch: 1, Phase: PhaseFinal, Rank: 2, Records: 7, RecordSize: 8, Checksum: ^uint64(0), Leader: true},
+		{Epoch: 1, Phase: PhaseFinal, Rank: 2, World: 3, Records: 7, RecordSize: 8, Checksum: ^uint64(0), Leader: true},
 	}
 	for _, m := range cases {
 		got, err := DecodeManifest(m.Encode())
 		if err != nil {
 			t.Fatalf("decode %+v: %v", m, err)
 		}
-		if got.Epoch != m.Epoch || got.Phase != m.Phase || got.Rank != m.Rank ||
+		if got.Epoch != m.Epoch || got.Phase != m.Phase || got.Rank != m.Rank || got.World != m.World ||
 			got.Records != m.Records || got.RecordSize != m.RecordSize ||
 			got.Checksum != m.Checksum || got.Merged != m.Merged || got.Leader != m.Leader ||
 			!slices.Equal(got.Bounds, m.Bounds) {
@@ -156,39 +154,6 @@ func TestLatestConsistentRequiresAllRanks(t *testing.T) {
 	}
 	if cut, ok = s.LatestConsistent(); !ok || cut != (Cut{Epoch: 0, Phase: PhasePartition}) {
 		t.Fatalf("cut %+v ok=%v, want partition@0 after corruption", cut, ok)
-	}
-}
-
-func TestAgreeCutBroadcastsRankZeroView(t *testing.T) {
-	dir := t.TempDir()
-	topo := cluster.Topology{Nodes: 2, CoresPerNode: 2}
-	s, err := NewStore(dir, topo.Size())
-	if err != nil {
-		t.Fatal(err)
-	}
-	for r := 0; r < topo.Size(); r++ {
-		m := Manifest{Epoch: 5, Phase: PhasePartition, Rank: r, Leader: true}
-		if err := Save(s, m, codec.Float64{}, nil); err != nil {
-			t.Fatal(err)
-		}
-	}
-	cuts, err := cluster.Gather(topo, cluster.Options{}, func(c *comm.Comm) (Cut, error) {
-		cut, ok, err := AgreeCut(c, s)
-		if err != nil {
-			return Cut{}, err
-		}
-		if !ok {
-			t.Error("no cut agreed")
-		}
-		return cut, nil
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	for r, cut := range cuts {
-		if cut != (Cut{Epoch: 5, Phase: PhasePartition}) {
-			t.Fatalf("rank %d agreed on %+v", r, cut)
-		}
 	}
 }
 

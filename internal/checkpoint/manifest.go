@@ -75,6 +75,15 @@ type Manifest struct {
 	Phase Phase
 	// Rank is the communicator rank that owns the snapshot.
 	Rank int
+	// World is the rank count of the world that wrote the snapshot (0 =
+	// unknown, for manifests built by hand). The store stamps it on
+	// every commit and rejects manifests whose World disagrees with its
+	// own rank count: a cut written for a p-rank world must never look
+	// consistent to a (p−1)-rank store, or a shrunken job would silently
+	// drop the extra rank's records — and vice versa, a full-world
+	// relaunch must not resume from a degraded world's redistributed
+	// snapshots.
+	World int
 	// Records is the number of records in the data file.
 	Records int64
 	// RecordSize is the codec's fixed record width in bytes.
@@ -97,13 +106,17 @@ type Manifest struct {
 }
 
 const (
-	manifestMagic   = "SDCK"
-	manifestVersion = 1
+	manifestMagic = "SDCK"
+	// Version 2 added the world field; version-1 manifests (which
+	// predate elastic worlds) are rejected as corrupt, which merely
+	// invalidates pre-upgrade spill directories — checkpoints are
+	// per-job scratch state, not an archival format.
+	manifestVersion = 2
 	// fixed part: magic 4 | version u16 | phase u8 | flags u8 |
-	// epoch u32 | rank u32 | records i64 | recsize u32 | datasum u64 |
-	// nbounds u32; followed by nbounds i64 and a trailing u64 FNV-64a
-	// self-checksum over everything before it.
-	manifestFixed = 4 + 2 + 1 + 1 + 4 + 4 + 8 + 4 + 8 + 4
+	// epoch u32 | rank u32 | world u32 | records i64 | recsize u32 |
+	// datasum u64 | nbounds u32; followed by nbounds i64 and a trailing
+	// u64 FNV-64a self-checksum over everything before it.
+	manifestFixed = 4 + 2 + 1 + 1 + 4 + 4 + 4 + 8 + 4 + 8 + 4
 	maxBounds     = 1 << 24 // sanity bound: p+1 entries for any plausible p
 
 	flagMerged = 1 << 0
@@ -132,10 +145,11 @@ func (m *Manifest) Encode() []byte {
 	buf[7] = flags
 	binary.LittleEndian.PutUint32(buf[8:], uint32(m.Epoch))
 	binary.LittleEndian.PutUint32(buf[12:], uint32(m.Rank))
-	binary.LittleEndian.PutUint64(buf[16:], uint64(m.Records))
-	binary.LittleEndian.PutUint32(buf[24:], uint32(m.RecordSize))
-	binary.LittleEndian.PutUint64(buf[28:], m.Checksum)
-	binary.LittleEndian.PutUint32(buf[36:], uint32(len(m.Bounds)))
+	binary.LittleEndian.PutUint32(buf[16:], uint32(m.World))
+	binary.LittleEndian.PutUint64(buf[20:], uint64(m.Records))
+	binary.LittleEndian.PutUint32(buf[28:], uint32(m.RecordSize))
+	binary.LittleEndian.PutUint64(buf[32:], m.Checksum)
+	binary.LittleEndian.PutUint32(buf[40:], uint32(len(m.Bounds)))
 	off := manifestFixed
 	for _, b := range m.Bounds {
 		binary.LittleEndian.PutUint64(buf[off:], uint64(b))
@@ -168,7 +182,7 @@ func DecodeManifest(buf []byte) (*Manifest, error) {
 	if buf[7] &^ (flagMerged | flagLeader) != 0 {
 		return nil, fmt.Errorf("%w: unknown flags %#x", ErrCorrupt, buf[7])
 	}
-	nbounds := binary.LittleEndian.Uint32(buf[36:])
+	nbounds := binary.LittleEndian.Uint32(buf[40:])
 	if nbounds > maxBounds {
 		return nil, fmt.Errorf("%w: %d bounds exceeds limit", ErrCorrupt, nbounds)
 	}
@@ -181,8 +195,8 @@ func DecodeManifest(buf []byte) (*Manifest, error) {
 	if sum := binary.LittleEndian.Uint64(buf[want-8:]); sum != h.Sum64() {
 		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
 	}
-	records := int64(binary.LittleEndian.Uint64(buf[16:]))
-	recSize := int(binary.LittleEndian.Uint32(buf[24:]))
+	records := int64(binary.LittleEndian.Uint64(buf[20:]))
+	recSize := int(binary.LittleEndian.Uint32(buf[28:]))
 	if records < 0 {
 		return nil, fmt.Errorf("%w: negative record count", ErrCorrupt)
 	}
@@ -193,9 +207,10 @@ func DecodeManifest(buf []byte) (*Manifest, error) {
 		Epoch:      int(binary.LittleEndian.Uint32(buf[8:])),
 		Phase:      ph,
 		Rank:       int(binary.LittleEndian.Uint32(buf[12:])),
+		World:      int(binary.LittleEndian.Uint32(buf[16:])),
 		Records:    records,
 		RecordSize: recSize,
-		Checksum:   binary.LittleEndian.Uint64(buf[28:]),
+		Checksum:   binary.LittleEndian.Uint64(buf[32:]),
 		Merged:     buf[7]&flagMerged != 0,
 		Leader:     buf[7]&flagLeader != 0,
 	}

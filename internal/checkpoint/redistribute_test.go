@@ -1,0 +1,179 @@
+package checkpoint
+
+import (
+	"cmp"
+	"math/rand/v2"
+	"slices"
+	"testing"
+
+	"sdssort/internal/codec"
+)
+
+func cmpI64(a, b int64) int { return cmp.Compare(a, b) }
+
+// saveRun commits one rank's localsort snapshot of a sorted run.
+func saveRun(t *testing.T, s *Store, epoch, rank int, run []int64) {
+	t.Helper()
+	m := Manifest{Epoch: epoch, Phase: PhaseLocalSort, Rank: rank, Leader: true}
+	if err := Save(s, m, codec.Int64{}, run); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSurvivors(t *testing.T) {
+	got, err := Survivors(4, []int{2})
+	if err != nil || !slices.Equal(got, []int{0, 1, 3}) {
+		t.Fatalf("Survivors(4, [2]) = %v, %v", got, err)
+	}
+	got, err = Survivors(5, []int{0, 4, 0})
+	if err != nil || !slices.Equal(got, []int{1, 2, 3}) {
+		t.Fatalf("Survivors(5, [0,4,0]) = %v, %v", got, err)
+	}
+	for _, lost := range [][]int{nil, {4}, {-1}, {0, 1}} {
+		if _, err := Survivors(2, lost); err == nil {
+			t.Fatalf("Survivors(2, %v) accepted", lost)
+		}
+	}
+}
+
+func TestRedistributeLocalSort(t *testing.T) {
+	const ranks = 4
+	old, err := NewStore(t.TempDir(), ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(7, 0))
+	var all []int64
+	for r := 0; r < ranks; r++ {
+		run := make([]int64, 100+r*37)
+		for i := range run {
+			run[i] = rng.Int64N(1000)
+		}
+		slices.Sort(run)
+		all = append(all, run...)
+		saveRun(t, old, 0, r, run)
+	}
+
+	ns, cut, err := Redistribute(old, Cut{Epoch: 0, Phase: PhaseLocalSort}, []int{2}, 1, codec.Int64{}, cmpI64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns.Ranks() != 3 || cut.Epoch != 1 || cut.Phase != PhaseLocalSort {
+		t.Fatalf("got store of %d ranks, cut %+v", ns.Ranks(), cut)
+	}
+	if got, ok := ns.LatestConsistent(); !ok || got != cut {
+		t.Fatalf("survivors' LatestConsistent = %+v, %v; want %+v", got, ok, cut)
+	}
+	// Every new run is sorted and together they hold exactly the old
+	// records — including the dead rank's.
+	var after []int64
+	for r := 0; r < 3; r++ {
+		_, run, err := Load(ns, cut.Epoch, PhaseLocalSort, r, codec.Int64{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !slices.IsSorted(run) {
+			t.Fatalf("new rank %d run is not sorted", r)
+		}
+		if len(run) == 0 {
+			t.Fatalf("new rank %d got no records", r)
+		}
+		after = append(after, run...)
+	}
+	slices.Sort(all)
+	slices.Sort(after)
+	if !slices.Equal(all, after) {
+		t.Fatalf("record multiset changed: %d records before, %d after", len(all), len(after))
+	}
+	// The old world's cut is still intact for a full-size store: the new
+	// epoch's 3-rank manifests must be invisible to a 4-rank scan, so a
+	// cascading failure can still fall back to the relaunch path.
+	if got, ok := old.LatestConsistent(); !ok || got != (Cut{Epoch: 0, Phase: PhaseLocalSort}) {
+		t.Fatalf("old store's cut = %+v, %v after redistribution", got, ok)
+	}
+}
+
+func TestRedistributeFinal(t *testing.T) {
+	const ranks = 4
+	old, err := NewStore(t.TempDir(), ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A globally sorted dataset split into contiguous rank blocks.
+	blocks := [][]int64{{1, 2, 3}, {4, 5}, {}, {6, 7, 8, 9}}
+	var want []int64
+	for r, b := range blocks {
+		want = append(want, b...)
+		m := Manifest{Epoch: 2, Phase: PhaseFinal, Rank: r, Leader: true}
+		if err := Save(old, m, codec.Int64{}, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Lose the first and last rank: prefix and suffix splicing.
+	ns, cut, err := Redistribute(old, Cut{Epoch: 2, Phase: PhaseFinal}, []int{0, 3}, 3, codec.Int64{}, cmpI64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut.Phase != PhaseFinal || ns.Ranks() != 2 {
+		t.Fatalf("got cut %+v, %d ranks", cut, ns.Ranks())
+	}
+	var got []int64
+	for r := 0; r < 2; r++ {
+		_, b, err := Load(ns, cut.Epoch, PhaseFinal, r, codec.Int64{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, b...)
+	}
+	if !slices.Equal(got, want) {
+		t.Fatalf("concatenated output changed: got %v want %v", got, want)
+	}
+}
+
+func TestRedistributePartitionUsesLocalSort(t *testing.T) {
+	const ranks = 3
+	old, err := NewStore(t.TempDir(), ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < ranks; r++ {
+		run := []int64{int64(r), int64(r + 10)}
+		saveRun(t, old, 0, r, run)
+		// Epoch 1 resumed at the partition boundary: it re-saved only
+		// partition snapshots, so its localsort files do not exist.
+		m := Manifest{Epoch: 1, Phase: PhasePartition, Rank: r, Leader: true, Bounds: []int64{0, 1, 2, 2}}
+		if err := Save(old, m, codec.Int64{}, run); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ns, cut, err := Redistribute(old, Cut{Epoch: 1, Phase: PhasePartition}, []int{1}, 2, codec.Int64{}, cmpI64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A partition cut downgrades to the epoch-0 localsort runs: bounds
+	// are meaningless for the shrunken world.
+	if cut.Phase != PhaseLocalSort || cut.Epoch != 2 {
+		t.Fatalf("got cut %+v, want localsort@2", cut)
+	}
+	var n int
+	for r := 0; r < 2; r++ {
+		_, run, err := Load(ns, cut.Epoch, PhaseLocalSort, r, codec.Int64{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n += len(run)
+	}
+	if n != 2*ranks {
+		t.Fatalf("got %d records, want %d", n, 2*ranks)
+	}
+}
+
+func TestRedistributeRefusesColdCut(t *testing.T) {
+	old, err := NewStore(t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Redistribute(old, Cut{}, []int{1}, 1, codec.Int64{}, cmpI64); err == nil {
+		t.Fatal("redistribute from a cold cut accepted")
+	}
+}

@@ -7,9 +7,12 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
+	"time"
 
+	"sdssort/internal/checkpoint"
 	"sdssort/internal/comm"
 	"sdssort/internal/engine"
 	"sdssort/internal/memlimit"
@@ -67,6 +70,37 @@ type Options struct {
 	// (when Mem is set) the admission gauge. Use a fresh registry per
 	// launch — series registration is once-only.
 	Telemetry *telemetry.Registry
+	// Shrink configures degraded-mode resume for RunSupervised: instead
+	// of relaunching the full world after a lost rank, keep the
+	// survivors and continue on a world of size p−k.
+	Shrink ShrinkPolicy
+}
+
+// ShrinkPolicy lets RunSupervised heal a recoverable failure in place:
+// when the lost ranks can be identified and enough survivors remain,
+// the supervisor redistributes the dead ranks' checkpointed shards over
+// the survivors (via the Redistribute hook) and starts the next epoch
+// as a degraded world of the surviving size, rather than tearing
+// everything down and relaunching at full size. Shrink epochs and
+// relaunch epochs draw from the same MaxRestarts budget.
+type ShrinkPolicy struct {
+	// Enabled turns degraded-mode resume on.
+	Enabled bool
+	// MinRanks floors the shrunken world size; a failure that would
+	// leave fewer survivors falls back to a full relaunch. Values below
+	// 2 are treated as 2 — a 1-rank "world" is not a distributed sort.
+	MinRanks int
+	// Redistribute rebuilds the checkpoint cut for the surviving world,
+	// typically by scanning the failed world's store and calling
+	// checkpoint.Redistribute with the job's codec and comparator. lost
+	// holds the failed world's comm ranks that died, oldSize that
+	// world's size, and newEpoch the epoch number the degraded attempt
+	// will run as (snapshot the new cut under it). Returning an error —
+	// a second loss tearing a survivor's snapshot mid-redistribution
+	// lands here — aborts the shrink; the supervisor falls back to the
+	// relaunch path, whose full-size store still sees the old cut
+	// because redistributed manifests carry the shrunken world size.
+	Redistribute func(lost []int, oldSize, newEpoch int) (checkpoint.Cut, error)
 }
 
 // Run launches one goroutine per rank, each receiving the world
@@ -100,8 +134,14 @@ func launch(topo Topology, opts Options, name string, fn func(c *comm.Comm) erro
 	if err := topo.Validate(); err != nil {
 		return err
 	}
-	size := topo.Size()
-	world, err := comm.NewWorld(size, comm.BlockNodes(size, topo.CoresPerNode))
+	return launchSized(topo.Size(), topo.CoresPerNode, opts, name, fn)
+}
+
+// launchSized is launch for an explicit rank count, which need not be a
+// multiple of the node width — a degraded world of p−k ranks keeps the
+// original cores-per-node packing with a partially filled last node.
+func launchSized(size, coresPerNode int, opts Options, name string, fn func(c *comm.Comm) error) error {
+	world, err := comm.NewWorld(size, comm.BlockNodes(size, coresPerNode))
 	if err != nil {
 		return err
 	}
@@ -196,11 +236,23 @@ func RunEngine(topo Topology, opts Options, fn func(e *engine.Engine) error) err
 }
 
 // Epoch identifies one supervised attempt. N is 0 for the initial run
-// and increments on every restart; the job function typically feeds it
-// to the checkpoint layer so each attempt snapshots under its own
-// epoch number.
+// and increments on every recovery epoch — full relaunch or degraded
+// resume alike; the job function typically feeds it to the checkpoint
+// layer so each attempt snapshots under its own epoch number.
 type Epoch struct {
 	N int
+	// Degraded marks an attempt running on a shrunken world: the
+	// communicator spans only the previous world's survivors,
+	// renumbered 0..size-1, and the job must resume from Resume rather
+	// than agreeing on a cut itself (the full-size cuts in the store do
+	// not match this world).
+	Degraded bool
+	// Resume is the redistributed cut a degraded attempt restarts from;
+	// zero for full-world attempts.
+	Resume checkpoint.Cut
+	// Lost holds the previous world's comm ranks that died, for
+	// logging; empty for full-world attempts.
+	Lost []int
 }
 
 // Recoverable reports whether err is worth a restart: at least one
@@ -221,11 +273,23 @@ func Recoverable(err error) bool {
 }
 
 // RunSupervised launches fn like RunOpts and, when the attempt dies of
-// a recoverable failure (comm.ErrPeerLost or a rank panic), tears the
-// fabric down and relaunches a fresh world at the next recovery epoch,
-// up to opts.MaxRestarts restarts. Each epoch's world has a distinct
-// communicator name ("world", "world@e1", ...), so frames from a dead
-// epoch can never be delivered into a live one.
+// a recoverable failure (comm.ErrPeerLost or a rank panic), starts a
+// new recovery epoch, up to opts.MaxRestarts of them. Each epoch's
+// world has a distinct communicator name ("world", "world@e1", ...), so
+// frames from a dead epoch can never be delivered into a live one.
+//
+// With opts.Shrink enabled the supervisor prefers healing in place: if
+// the failed epoch's lost ranks can be identified from its error and
+// enough survivors remain, it calls Shrink.Redistribute to re-cut the
+// checkpoints for the surviving world and runs the next epoch degraded
+// — size p−k, ranks renumbered, Epoch.Degraded set, resuming from the
+// redistributed cut. A shrink that cannot proceed (no policy, too few
+// survivors, unidentifiable loss, or Redistribute failing — e.g. a
+// cascading second loss mid-redistribution) falls back to relaunching
+// the full-size world, which resumes from the old full-size cut.
+// Shrinks and relaunches draw from the same MaxRestarts budget and are
+// distinguished in trace events (supervisor.shrink / .shrink_fallback /
+// .restart) and in opts.Recovery.
 //
 // fn is re-invoked from the top each epoch; resuming mid-sort instead
 // of recomputing is the job's business (core.Options.Checkpoint). When
@@ -233,21 +297,30 @@ func Recoverable(err error) bool {
 // budget message — still matching comm.PeerLost / errors.As — and a
 // non-recoverable error is returned as-is immediately.
 func RunSupervised(topo Topology, opts Options, fn func(ep Epoch, c *comm.Comm) error) error {
+	if err := topo.Validate(); err != nil {
+		return err
+	}
 	tr := opts.Trace
 	if tr == nil {
 		tr = trace.Nop{}
 	}
+	minRanks := opts.Shrink.MinRanks
+	if minRanks < 2 {
+		minRanks = 2
+	}
+	size := topo.Size()
+	var cur Epoch
 	for ep := 0; ; ep++ {
-		name := "world"
-		if ep > 0 {
-			name = fmt.Sprintf("world@e%d", ep)
-		}
-		err := launch(topo, opts, name, func(c *comm.Comm) error {
-			return fn(Epoch{N: ep}, c)
+		cur.N = ep
+		name := worldName(ep, cur.Degraded, size)
+		err := launchSized(size, topo.CoresPerNode, opts, name, func(c *comm.Comm) error {
+			return fn(cur, c)
 		})
 		if err == nil {
 			if ep > 0 {
-				tr.Emit(-1, "supervisor.done", map[string]any{"epochs": ep + 1})
+				tr.Emit(-1, "supervisor.done", map[string]any{
+					"epochs": ep + 1, "degraded": cur.Degraded, "world": size,
+				})
 			}
 			return nil
 		}
@@ -269,10 +342,131 @@ func RunSupervised(topo Topology, opts Options, fn func(ep Epoch, c *comm.Comm) 
 			})
 			return fmt.Errorf("cluster: restart budget %d exhausted: %w", opts.MaxRestarts, err)
 		}
+		lost := lostRanks(err, size)
+		if next, ok := tryShrink(opts, tr, size, lost, ep+1); ok {
+			size -= len(lost)
+			cur = next
+			continue
+		}
+		// Full relaunch of the original world — the pre-shrink path,
+		// and the fallback when a shrink cannot proceed.
+		size = topo.Size()
+		cur = Epoch{}
 		opts.Recovery.Restart()
 		tr.Emit(-1, "supervisor.restart", map[string]any{
 			"epoch": ep + 1, "error": err.Error(),
 		})
+	}
+}
+
+// worldName names one epoch's world. Degraded worlds carry their size
+// too: a shrunken world renumbers ranks, so its frames must be
+// undeliverable even into a same-epoch full world.
+func worldName(ep int, degraded bool, size int) string {
+	if ep == 0 {
+		return "world"
+	}
+	if degraded {
+		return fmt.Sprintf("world@e%ds%d", ep, size)
+	}
+	return fmt.Sprintf("world@e%d", ep)
+}
+
+// lostRanks extracts the dead ranks a failed epoch's error identifies:
+// the ranks named by ErrPeerLost (a killed rank's own operations and
+// its peers' abandoned retries both name it) and by rank panics.
+// Survivors unblocked by the fabric teardown report plain closed-comm
+// errors and are not counted.
+func lostRanks(err error, size int) []int {
+	seen := make(map[int]bool)
+	var out []int
+	add := func(r int) {
+		if r >= 0 && r < size && !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	for _, e := range flatten(err) {
+		if r, ok := comm.PeerLost(e); ok {
+			add(r)
+		}
+		var pe *PanicError
+		if errors.As(e, &pe) {
+			add(pe.Rank)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// tryShrink decides whether the next epoch may run degraded and, if so,
+// redistributes the checkpoints and builds its Epoch descriptor.
+func tryShrink(opts Options, tr trace.Tracer, size int, lost []int, newEpoch int) (Epoch, bool) {
+	p := opts.Shrink
+	if !p.Enabled || p.Redistribute == nil {
+		return Epoch{}, false
+	}
+	minRanks := p.MinRanks
+	if minRanks < 2 {
+		minRanks = 2
+	}
+	if len(lost) == 0 || size-len(lost) < minRanks {
+		return Epoch{}, false
+	}
+	cut, err := p.Redistribute(lost, size, newEpoch)
+	if err != nil || cut.Phase == checkpoint.PhaseNone {
+		reason := "no consistent cut"
+		if err != nil {
+			reason = err.Error()
+		}
+		tr.Emit(-1, "supervisor.shrink_fallback", map[string]any{
+			"epoch": newEpoch, "lost": lost, "reason": reason,
+		})
+		return Epoch{}, false
+	}
+	opts.Recovery.Shrink(len(lost))
+	tr.Emit(-1, "supervisor.shrink", map[string]any{
+		"epoch": newEpoch, "lost": lost, "world": size - len(lost),
+		"resume_epoch": cut.Epoch, "resume_phase": cut.Phase.String(),
+	})
+	return Epoch{Degraded: true, Resume: cut, Lost: lost}, true
+}
+
+// Reform re-forms a fenced world over the survivors of a live
+// transport — the distributed analogue of a degraded relaunch, without
+// tearing the fabric down: connections between survivors stay up and
+// only the message context changes. Every survivor calls Reform with
+// the same name and its own view of the survivor set (world ranks,
+// ascending, including itself) and gets back a communicator spanning
+// exactly those ranks, renumbered in group order.
+//
+// The returned world is verified with a bounded barrier. Because the
+// member list is folded into the message context (comm.AttachGroup),
+// survivors that disagree on who died can never reach each other's
+// barrier — the disagreement, or a listed survivor that is actually
+// dead, surfaces as a timeout here rather than as a hang or a
+// wrong-world delivery. On timeout the caller should fall back to the
+// relaunch path. timeout <= 0 defaults to 5s.
+func Reform(tr comm.Transport, name string, survivors []int, timeout time.Duration) (*comm.Comm, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	c, err := comm.AttachGroup(tr, name, survivors)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: reform: %w", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- c.Barrier() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return nil, fmt.Errorf("cluster: reform barrier: %w", err)
+		}
+		return c, nil
+	case <-time.After(timeout):
+		// The barrier goroutine stays parked in a receive; the caller is
+		// abandoning this world anyway (relaunch or exit).
+		return nil, fmt.Errorf("cluster: reform of %q timed out after %v: survivors disagree on membership or a listed survivor is dead", name, timeout)
 	}
 }
 

@@ -1,0 +1,101 @@
+package comm
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestAttachGroupSurvivorsCollective pins the membership-change
+// primitive: after "losing" rank 1 of a 4-rank world, the survivors
+// attach a 3-rank communicator over the untouched transport and run a
+// collective on it — the degraded-mode reform path, minus the sort.
+func TestAttachGroupSurvivorsCollective(t *testing.T) {
+	world, err := NewWorld(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer world.Close()
+
+	group := []int{0, 2, 3}
+	var wg sync.WaitGroup
+	errs := make([]error, len(group))
+	sums := make([]int64, len(group))
+	for i, r := range group {
+		wg.Add(1)
+		go func(i, rank int) {
+			defer wg.Done()
+			c, err := AttachGroup(world.Transport(rank), "world@shrunk", group)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if c.Size() != 3 || c.Rank() != i || c.WorldRank(c.Rank()) != rank {
+				t.Errorf("world rank %d: got comm rank %d/%d", rank, c.Rank(), c.Size())
+			}
+			sums[i], errs[i] = c.AllreduceInt64(int64(rank), func(a, b int64) int64 { return a + b })
+		}(i, r)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("member %d: %v", i, err)
+		}
+		if sums[i] != 5 {
+			t.Fatalf("member %d: allreduce sum %d, want 5", i, sums[i])
+		}
+	}
+}
+
+// TestAttachGroupContextsDisjoint asserts that the member list is part
+// of the message context: two groups sharing a base name but
+// disagreeing on membership must never match each other's frames.
+func TestAttachGroupContextsDisjoint(t *testing.T) {
+	world, err := NewWorld(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer world.Close()
+
+	a, err := AttachGroup(world.Transport(0), "world@shrunk", []int{0, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AttachGroup(world.Transport(0), "world@shrunk", []int{0, 1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ctx == b.ctx {
+		t.Fatal("different member lists produced the same message context")
+	}
+	// The divergence must survive into derived communicators, which
+	// hash their parent's name.
+	if a.name == b.name {
+		t.Fatal("different member lists produced the same communicator name")
+	}
+}
+
+func TestAttachGroupValidation(t *testing.T) {
+	world, err := NewWorld(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer world.Close()
+	tr := world.Transport(1)
+
+	cases := [][]int{
+		nil,        // empty
+		{0, 2},     // caller not a member
+		{1, 1, 2},  // duplicate
+		{2, 1},     // out of order
+		{0, 1, 3},  // outside world
+		{-1, 0, 1}, // negative
+	}
+	for _, group := range cases {
+		if _, err := AttachGroup(tr, "g", group); err == nil {
+			t.Fatalf("group %v accepted", group)
+		}
+	}
+	if _, err := AttachGroup(tr, "g", []int{0, 1, 2}); err != nil {
+		t.Fatalf("full group rejected: %v", err)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -128,6 +129,67 @@ func Attach(tr Transport, name string) *Comm {
 	c := &Comm{tr: tr, group: group, rank: tr.Rank(), name: name, ctx: ctxOf(name)}
 	c.cond = sync.NewCond(&c.mu)
 	return c
+}
+
+// AttachGroup is Attach restricted to an explicit subset of the
+// transport's world ranks — the membership-change primitive behind
+// degraded-mode resume. The survivors of a rank failure each call it
+// with the same base name and the same group (world ranks, strictly
+// ascending); the returned communicator spans exactly those ranks,
+// renumbered 0..len(group)-1 in group order, over the still-live
+// transport: no fabric teardown, no re-registration. The calling rank
+// must be a member.
+//
+// The message context is derived from the name *and* the member list
+// (the group is folded into the communicator's name, so every derived
+// Split/SplitByNode context inherits it too). Two shrunken worlds that
+// disagree on who survived therefore never exchange a frame — a
+// membership disagreement surfaces as a timeout on the first
+// collective, not as records delivered into the wrong world.
+//
+// Like Attach, the result never owns the transport.
+func AttachGroup(tr Transport, name string, group []int) (*Comm, error) {
+	if len(group) == 0 {
+		return nil, fmt.Errorf("comm: attach group is empty")
+	}
+	me := -1
+	for i, r := range group {
+		if r < 0 || r >= tr.Size() {
+			return nil, fmt.Errorf("comm: group rank %d outside world of %d", r, tr.Size())
+		}
+		if i > 0 && r <= group[i-1] {
+			return nil, fmt.Errorf("comm: group ranks must be strictly ascending, got %d after %d", r, group[i-1])
+		}
+		if r == tr.Rank() {
+			me = i
+		}
+	}
+	if me < 0 {
+		return nil, fmt.Errorf("comm: rank %d is not a member of group %v", tr.Rank(), group)
+	}
+	full := fmt.Sprintf("%s[%s]", name, groupSig(group))
+	c := &Comm{
+		tr:    tr,
+		group: append([]int(nil), group...),
+		rank:  me,
+		name:  full,
+		ctx:   ctxOf(full),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	return c, nil
+}
+
+// groupSig renders a member list compactly ("0.1.3") for embedding in
+// a communicator name.
+func groupSig(group []int) string {
+	var b strings.Builder
+	for i, r := range group {
+		if i > 0 {
+			b.WriteByte('.')
+		}
+		fmt.Fprintf(&b, "%d", r)
+	}
+	return b.String()
 }
 
 func newCond(c *Comm) *sync.Cond { return sync.NewCond(&c.mu) }

@@ -36,6 +36,13 @@ type Checkpointing struct {
 	// means a cold start. Every rank must agree on the cut — use
 	// checkpoint.AgreeCut or Store.LatestConsistent before launching.
 	Resume checkpoint.Cut
+	// Sync commits each snapshot at its phase boundary instead of on
+	// the background writer: the sort pays the disk latency inline, in
+	// exchange for the guarantee that a committed manifest exists the
+	// moment the phase ends — durable-at-boundary semantics, and a
+	// deterministic anchor for fault-injection triggers keyed on
+	// manifest files.
+	Sync bool
 	// Recovery, when non-nil, accrues the wasted-work counter: records
 	// re-sorted from scratch because no resumable cut survived.
 	Recovery *metrics.RecoveryStats
@@ -55,6 +62,18 @@ func (ck *Checkpointing) enabled() bool { return ck != nil && ck.Store != nil }
 // — and one at a time, so a shared Checkpointing never competes with
 // itself for disk bandwidth.
 func (ck *Checkpointing) enqueue(commit func() error) {
+	if ck.Sync {
+		// Synchronous mode never populates the queue, so running the
+		// commit inline preserves the strict ordering for free.
+		if err := commit(); err != nil {
+			ck.mu.Lock()
+			if ck.err == nil {
+				ck.err = err
+			}
+			ck.mu.Unlock()
+		}
+		return
+	}
 	ck.mu.Lock()
 	ck.queue = append(ck.queue, commit)
 	if !ck.draining {

@@ -142,6 +142,14 @@ func Sort[T any](c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int
 			if err != nil {
 				return nil, err
 			}
+			// A degraded resume hands each survivor its own run plus a
+			// slice of the dead ranks' — larger than the data the caller
+			// budgeted for. Reserve the difference before adopting it.
+			if extra := (int64(len(loaded)) - int64(len(data))) * recSize; extra > 0 {
+				if err := acct.reserve(extra); err != nil {
+					return nil, fmt.Errorf("core: resume buffer: %w", err)
+				}
+			}
 			data = loaded
 		} else {
 			if ck.enabled() && ck.Epoch > 0 {

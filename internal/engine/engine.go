@@ -34,10 +34,12 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"sdssort/internal/checkpoint"
 	"sdssort/internal/comm"
 	"sdssort/internal/memlimit"
 	"sdssort/internal/metrics"
@@ -123,6 +125,7 @@ type Engine struct {
 	submitted atomic.Int64
 	completed atomic.Int64
 	failed    atomic.Int64
+	degraded  atomic.Int64 // jobs that shrank onto survivors instead of failing
 	admitWait atomic.Int64 // total queued→admitted wait, nanoseconds
 
 	mu     sync.Mutex
@@ -178,8 +181,10 @@ func (e *Engine) WorkerSpawns() int64 { return e.spawned.Load() }
 // payload behind the telemetry plane's engine gauges.
 type Stats struct {
 	// Submitted / Completed / Failed are monotonic job counts;
-	// Completed covers successful jobs only.
-	Submitted, Completed, Failed int64
+	// Completed covers successful jobs only. Degraded counts jobs that
+	// lost ranks but finished on the survivors (they also count as
+	// Completed when their degraded attempt succeeds).
+	Submitted, Completed, Failed, Degraded int64
 	// Queued jobs await admission; Running jobs hold their footprint.
 	Queued, Running int
 	// WorkersAlive / WorkersBusy sum the warm pools across ranks.
@@ -204,6 +209,7 @@ func (e *Engine) Stats() Stats {
 		Submitted:     e.submitted.Load(),
 		Completed:     e.completed.Load(),
 		Failed:        e.failed.Load(),
+		Degraded:      e.degraded.Load(),
 		Queued:        queued,
 		Running:       running,
 		WorkerSpawns:  e.spawned.Load(),
@@ -228,8 +234,16 @@ type Env struct {
 	// Mem is the job's private gauge, budgeted at the declared
 	// footprint (nil when Footprint was 0). Sort bodies pass it as
 	// core.Options.Mem so the job's own reservations are bounded by
-	// what admission granted it.
+	// what admission granted it. A degraded re-dispatch gets a fresh
+	// gauge grown for the larger per-survivor share.
 	Mem *memlimit.Gauge
+	// Degraded is set on a shrink re-dispatch: the body runs on the
+	// survivors only and should resume from Resume instead of its input.
+	Degraded bool
+	// Resume is the redistributed cut a degraded body resumes from.
+	Resume checkpoint.Cut
+	// Lost holds the original ranks that died (Degraded only).
+	Lost []int
 }
 
 // JobSpec describes one job.
@@ -249,9 +263,34 @@ type JobSpec struct {
 	// this job only — the hook the fault-injection soak uses to kill
 	// one job without poisoning the fabric.
 	WrapTransport func(comm.Transport) comm.Transport
+	// Shrink, when non-nil, lets a job that lost ranks finish degraded
+	// instead of failing: the survivors are re-dispatched once, on a
+	// group communicator spanning exactly them, resuming from the cut
+	// Shrink.Redistribute rebuilds. See JobShrink.
+	Shrink *JobShrink
 	// Body runs collectively: every rank calls it with the job-scoped
-	// communicator. An error on any rank cancels the whole job.
+	// communicator. An error on any rank cancels the whole job. On a
+	// degraded re-dispatch rank is the survivor's rank in the shrunken
+	// world and env.Degraded/env.Resume describe the resume.
 	Body func(env Env, rank int, c *comm.Comm) error
+}
+
+// JobShrink is a job's degraded-mode policy, the per-job analogue of
+// cluster.ShrinkPolicy: when a job fails and its lost ranks can be
+// identified from the rank errors, the engine redistributes the job's
+// checkpoints over the survivors and re-dispatches the body on them —
+// the job is marked degraded, not failed, and the fabric keeps every
+// other job untouched. The retry happens at most once: a second loss
+// during the degraded attempt fails the job for real (resubmission is
+// the client's relaunch path).
+type JobShrink struct {
+	// MinRanks floors the degraded world size; values below 2 are
+	// treated as 2.
+	MinRanks int
+	// Redistribute rebuilds the job's checkpoint cut for the surviving
+	// world (same contract as cluster.ShrinkPolicy.Redistribute).
+	// Returning an error or a PhaseNone cut aborts the degraded retry.
+	Redistribute func(lost []int, oldSize, newEpoch int) (checkpoint.Cut, error)
 }
 
 // State is a job's position in its life cycle.
@@ -289,17 +328,21 @@ type Job struct {
 
 	state     atomic.Int32
 	remaining atomic.Int32
-	cancel    chan struct{}
-	cancelled sync.Once
+	degraded  atomic.Bool // the job survived a lost rank by shrinking
 	done      chan struct{}
 	queuedAt  time.Time
 	start     time.Time
 	dl        *time.Timer
 
-	mu    sync.Mutex
-	errs  []error // per-rank body errors
-	cause error   // abort cause (deadline, explicit cancel)
-	err   error   // final, set before done closes
+	mu           sync.Mutex
+	cancel       chan struct{} // current attempt's cancel; replaced on a degraded retry
+	cancelClosed bool
+	errs         []error // per-rank body errors (shrunken-world indexed after a retry)
+	cause        error   // abort cause (deadline, explicit cancel)
+	err          error   // final, set before done closes
+	lost         []int   // original ranks shed by the degraded retry
+	resume       checkpoint.Cut
+	extra        int64 // extra shared-gauge bytes the degraded attempt holds
 }
 
 // ID returns the engine-assigned job id.
@@ -310,6 +353,19 @@ func (j *Job) Metrics() *metrics.JobMetrics { return j.metrics }
 
 // State returns the job's current life-cycle state.
 func (j *Job) State() State { return State(j.state.Load()) }
+
+// Degraded reports whether the job shrank onto its survivors after
+// losing ranks. It may be true while the job is still Running (the
+// degraded attempt) and stays true once Done — a degraded job that
+// finishes cleanly counts as completed, not failed.
+func (j *Job) Degraded() bool { return j.degraded.Load() }
+
+// Lost returns the original ranks a degraded job shed (nil otherwise).
+func (j *Job) Lost() []int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]int(nil), j.lost...)
+}
 
 // Done returns a channel closed when the job finishes.
 func (j *Job) Done() <-chan struct{} { return j.done }
@@ -329,22 +385,32 @@ func (j *Job) Cancel() {
 	j.abort(fmt.Errorf("engine: job %d cancelled: %w", j.id, comm.ErrCanceled))
 }
 
-// abort records cause (first writer wins), closes the cancel channel
-// and nudges the fabric so parked receives notice.
+// abort records cause (first writer wins), closes the current
+// attempt's cancel channel and nudges the fabric so parked receives
+// notice. The channel is mu-guarded because a degraded retry replaces
+// it, and the deadline timer may fire concurrently with that swap.
 func (j *Job) abort(cause error) {
 	j.mu.Lock()
 	if j.cause == nil {
 		j.cause = cause
 	}
+	if !j.cancelClosed {
+		close(j.cancel)
+		j.cancelClosed = true
+	}
 	j.mu.Unlock()
-	j.cancelled.Do(func() { close(j.cancel) })
 	j.e.interrupt()
 }
 
 // cascade closes the cancel channel without recording a cause — used
 // when a rank error is already the cause.
 func (j *Job) cascade() {
-	j.cancelled.Do(func() { close(j.cancel) })
+	j.mu.Lock()
+	if !j.cancelClosed {
+		close(j.cancel)
+		j.cancelClosed = true
+	}
+	j.mu.Unlock()
 	j.e.interrupt()
 }
 
@@ -444,10 +510,13 @@ func (e *Engine) startLocked(j *Job) {
 	e.tr.Emit(-1, "engine.admit", map[string]any{
 		"job": j.id, "name": j.metrics.Name, "footprint": j.spec.Footprint,
 	})
+	j.mu.Lock()
+	cancel := j.cancel
+	j.mu.Unlock()
 	for r := 0; r < e.Size(); r++ {
 		rank := r
 		e.workers[rank].dispatch(e, workerTask{
-			work: func() error { return e.runRank(j, rank) },
+			work: func() error { return e.runRank(j, rank, cancel) },
 			done: func(err error) { j.rankDone(rank, err) },
 		})
 	}
@@ -456,7 +525,7 @@ func (e *Engine) startLocked(j *Job) {
 // runRank executes one rank's share of a job on a job-scoped
 // communicator, converting panics to errors so a crashed rank fails its
 // job instead of the process.
-func (e *Engine) runRank(j *Job, rank int) (err error) {
+func (e *Engine) runRank(j *Job, rank int, cancel <-chan struct{}) (err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = &PanicError{Rank: rank, Value: p}
@@ -466,9 +535,39 @@ func (e *Engine) runRank(j *Job, rank int) (err error) {
 	if j.spec.WrapTransport != nil {
 		tr = j.spec.WrapTransport(tr)
 	}
-	jt := &jobTransport{Transport: tr, cancel: j.cancel}
+	jt := &jobTransport{Transport: tr, cancel: cancel}
 	c := comm.Attach(jt, JobCommName(e.opts.Name, j.id))
 	return j.spec.Body(Env{Metrics: j.metrics, Mem: j.mem}, rank, c)
+}
+
+// runRankShrunk is runRank for one survivor of a degraded retry: the
+// communicator is a group over exactly the survivors' fabric
+// transports, under a retry-suffixed name so frames of the failed
+// full-size attempt can never surface in it. worldRank addresses the
+// fabric; the body sees the survivor's shrunken-world rank.
+func (e *Engine) runRankShrunk(j *Job, worldRank int, survivors []int, cancel <-chan struct{}) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &PanicError{Rank: worldRank, Value: p}
+		}
+	}()
+	tr := e.trs[worldRank]
+	if j.spec.WrapTransport != nil {
+		tr = j.spec.WrapTransport(tr)
+	}
+	jt := &jobTransport{Transport: tr, cancel: cancel}
+	c, err := comm.AttachGroup(jt, JobCommName(e.opts.Name, j.id)+"@shrunk", survivors)
+	if err != nil {
+		return err
+	}
+	env := Env{
+		Metrics:  j.metrics,
+		Mem:      j.mem,
+		Degraded: true,
+		Resume:   j.resume,
+		Lost:     append([]int(nil), j.lost...),
+	}
+	return j.spec.Body(env, c.Rank(), c)
 }
 
 // rankDone records a rank's outcome; the last rank finalises the job.
@@ -486,15 +585,22 @@ func (j *Job) rankDone(rank int, err error) {
 	}
 }
 
-// jobDone finalises a job: stop its deadline, compute the final error,
-// release the admission reservation and let the queue advance.
+// jobDone finalises a job — unless a degraded retry adopts it: stop
+// its deadline, compute the final error, release the admission
+// reservation and let the queue advance.
 func (e *Engine) jobDone(j *Job) {
+	j.mu.Lock()
+	ferr := j.finalErr()
+	j.mu.Unlock()
+	if ferr != nil && e.tryDegrade(j, ferr) {
+		return // the job continues, shrunken; this was not its end
+	}
 	if j.dl != nil {
 		j.dl.Stop()
 	}
 	j.metrics.SetElapsed(time.Since(j.start))
 	j.mu.Lock()
-	j.err = j.finalErr()
+	j.err = ferr
 	err := j.err
 	j.mu.Unlock()
 	j.state.Store(int32(Done))
@@ -506,7 +612,7 @@ func (e *Engine) jobDone(j *Job) {
 	close(j.done)
 	e.mu.Lock()
 	if j.spec.Footprint > 0 {
-		e.opts.Mem.Release(j.spec.Footprint)
+		e.opts.Mem.Release(j.spec.Footprint + j.extra)
 	}
 	e.active--
 	e.scheduleLocked()
@@ -516,10 +622,130 @@ func (e *Engine) jobDone(j *Job) {
 		"job": j.id, "name": j.metrics.Name,
 		"elapsed": j.metrics.Elapsed().String(),
 	}
+	if j.Degraded() {
+		ev["degraded"] = true
+	}
 	if err != nil {
 		ev["error"] = err.Error()
 	}
 	e.tr.Emit(-1, "engine.done", ev)
+}
+
+// jobLostRanks extracts the dead ranks a failed attempt's per-rank
+// errors identify — the ranks ErrPeerLost names and the ranks that
+// panicked. Survivors cancelled by the cascade carry no rank identity
+// and are not counted. Indices are ranks of the attempt's own world.
+func jobLostRanks(errs []error, size int) []int {
+	seen := make(map[int]bool)
+	var out []int
+	add := func(r int) {
+		if r >= 0 && r < size && !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if r, ok := comm.PeerLost(err); ok {
+			add(r)
+		}
+		var pe *PanicError
+		if errors.As(err, &pe) {
+			add(pe.Rank)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// tryDegrade decides whether a failed job may continue shrunken and, if
+// so, redistributes its checkpoints, re-reserves the grown per-survivor
+// footprint and re-dispatches the body on the survivors. Returns false
+// when the job must fail for real: no shrink policy, a retry already
+// spent, unidentifiable losses, too few survivors, redistribution
+// failure, or no footprint headroom.
+func (e *Engine) tryDegrade(j *Job, ferr error) bool {
+	sh := j.spec.Shrink
+	if sh == nil || sh.Redistribute == nil || j.degraded.Load() {
+		return false
+	}
+	size := e.Size()
+	j.mu.Lock()
+	lost := jobLostRanks(j.errs, size)
+	j.mu.Unlock()
+	minRanks := sh.MinRanks
+	if minRanks < 2 {
+		minRanks = 2
+	}
+	if len(lost) == 0 || size-len(lost) < minRanks {
+		return false
+	}
+	cut, err := sh.Redistribute(lost, size, 1)
+	if err != nil || cut.Phase == checkpoint.PhaseNone {
+		reason := "no consistent cut"
+		if err != nil {
+			reason = err.Error()
+		}
+		e.tr.Emit(-1, "engine.shrink_fallback", map[string]any{
+			"job": j.id, "name": j.metrics.Name, "lost": lost, "reason": reason,
+		})
+		return false
+	}
+	survivors := make([]int, 0, size-len(lost))
+	dead := make(map[int]bool, len(lost))
+	for _, r := range lost {
+		dead[r] = true
+	}
+	for r := 0; r < size; r++ {
+		if !dead[r] {
+			survivors = append(survivors, r)
+		}
+	}
+	// Each survivor's share of the job grows by roughly p/(p−k); grow
+	// the admission reservation and the job's private budget to match,
+	// or give up if the shared gauge cannot hold the difference.
+	var extra int64
+	if j.spec.Footprint > 0 {
+		extra = j.spec.Footprint * int64(len(lost)) / int64(len(survivors))
+		if extra > 0 {
+			if err := e.opts.Mem.Reserve(extra); err != nil {
+				e.tr.Emit(-1, "engine.shrink_fallback", map[string]any{
+					"job": j.id, "name": j.metrics.Name, "lost": lost,
+					"reason": fmt.Sprintf("no footprint headroom: %v", err),
+				})
+				return false
+			}
+		}
+		j.mem = memlimit.New(j.spec.Footprint + extra)
+	}
+	j.mu.Lock()
+	j.extra = extra
+	j.lost = lost
+	j.resume = cut
+	j.errs = make([]error, len(survivors))
+	j.cause = nil
+	j.cancel = make(chan struct{})
+	j.cancelClosed = false
+	cancel := j.cancel
+	j.mu.Unlock()
+	j.degraded.Store(true)
+	j.remaining.Store(int32(len(survivors)))
+	e.degraded.Add(1)
+	e.tr.Emit(-1, "engine.degraded", map[string]any{
+		"job": j.id, "name": j.metrics.Name, "lost": lost,
+		"world": len(survivors), "resume_epoch": cut.Epoch, "resume_phase": cut.Phase.String(),
+		"error": ferr.Error(),
+	})
+	for i, wr := range survivors {
+		idx, worldRank := i, wr
+		e.workers[worldRank].dispatch(e, workerTask{
+			work: func() error { return e.runRankShrunk(j, worldRank, survivors, cancel) },
+			done: func(err error) { j.rankDone(idx, err) },
+		})
+	}
+	return true
 }
 
 // interrupt nudges the fabric so parked receives re-check cancellation.

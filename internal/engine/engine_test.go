@@ -3,16 +3,21 @@ package engine_test
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
+	"sync"
 	"testing"
 	"time"
 
+	"sdssort/internal/checkpoint"
 	"sdssort/internal/codec"
 	"sdssort/internal/comm"
 	"sdssort/internal/core"
 	"sdssort/internal/engine"
 	"sdssort/internal/engine/sortjob"
+	"sdssort/internal/faultnet"
 	"sdssort/internal/memlimit"
+	"sdssort/internal/trace"
 	"sdssort/internal/workload"
 )
 
@@ -406,6 +411,135 @@ func TestPanickingRankFailsJobOnly(t *testing.T) {
 		t.Fatalf("job after panic: %v", err)
 	}
 	checkSorted(t, "calm", out, len(data))
+}
+
+// TestJobShrinksOntoSurvivors kills one rank of a checkpointed job
+// mid-run and checks the engine heals the job in place: the survivors
+// are re-dispatched on a group communicator, the job finishes Degraded
+// (counted as completed, not failed), the grown footprint drains, and
+// the fabric still serves a full-size follow-up job.
+func TestJobShrinksOntoSurvivors(t *testing.T) {
+	const ranks = 4
+	gauge := memlimit.New(64 << 20)
+	rec := trace.NewRecorder()
+	e := newTestEngine(t, ranks, 2, engine.Options{Mem: gauge, Trace: rec})
+
+	dir := t.TempDir()
+	full, err := checkpoint.NewStore(dir, ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank 2 dies on its first transport operation after its partition
+	// snapshot commits — mid-exchange, or at the latest on the job's
+	// closing barrier.
+	inj, err := faultnet.New(faultnet.Plan{
+		KillRank:      2,
+		KillAfterFile: full.ManifestPath(0, checkpoint.PhasePartition, 2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data := workload.Uniform(23, 2000)
+	in := parts(data, ranks)
+	var mu sync.Mutex
+	var outs [][]float64
+	body := func(env engine.Env, rank int, c *comm.Comm) error {
+		store, err := checkpoint.NewStore(dir, c.Size())
+		if err != nil {
+			return err
+		}
+		opt := core.DefaultOptions()
+		opt.Mem = env.Mem
+		ck := &core.Checkpointing{Store: store}
+		var local []float64
+		if env.Degraded {
+			ck.Epoch = env.Resume.Epoch
+			ck.Resume = env.Resume
+		} else {
+			local = append([]float64(nil), in[rank]...)
+		}
+		opt.Checkpoint = ck
+		out, err := core.Sort(c, local, codec.Float64{}, cmpF, opt)
+		// Settle the store on every path: the engine redistributes it the
+		// moment the attempt fails.
+		if werr := ck.Wait(); err == nil {
+			err = werr
+		}
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		if len(outs) != c.Size() {
+			outs = make([][]float64, c.Size())
+		}
+		outs[c.Rank()] = out
+		mu.Unlock()
+		return c.Barrier()
+	}
+	j, err := e.Submit(engine.JobSpec{
+		Name: "shrinkable", Footprint: 8 << 20,
+		WrapTransport: func(tr comm.Transport) comm.Transport { return inj.Wrap(tr) },
+		Shrink: &engine.JobShrink{
+			MinRanks: 2,
+			Redistribute: func(lost []int, oldSize, newEpoch int) (checkpoint.Cut, error) {
+				old, err := checkpoint.NewStore(dir, oldSize)
+				if err != nil {
+					return checkpoint.Cut{}, err
+				}
+				cut, ok := old.LatestConsistent()
+				if !ok {
+					return checkpoint.Cut{}, nil
+				}
+				_, ncut, err := checkpoint.Redistribute(old, cut, lost, newEpoch, codec.Float64{}, cmpF)
+				return ncut, err
+			},
+		},
+		Body: body,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Wait(); err != nil {
+		t.Fatalf("degraded job failed outright: %v", err)
+	}
+	if !j.Degraded() {
+		t.Fatal("job finished without degrading — the kill never fired or the retry never ran")
+	}
+	if got := j.Lost(); !slices.Equal(got, []int{2}) {
+		t.Fatalf("lost ranks %v, want [2]", got)
+	}
+	if k := inj.Stats().Kills; k != 1 {
+		t.Fatalf("kill fired %d times, want 1", k)
+	}
+	checkSorted(t, "shrunk", outs, len(data))
+	if len(outs) != ranks-1 {
+		t.Fatalf("output from %d ranks, want %d survivors", len(outs), ranks-1)
+	}
+
+	st := e.Stats()
+	if st.Completed != 1 || st.Failed != 0 || st.Degraded != 1 {
+		t.Fatalf("stats %+v: a degraded success must count as completed+degraded, not failed", st)
+	}
+	if len(rec.ByKind("engine.degraded")) != 1 {
+		t.Fatalf("missing engine.degraded trace event:\n%s", rec.Summary())
+	}
+	if used := gauge.Used(); used != 0 {
+		t.Fatalf("shared gauge holds %d bytes after the degraded job (grown footprint leaked)", used)
+	}
+
+	// The fabric is unpoisoned: a full-size job runs clean.
+	after := workload.Uniform(29, 1200)
+	j2, err := sortjob.Submit(e, engine.JobSpec{Name: "after-shrink", Footprint: 1 << 20},
+		core.DefaultOptions(), parts(after, ranks), codec.Float64{}, cmpF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := j2.Output()
+	if err != nil {
+		t.Fatalf("follow-up job: %v", err)
+	}
+	checkSorted(t, "after-shrink", out2, len(after))
 }
 
 // TestJobCommName pins the cross-process naming convention: every

@@ -12,6 +12,7 @@ func (e *Engine) RegisterMetrics(r *telemetry.Registry) {
 	r.CounterFunc("sds_engine_jobs_submitted_total", "Jobs submitted to the engine.", stat(func(s Stats) float64 { return float64(s.Submitted) }))
 	r.CounterFunc("sds_engine_jobs_completed_total", "Jobs that finished successfully.", stat(func(s Stats) float64 { return float64(s.Completed) }))
 	r.CounterFunc("sds_engine_jobs_failed_total", "Jobs that finished with an error (cancellation and deadline included).", stat(func(s Stats) float64 { return float64(s.Failed) }))
+	r.CounterFunc("sds_engine_jobs_degraded_total", "Jobs that lost ranks and continued shrunken on the survivors.", stat(func(s Stats) float64 { return float64(s.Degraded) }))
 	r.GaugeFunc("sds_engine_jobs_queued", "Jobs awaiting footprint admission.", stat(func(s Stats) float64 { return float64(s.Queued) }))
 	r.GaugeFunc("sds_engine_jobs_running", "Jobs currently holding their footprint and executing.", stat(func(s Stats) float64 { return float64(s.Running) }))
 	r.CounterFunc("sds_engine_admission_wait_seconds_total", "Cumulative time admitted jobs spent queued behind the memory budget.", stat(func(s Stats) float64 { return s.AdmissionWait.Seconds() }))

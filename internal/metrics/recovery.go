@@ -7,15 +7,33 @@ import "sync/atomic"
 // so callers can thread an optional *RecoveryStats without nil checks.
 type RecoveryStats struct {
 	restarts  atomic.Int64
+	shrinks   atomic.Int64
+	shed      atomic.Int64
 	peersLost atomic.Int64
 	panics    atomic.Int64
 	wasted    atomic.Int64
 }
 
-// Restart records one supervisor restart (a new recovery epoch).
+// Restart records one supervisor restart (a new recovery epoch that
+// relaunched the full world).
 func (r *RecoveryStats) Restart() {
 	if r != nil {
 		r.restarts.Add(1)
+	}
+}
+
+// Shrink records one degraded-mode resume: a recovery epoch that kept
+// the surviving ranks and redistributed the checkpointed shards of the
+// given number of lost ranks instead of relaunching the world. Shrinks
+// and restarts draw from the same MaxRestarts budget but are counted
+// apart, so an operator can tell "the fabric healed in place" from
+// "the fabric was torn down and rebuilt".
+func (r *RecoveryStats) Shrink(lost int) {
+	if r != nil {
+		r.shrinks.Add(1)
+		if lost > 0 {
+			r.shed.Add(int64(lost))
+		}
 	}
 }
 
@@ -44,7 +62,9 @@ func (r *RecoveryStats) Wasted(records int64) {
 
 // RecoverySnapshot is a plain copy of the counters.
 type RecoverySnapshot struct {
-	Restarts      int64 // recovery epochs started
+	Restarts      int64 // recovery epochs that relaunched the full world
+	Shrinks       int64 // recovery epochs that resumed degraded on the survivors
+	RanksShed     int64 // ranks dropped from the world by degraded resumes
 	PeersLost     int64 // ranks lost to transport failure
 	RankPanics    int64 // ranks lost to panic
 	WastedRecords int64 // records re-sorted due to failed epochs
@@ -57,6 +77,8 @@ func (r *RecoveryStats) Snapshot() RecoverySnapshot {
 	}
 	return RecoverySnapshot{
 		Restarts:      r.restarts.Load(),
+		Shrinks:       r.shrinks.Load(),
+		RanksShed:     r.shed.Load(),
 		PeersLost:     r.peersLost.Load(),
 		RankPanics:    r.panics.Load(),
 		WastedRecords: r.wasted.Load(),

@@ -57,8 +57,21 @@ func StartResponder(tr comm.Transport, world string, reg *Registry) {
 	}()
 }
 
+// lostThreshold is how many consecutive failed gathers a rank gets
+// before the aggregator stops asking it — the point where "slow or
+// unlucky" is treated as "gone" for scrape purposes.
+const lostThreshold = 3
+
 // Aggregator gathers and caches fabric-wide metric totals on the
 // coordinator (rank 0 of the world).
+//
+// A rank that stops answering does not poison the aggregation forever:
+// its first few failures keep the cache stale (and count as gather
+// errors), but after lostThreshold consecutive failures — or an
+// explicit MarkLost from a supervisor that knows the rank died — the
+// rank is excluded and subsequent gathers succeed with partial totals
+// from the ranks that remain. The shrunken coverage is visible as
+// sds_fabric_world_size and sds_fabric_degraded.
 type Aggregator struct {
 	c     *comm.Comm
 	local *Registry
@@ -66,6 +79,9 @@ type Aggregator struct {
 	// MaxAge bounds cache staleness: a scrape arriving later than this
 	// after the previous gather triggers a background refresh.
 	maxAge time.Duration
+	// recvTimeout bounds each per-rank reply wait, so a dead rank
+	// degrades a gather to an error instead of wedging it forever.
+	recvTimeout time.Duration
 
 	mu         sync.Mutex
 	cached     []Sample
@@ -73,6 +89,8 @@ type Aggregator struct {
 	inflight   bool
 	gathers    int64
 	gatherErrs int64
+	failures   map[int]int  // consecutive failed gathers per rank
+	excluded   map[int]bool // ranks no longer gathered (lost or marked)
 }
 
 // NewAggregator builds the coordinator-side aggregator. maxAge <= 0
@@ -82,11 +100,48 @@ func NewAggregator(tr comm.Transport, world string, local *Registry, maxAge time
 		maxAge = 2 * time.Second
 	}
 	return &Aggregator{
-		c:      comm.Attach(tr, TelemetryCommName(world)),
-		local:  local,
-		size:   tr.Size(),
-		maxAge: maxAge,
+		c:           comm.Attach(tr, TelemetryCommName(world)),
+		local:       local,
+		size:        tr.Size(),
+		maxAge:      maxAge,
+		recvTimeout: time.Second,
+		failures:    make(map[int]int),
+		excluded:    make(map[int]bool),
 	}
+}
+
+// SetRecvTimeout overrides the per-rank reply timeout (default 1s).
+func (a *Aggregator) SetRecvTimeout(d time.Duration) {
+	if d > 0 {
+		a.mu.Lock()
+		a.recvTimeout = d
+		a.mu.Unlock()
+	}
+}
+
+// MarkLost excludes a rank from all future gathers — the hook a
+// supervisor calls when it knows a rank died (e.g. after a degraded
+// shrink), so the aggregator does not have to discover the loss by
+// timing out on it repeatedly.
+func (a *Aggregator) MarkLost(rank int) {
+	if rank <= 0 || rank >= a.size {
+		return // rank 0 is this aggregator; out-of-range is a no-op
+	}
+	a.mu.Lock()
+	a.excluded[rank] = true
+	a.mu.Unlock()
+}
+
+// Lost returns the ranks currently excluded from gathering.
+func (a *Aggregator) Lost() []int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]int, 0, len(a.excluded))
+	for r := range a.excluded {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // RefreshNow gathers synchronously from every rank and replaces the
@@ -108,30 +163,33 @@ func (a *Aggregator) RefreshNow() error {
 }
 
 // gather performs one fabric-wide collection and installs the result.
+// Excluded ranks are skipped, so a fabric that shrank keeps gathering
+// cleanly from the survivors; a failing rank keeps the cache stale
+// until it either answers again or crosses lostThreshold.
 func (a *Aggregator) gather() error {
+	a.mu.Lock()
+	timeout := a.recvTimeout
+	skip := make(map[int]bool, len(a.excluded))
+	for r := range a.excluded {
+		skip[r] = true
+	}
+	a.mu.Unlock()
+
 	samples := a.local.Snapshot()
 	var firstErr error
 	for r := 1; r < a.size; r++ {
-		if err := a.c.Send(r, tagTelemetryReq, nil); err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("telemetry: request rank %d: %w", r, err)
-			}
+		if skip[r] {
 			continue
 		}
-		buf, err := a.c.Recv(r, tagTelemetryRep)
+		remote, err := a.gatherRank(r, timeout)
 		if err != nil {
 			if firstErr == nil {
-				firstErr = fmt.Errorf("telemetry: reply rank %d: %w", r, err)
+				firstErr = err
 			}
+			a.rankFailed(r)
 			continue
 		}
-		var remote []Sample
-		if err := json.Unmarshal(buf, &remote); err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("telemetry: decode rank %d: %w", r, err)
-			}
-			continue
-		}
+		a.rankAnswered(r)
 		samples = append(samples, remote...)
 	}
 	summed := sumSamples(samples)
@@ -145,6 +203,58 @@ func (a *Aggregator) gather() error {
 	}
 	a.mu.Unlock()
 	return firstErr
+}
+
+// gatherRank collects one rank's snapshot with a bounded reply wait. A
+// timeout abandons the receive on its goroutine; if the rank later
+// replies, that stale reply is consumed by the abandoned receiver (the
+// next fresh receive pairs with the next request), and a genuinely dead
+// rank costs at most lostThreshold parked goroutines before exclusion.
+func (a *Aggregator) gatherRank(r int, timeout time.Duration) ([]Sample, error) {
+	if err := a.c.Send(r, tagTelemetryReq, nil); err != nil {
+		return nil, fmt.Errorf("telemetry: request rank %d: %w", r, err)
+	}
+	type reply struct {
+		buf []byte
+		err error
+	}
+	ch := make(chan reply, 1)
+	go func() {
+		buf, err := a.c.Recv(r, tagTelemetryRep)
+		ch <- reply{buf, err}
+	}()
+	var buf []byte
+	select {
+	case rep := <-ch:
+		if rep.err != nil {
+			return nil, fmt.Errorf("telemetry: reply rank %d: %w", r, rep.err)
+		}
+		buf = rep.buf
+	case <-time.After(timeout):
+		return nil, fmt.Errorf("telemetry: rank %d did not reply within %v", r, timeout)
+	}
+	var remote []Sample
+	if err := json.Unmarshal(buf, &remote); err != nil {
+		return nil, fmt.Errorf("telemetry: decode rank %d: %w", r, err)
+	}
+	return remote, nil
+}
+
+// rankFailed bumps a rank's consecutive-failure streak and excludes it
+// at the threshold.
+func (a *Aggregator) rankFailed(r int) {
+	a.mu.Lock()
+	a.failures[r]++
+	if a.failures[r] >= lostThreshold {
+		a.excluded[r] = true
+	}
+	a.mu.Unlock()
+}
+
+func (a *Aggregator) rankAnswered(r int) {
+	a.mu.Lock()
+	delete(a.failures, r)
+	a.mu.Unlock()
 }
 
 // sumSamples merges per-rank samples into fabric totals keyed by
@@ -218,6 +328,7 @@ func (a *Aggregator) Render(w io.Writer) {
 		a.inflight = true
 	}
 	gathers, gatherErrs := a.gathers, a.gatherErrs
+	lost := len(a.excluded)
 	a.mu.Unlock()
 
 	if kick {
@@ -229,8 +340,14 @@ func (a *Aggregator) Render(w io.Writer) {
 		}()
 	}
 
+	degraded := 0.0
+	if lost > 0 {
+		degraded = 1.0
+	}
 	meta := []Sample{
 		{Name: "sds_fabric_ranks", Kind: KindGauge, Value: float64(a.size)},
+		{Name: "sds_fabric_world_size", Kind: KindGauge, Value: float64(a.size - lost)},
+		{Name: "sds_fabric_degraded", Kind: KindGauge, Value: degraded},
 		{Name: "sds_fabric_gather_age_seconds", Kind: KindGauge, Value: age},
 		{Name: "sds_fabric_gathers_total", Kind: KindCounter, Value: float64(gathers)},
 		{Name: "sds_fabric_gather_errors_total", Kind: KindCounter, Value: float64(gatherErrs)},
@@ -242,6 +359,10 @@ func fabricHelp(name string) string {
 	switch name {
 	case "sds_fabric_ranks":
 		return "Number of ranks in the aggregated world."
+	case "sds_fabric_world_size":
+		return "Ranks currently contributing to fabric totals (launch size minus lost ranks)."
+	case "sds_fabric_degraded":
+		return "1 when the fabric has lost ranks and is serving partial totals, else 0."
 	case "sds_fabric_gather_age_seconds":
 		return "Age of the cached fabric-wide gather (-1 before the first one)."
 	case "sds_fabric_gathers_total":

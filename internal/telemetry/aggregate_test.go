@@ -97,6 +97,78 @@ func TestRenderKicksBackgroundRefresh(t *testing.T) {
 	}
 }
 
+// TestAggregatorExcludesDeadRank: a rank that stops answering costs a
+// few failed (stale-cache) gathers, then is excluded so the fabric
+// serves partial totals from the survivors instead of logging gather
+// errors forever.
+func TestAggregatorExcludesDeadRank(t *testing.T) {
+	world, err := comm.NewWorld(3, comm.BlockNodes(3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { world.Close() })
+	regs := make([]*Registry, 3)
+	for r := 0; r < 3; r++ {
+		regs[r] = NewRegistry()
+		regs[r].Counter("sds_test_frames_total", "Frames.").Add(int64(10 + r))
+	}
+	// Rank 2 has no responder — it is dead from the aggregator's view.
+	StartResponder(world.Transport(1), "world", regs[1])
+	agg := NewAggregator(world.Transport(0), "world", regs[0], time.Hour)
+	agg.SetRecvTimeout(30 * time.Millisecond)
+
+	// The first lostThreshold gathers fail (reply timeout) and keep the
+	// cache stale; the streak then excludes rank 2.
+	for i := 0; i < lostThreshold; i++ {
+		if err := agg.RefreshNow(); err == nil {
+			t.Fatalf("gather %d succeeded with rank 2 silent", i)
+		}
+	}
+	if lost := agg.Lost(); len(lost) != 1 || lost[0] != 2 {
+		t.Fatalf("Lost() = %v after %d failures, want [2]", agg.Lost(), lostThreshold)
+	}
+	// With rank 2 excluded the gather succeeds on partial totals.
+	if err := agg.RefreshNow(); err != nil {
+		t.Fatalf("gather after exclusion: %v", err)
+	}
+	var b strings.Builder
+	agg.Render(&b)
+	out := b.String()
+	for _, want := range []string{
+		"sds_fabric_world_size 2\n",
+		"sds_fabric_degraded 1\n",
+		"sds_fabric_test_frames_total 21\n", // 10+11, rank 2 missing
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestMarkLostSkipsRankImmediately: a supervisor that knows a rank died
+// short-circuits the failure-streak discovery.
+func TestMarkLostSkipsRankImmediately(t *testing.T) {
+	agg := buildWorld(t)
+	agg.MarkLost(2)
+	agg.MarkLost(0)  // the aggregator itself: no-op
+	agg.MarkLost(99) // out of range: no-op
+	if err := agg.RefreshNow(); err != nil {
+		t.Fatal(err)
+	}
+	if lost := agg.Lost(); len(lost) != 1 || lost[0] != 2 {
+		t.Fatalf("Lost() = %v, want [2]", lost)
+	}
+	var b strings.Builder
+	agg.Render(&b)
+	out := b.String()
+	if !strings.Contains(out, "sds_fabric_test_frames_total 21\n") { // 10+11
+		t.Errorf("marked rank still counted:\n%s", out)
+	}
+	if !strings.Contains(out, "sds_fabric_world_size 2\n") {
+		t.Errorf("world size ignores the marked rank:\n%s", out)
+	}
+}
+
 func TestGatherErrorKeepsStaleCache(t *testing.T) {
 	world, err := comm.NewWorld(2, comm.BlockNodes(2, 1))
 	if err != nil {

@@ -20,6 +20,13 @@ type Health struct {
 	Size int `json:"size"`
 	// Epoch is the recovery epoch the fabric was booted with.
 	Epoch int `json:"epoch"`
+	// Degraded is true when the fabric shrank after losing ranks;
+	// WorldSize is the current (possibly shrunken) world size. A
+	// shrunken-but-serving fabric keeps Status "ok" — degraded mode is
+	// an operating state, not an outage, and only a fabric that cannot
+	// serve flips Status (and with it the HTTP code).
+	Degraded  bool `json:"degraded"`
+	WorldSize int  `json:"world_size,omitempty"`
 	// Engine state, when an engine (or serve-mode job loop) is running.
 	JobsQueued  int64 `json:"jobs_queued"`
 	JobsRunning int64 `json:"jobs_running"`

@@ -82,6 +82,33 @@ func TestServerEndpoints(t *testing.T) {
 	}
 }
 
+// TestHealthzShrunkenFabricStaysOK: degraded mode is an operating
+// state, not an outage — a fabric that shrank but still serves reports
+// degraded:true with its current world size under HTTP 200.
+func TestHealthzShrunkenFabricStaysOK(t *testing.T) {
+	reg := NewRegistry()
+	srv, err := NewServer("127.0.0.1:0", reg, ServerOptions{
+		Health: func() Health {
+			return Health{Status: "ok", Size: 4, Degraded: true, WorldSize: 3}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	res, body := get(t, srv.Handler(), "/healthz")
+	if res.StatusCode != http.StatusOK {
+		t.Errorf("shrunken-but-serving /healthz = %d, want 200", res.StatusCode)
+	}
+	var h Health
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("healthz not JSON: %v\n%s", err, body)
+	}
+	if !h.Degraded || h.WorldSize != 3 {
+		t.Errorf("healthz payload: %+v, want degraded with world_size 3", h)
+	}
+}
+
 func TestHealthzDegraded(t *testing.T) {
 	reg := NewRegistry()
 	srv, err := NewServer("127.0.0.1:0", reg, ServerOptions{
