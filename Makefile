@@ -17,10 +17,10 @@ FAULTNET_SEED ?= 1
 BENCH_PROCS    ?= 4
 BENCH_TIME     ?= 1s
 BENCH_COUNT    ?= 5
-BENCH_HOT      := ^(BenchmarkExchange|BenchmarkLocalSortIntKeys|BenchmarkMergeKernel)$$
+BENCH_HOT      := ^(BenchmarkExchange|BenchmarkLocalSortIntKeys|BenchmarkMergeKernel|BenchmarkSpillMerge)$$
 BENCH_HOT_PKGS := ./internal/core/ ./internal/psort/
 
-.PHONY: all build test race vet lint bench bench-json bench-json-all bench-baseline bench-diff soak soak-engine soak-shrink telemetry-smoke experiments experiments-quick fuzz clean
+.PHONY: all build test race vet lint bench bench-json bench-json-all bench-baseline bench-diff soak soak-engine soak-shrink soak-spill telemetry-smoke experiments experiments-quick fuzz clean
 
 all: build test
 
@@ -47,7 +47,9 @@ bench:
 # job runs them: pinned GOMAXPROCS, fixed -benchtime, -count repeats.
 # BenchmarkExchange covers the staged/monolithic × zero-copy/marshal
 # exchange grid (with peak-staging-bytes), BenchmarkLocalSortIntKeys the
-# radix dispatch, BenchmarkMergeKernel the branchless merge.
+# radix dispatch, BenchmarkMergeKernel the branchless merge, and
+# BenchmarkSpillMerge the out-of-core exchange against its in-memory
+# twin (with spill-bytes/op).
 bench-json:
 	GOMAXPROCS=$(BENCH_PROCS) $(GO) test -run xxx -json \
 		-bench '$(BENCH_HOT)' -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) \
@@ -92,6 +94,16 @@ soak-engine:
 soak-shrink:
 	FAULTNET_SEED=$(FAULTNET_SEED) $(GO) test -race -run 'Shrink' -count=3 -timeout 15m ./internal/core/ ./internal/engine/
 	FAULTNET_SEED=$(FAULTNET_SEED) $(GO) test -race -run 'DistributedShrink' -count=1 -timeout 15m ./cmd/sdsnode/
+
+# Spill soak: the out-of-core tier under fault injection and crashes —
+# the spill property grid, the budget trigger, the crash-mid-spill
+# supervised resume and the faultnet soak, repeated under the race
+# detector. FAULTNET_SEED=n varies the fault schedule, plus the
+# multi-process spilled e2e once.
+soak-spill:
+	FAULTNET_SEED=$(FAULTNET_SEED) $(GO) test -race -run 'Spill' -count=3 -timeout 15m ./internal/core/
+	FAULTNET_SEED=$(FAULTNET_SEED) $(GO) test -race -count=3 -timeout 15m ./internal/extsort/
+	FAULTNET_SEED=$(FAULTNET_SEED) $(GO) test -race -run 'DistributedSpilledSort|CLISpilledSort' -count=1 -timeout 15m ./cmd/sdsnode/ ./cmd/sdssort/
 
 # Telemetry smoke: boot a real 2-process sdsnode world in -serve mode
 # and curl /healthz and /metrics mid-soak, requiring the local series,

@@ -70,6 +70,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"path/filepath"
 	"sync/atomic"
 	"time"
 
@@ -79,6 +80,7 @@ import (
 	"sdssort/internal/comm/tcpcomm"
 	"sdssort/internal/core"
 	"sdssort/internal/engine"
+	"sdssort/internal/extsort"
 	"sdssort/internal/faultnet"
 	"sdssort/internal/memlimit"
 	"sdssort/internal/metrics"
@@ -159,6 +161,12 @@ type nodeEnv struct {
 	gauge  *memlimit.Gauge
 	exch   *metrics.ExchangeStats
 
+	// Out-of-core spill tier (nil without -spill-dir): shared by every
+	// job of this rank so a budgeted sort that cannot hold its receive
+	// volume degrades to disk instead of failing.
+	spill      *core.SpillOptions
+	spillStats *metrics.SpillStats
+
 	jobsDone, jobsFailed atomic.Int64
 	jobSeconds           *telemetry.Histogram
 
@@ -204,6 +212,9 @@ func run(args []string) (code int) {
 		telAddr = fs.String("telemetry-addr", "", "serve /metrics, /healthz, /debug/pprof and /debug/trace on this address (e.g. :9090); rank 0 also serves fabric-wide totals")
 		trc     = fs.String("trace", "", "write JSONL trace events here; the first write error fails the run")
 		memB    = fs.Int64("mem", 0, "per-process memory budget in bytes, reserved against by sorts and exported at /metrics (0 = unlimited, untracked)")
+
+		spillDir   = fs.String("spill-dir", "", "enable the out-of-core spill tier here: budgeted sorts spill sorted runs to disk instead of failing, and a one-shot -in sort streams the shard without ever holding it resident")
+		spillChunk = fs.Int("spill-chunk", 0, "records per spilled in-memory run (0 = derive from -mem)")
 
 		epoch    = fs.Int("epoch", 0, "recovery epoch; rank 0's value is authoritative and adopted by all ranks")
 		ckptDir  = fs.String("ckpt-dir", "", "checkpoint directory shared by all ranks; enables phase snapshots and resume (one-shot mode only)")
@@ -286,6 +297,19 @@ func run(args []string) (code int) {
 	env := &nodeEnv{exch: &metrics.ExchangeStats{}}
 	if *memB > 0 {
 		env.gauge = memlimit.New(*memB)
+	}
+	if *spillDir != "" {
+		// Sweep wreckage from a previous crashed incarnation before
+		// spilling new runs next to it — committed run files from live
+		// handles are never TempPrefix-named, so the sweep is safe even
+		// when several ranks share the directory.
+		if err := extsort.RemoveStaleTemps(*spillDir); err != nil {
+			log.Printf("spill: %v", err)
+			return exitLocalError
+		}
+		env.spillStats = &metrics.SpillStats{}
+		env.spill = &core.SpillOptions{Dir: *spillDir, ChunkRecords: *spillChunk, Stats: env.spillStats}
+		env.spill.FitBudget(*memB)
 	}
 	var (
 		jl        *trace.JSONL
@@ -404,6 +428,9 @@ func run(args []string) (code int) {
 	telemetry.RegisterNodeInfo(reg, *rank, *size, ep)
 	checkpoint.RegisterMetrics(reg)
 	env.exch.Register(reg)
+	if env.spillStats != nil {
+		env.spillStats.Register(reg)
+	}
 	if env.gauge != nil {
 		telemetry.RegisterMem(reg, env.gauge)
 	}
@@ -458,6 +485,27 @@ func run(args []string) (code int) {
 
 	if *serve {
 		return serveJobs(c, tr, worldName, *rank, *size, defaults, jobs, *deadline, env)
+	}
+
+	if *spillDir != "" && defaults.in != "" && *ckptDir == "" {
+		// Fully out-of-core one-shot: the shard streams from the input
+		// file through the spill tier and into the output shard without
+		// ever being resident — a fixed -mem sorts inputs of any size.
+		// (With -ckpt-dir the resident driver below runs instead: it
+		// keeps phase snapshots and still spills its exchange under
+		// pressure.)
+		if code := spillSortJob(c, defaults, env); code != exitOK {
+			return code
+		}
+		if err := c.Barrier(); err != nil {
+			if lost, ok := comm.PeerLost(err); ok {
+				log.Printf("final barrier: peer rank %d lost: %v", lost, err)
+			} else {
+				log.Printf("final barrier: %v", err)
+			}
+			return exitCode(err)
+		}
+		return exitOK
 	}
 
 	data, code := loadJobData(defaults, *rank, *size)
@@ -636,6 +684,7 @@ func sortJob(c *comm.Comm, p jobParams, data []float64, ck *core.Checkpointing, 
 	exch := env.exch
 	opt.Exchange = exch
 	opt.Mem = env.gauge
+	opt.Spill = env.spill
 	opt.Trace = env.tracer
 	tm := metrics.NewPhaseTimer()
 	opt.Timer = tm
@@ -677,6 +726,9 @@ func sortJob(c *comm.Comm, p jobParams, data []float64, ck *core.Checkpointing, 
 		}
 		log.Printf("  zero-copy: %s", zc)
 	}
+	if env.spillStats != nil && env.spillStats.Spilled() {
+		log.Printf("  %s", env.spillStats)
+	}
 
 	if p.out != "" {
 		if err := recordio.WriteFile(p.out, codec.Float64{}, sorted); err != nil {
@@ -684,6 +736,89 @@ func sortJob(c *comm.Comm, p jobParams, data []float64, ck *core.Checkpointing, 
 			return exitLocalError
 		}
 		log.Printf("%swrote %s", label, p.out)
+	}
+	return exitOK
+}
+
+// spillSortJob is the out-of-core one-shot: this rank's shard of p.in
+// streams through core.SortFileShard — sorted runs spill under the
+// spill dir, the exchange lands run files, and the resulting block is
+// lazily merged straight into the output shard. Peak memory is the
+// spill tier's working set, not the shard.
+func spillSortJob(c *comm.Comm, p jobParams, env *nodeEnv) int {
+	opt := core.DefaultOptions()
+	opt.Stable = p.stable
+	opt.StageBytes = p.stage
+	opt.Exchange = env.exch
+	opt.Mem = env.gauge
+	opt.Spill = env.spill
+	opt.Trace = env.tracer
+	tm := metrics.NewPhaseTimer()
+	opt.Timer = tm
+
+	start := time.Now()
+	blk, err := core.SortFileShard(c, p.in, codec.Float64{}, cmpF, opt)
+	if err != nil {
+		env.finishJob(time.Since(start), true)
+		if lost, ok := comm.PeerLost(err); ok {
+			log.Printf("spill sort: peer rank %d lost (retry budget exhausted): %v", lost, err)
+		} else {
+			log.Printf("spill sort: %v", err)
+		}
+		return exitCode(err)
+	}
+	defer blk.Remove()
+	elapsed := time.Since(start)
+	env.finishJob(elapsed, false)
+	log.Printf("done in %v: %d records spilled locally", elapsed.Round(time.Millisecond), blk.Records())
+	for _, ph := range metrics.Phases() {
+		log.Printf("  %-16s %s", ph.String(), metrics.FmtDur(tm.Get(ph)))
+	}
+	log.Printf("  %s", env.exch)
+	log.Printf("  %s", env.spillStats)
+	if env.gauge != nil {
+		log.Printf("  mem peak: %d of %d bytes", env.gauge.Peak(), env.gauge.Budget())
+	}
+
+	if p.out != "" {
+		// Committed by rename, like every other output in the spill
+		// tier: a crash mid-merge never leaves a truncated shard behind.
+		// A non-regular destination (/dev/null, a pipe) cannot take the
+		// rename commit — renaming over it would replace the node
+		// itself — so those are streamed into directly.
+		var dst *os.File
+		var err error
+		rename := false
+		if st, serr := os.Lstat(p.out); serr == nil && !st.Mode().IsRegular() {
+			dst, err = os.OpenFile(p.out, os.O_WRONLY, 0)
+		} else {
+			dst, err = os.CreateTemp(filepath.Dir(p.out), ".sdsnode-out-*")
+			rename = true
+		}
+		if err != nil {
+			log.Print(err)
+			return exitLocalError
+		}
+		err = blk.Stream(dst)
+		if cerr := dst.Close(); err == nil {
+			err = cerr
+		}
+		if rename {
+			if err == nil {
+				err = os.Chmod(dst.Name(), 0o644)
+			}
+			if err == nil {
+				err = os.Rename(dst.Name(), p.out)
+			}
+		}
+		if err != nil {
+			if rename {
+				os.Remove(dst.Name())
+			}
+			log.Print(err)
+			return exitLocalError
+		}
+		log.Printf("wrote %s", p.out)
 	}
 	return exitOK
 }

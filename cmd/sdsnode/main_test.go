@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"net"
@@ -8,6 +9,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"slices"
+	"strings"
 	"testing"
 
 	"sdssort/internal/checkpoint"
@@ -236,5 +238,75 @@ func TestDistributedResume(t *testing.T) {
 	cut, ok := store.LatestConsistent()
 	if !ok || cut.Epoch != 1 || cut.Phase != checkpoint.PhaseFinal {
 		t.Fatalf("after resume the latest cut is %+v ok=%v, want final@1", cut, ok)
+	}
+}
+
+// TestDistributedSpilledSort is the out-of-core deployment story: three
+// real processes sort a shared file whose per-rank shard exceeds the
+// per-process -mem budget, streaming through -spill-dir. The shard is
+// never resident, the outputs concatenate to the sorted input, and the
+// shared spill directory is left empty.
+func TestDistributedSpilledSort(t *testing.T) {
+	const p = 3
+	dir := t.TempDir()
+	in := filepath.Join(dir, "shared.f64")
+	spill := filepath.Join(dir, "spill")
+	if err := os.MkdirAll(spill, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// 30000 × 8 B = 240 KB, 80 KB per rank — over the 64 KB budget.
+	keys := workload.ZipfKeys(13, 30000, 1.3, workload.DefaultZipfUniverse)
+	if err := recordio.WriteFile(in, codec.Float64{}, keys); err != nil {
+		t.Fatal(err)
+	}
+	registry := freePort(t)
+
+	var stderr [p]bytes.Buffer
+	cmds := make([]*exec.Cmd, p)
+	outs := make([]string, p)
+	for r := 0; r < p; r++ {
+		outs[r] = filepath.Join(dir, fmt.Sprintf("out-%d.f64", r))
+		cmd := exec.Command(os.Args[0],
+			"-rank", fmt.Sprint(r), "-size", fmt.Sprint(p),
+			"-registry", registry,
+			"-in", in, "-out", outs[r], "-stable",
+			"-mem", "65536", "-spill-dir", spill)
+		cmd.Env = append(os.Environ(), "SDSNODE_CLI_CHILD=1")
+		cmd.Stderr = &stderr[r]
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		cmds[r] = cmd
+	}
+	for r, cmd := range cmds {
+		if err := cmd.Wait(); err != nil {
+			t.Fatalf("rank %d process failed: %v\n%s", r, err, stderr[r].String())
+		}
+	}
+	for r := range stderr {
+		if !strings.Contains(stderr[r].String(), "records spilled locally") {
+			t.Fatalf("rank %d did not take the spilled path:\n%s", r, stderr[r].String())
+		}
+	}
+
+	var flat []float64
+	for r := 0; r < p; r++ {
+		part, err := recordio.ReadFile(outs[r], codec.Float64{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		flat = append(flat, part...)
+	}
+	want := append([]float64(nil), keys...)
+	slices.Sort(want)
+	if !slices.Equal(flat, want) {
+		t.Fatal("spilled multi-process output differs from the sorted input")
+	}
+	ents, err := os.ReadDir(spill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("shared spill dir not empty after the run: %v", ents)
 	}
 }

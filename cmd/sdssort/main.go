@@ -15,8 +15,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"path/filepath"
 	"time"
 
 	"sdssort/internal/cluster"
@@ -25,6 +27,7 @@ import (
 	"sdssort/internal/core"
 	"sdssort/internal/extsort"
 	"sdssort/internal/hyksort"
+	"sdssort/internal/memlimit"
 	"sdssort/internal/metrics"
 	"sdssort/internal/psrs"
 	"sdssort/internal/recordio"
@@ -51,6 +54,10 @@ func main() {
 		stats  = flag.Bool("stats", true, "print phase breakdown and RDFA")
 		verify = flag.Bool("verify", true, "run the distributed sortedness check after the sort")
 		trc    = flag.String("trace", "", "write a JSONL event trace to this file")
+
+		memB       = flag.Int64("mem", 0, "per-rank memory budget in bytes; with -spill-dir a fixed budget sorts inputs of any size (0 = unlimited, sds only)")
+		spillDir   = flag.String("spill-dir", "", "enable the out-of-core spill tier: stream the input and spill sorted runs here instead of holding the shard resident (sds only)")
+		spillChunk = flag.Int("spill-chunk", 0, "records per streamed in-memory run with -spill-dir (0 = derive from -mem)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -88,19 +95,41 @@ func main() {
 			}
 		}
 	}
+	if *spillDir != "" {
+		if *algo != "sds" {
+			log.Fatalf("-spill-dir requires -algo sds (got %q)", *algo)
+		}
+		sc := spillConfig{
+			nodes: *nodes, cores: *cores, stable: *stable,
+			stage: *stage, mem: *memB, dir: *spillDir, chunk: *spillChunk,
+			stats: *stats, verify: *verify, tracer: tracer,
+		}
+		switch *typ {
+		case "f64":
+			runSpilled(*in, *out, codec.Float64{}, cmpOrdered[float64], sc)
+		case "ptf":
+			runSpilled(*in, *out, codec.PTFCodec{}, codec.ComparePTF, sc)
+		case "cosmo":
+			runSpilled(*in, *out, codec.ParticleCodec{}, codec.CompareParticles, sc)
+		default:
+			log.Fatalf("-spill-dir needs a file-backed record type (f64 | ptf | cosmo), not %q", *typ)
+		}
+		finishTrace()
+		return
+	}
 	switch *typ {
 	case "f64":
-		run(*in, *out, codec.Float64{}, cmpOrdered[float64], *algo, *nodes, *cores, *stable, *tauM, *tauO, *tauS, *stage, *stats, *verify, tracer)
+		run(*in, *out, codec.Float64{}, cmpOrdered[float64], *algo, *nodes, *cores, *stable, *tauM, *tauO, *tauS, *stage, *memB, *stats, *verify, tracer)
 	case "csv":
 		keys, err := recordio.ReadCSVColumn(*in, *col)
 		if err != nil {
 			log.Fatal(err)
 		}
-		runRecords(keys, *out, codec.Float64{}, cmpOrdered[float64], *algo, *nodes, *cores, *stable, *tauM, *tauO, *tauS, *stage, *stats, *verify, tracer)
+		runRecords(keys, *out, codec.Float64{}, cmpOrdered[float64], *algo, *nodes, *cores, *stable, *tauM, *tauO, *tauS, *stage, *memB, *stats, *verify, tracer)
 	case "ptf":
-		run(*in, *out, codec.PTFCodec{}, codec.ComparePTF, *algo, *nodes, *cores, *stable, *tauM, *tauO, *tauS, *stage, *stats, *verify, tracer)
+		run(*in, *out, codec.PTFCodec{}, codec.ComparePTF, *algo, *nodes, *cores, *stable, *tauM, *tauO, *tauS, *stage, *memB, *stats, *verify, tracer)
 	case "cosmo":
-		run(*in, *out, codec.ParticleCodec{}, codec.CompareParticles, *algo, *nodes, *cores, *stable, *tauM, *tauO, *tauS, *stage, *stats, *verify, tracer)
+		run(*in, *out, codec.ParticleCodec{}, codec.CompareParticles, *algo, *nodes, *cores, *stable, *tauM, *tauO, *tauS, *stage, *memB, *stats, *verify, tracer)
 	default:
 		log.Fatalf("unknown record type %q", *typ)
 	}
@@ -162,18 +191,18 @@ func cmpOrdered[T float64 | int64 | uint64](a, b T) int {
 }
 
 func run[T any](in, out string, cd codec.Codec[T], cmp func(a, b T) int,
-	algo string, nodes, cores int, stable bool, tauM int64, tauO, tauS int, stage int64, stats, verify bool, tracer trace.Tracer) {
+	algo string, nodes, cores int, stable bool, tauM int64, tauO, tauS int, stage, mem int64, stats, verify bool, tracer trace.Tracer) {
 
 	records, err := recordio.ReadFile(in, cd)
 	if err != nil {
 		log.Fatal(err)
 	}
-	runRecords(records, out, cd, cmp, algo, nodes, cores, stable, tauM, tauO, tauS, stage, stats, verify, tracer)
+	runRecords(records, out, cd, cmp, algo, nodes, cores, stable, tauM, tauO, tauS, stage, mem, stats, verify, tracer)
 }
 
 // runRecords sorts already-loaded records on an in-process cluster.
 func runRecords[T any](records []T, out string, cd codec.Codec[T], cmp func(a, b T) int,
-	algo string, nodes, cores int, stable bool, tauM int64, tauO, tauS int, stage int64, stats, verify bool, tracer trace.Tracer) {
+	algo string, nodes, cores int, stable bool, tauM int64, tauO, tauS int, stage, mem int64, stats, verify bool, tracer trace.Tracer) {
 
 	topo := cluster.Topology{Nodes: nodes, CoresPerNode: cores}
 	p := topo.Size()
@@ -200,6 +229,13 @@ func runRecords[T any](records []T, out string, cd codec.Codec[T], cmp func(a, b
 	if algo == "sds" {
 		exch = &metrics.ExchangeStats{}
 	}
+	var gauges []*memlimit.Gauge
+	if algo == "sds" && mem > 0 {
+		gauges = make([]*memlimit.Gauge, p)
+		for i := range gauges {
+			gauges[i] = memlimit.New(mem)
+		}
+	}
 	start := time.Now()
 	outputs, err := cluster.Gather(topo, cluster.Options{}, func(c *comm.Comm) ([]T, error) {
 		local := append([]T(nil), parts[c.Rank()]...)
@@ -215,6 +251,9 @@ func runRecords[T any](records []T, out string, cd codec.Codec[T], cmp func(a, b
 				opt.Exchange = exch
 				opt.Timer = timers[c.Rank()]
 				opt.Trace = tracer
+				if gauges != nil {
+					opt.Mem = gauges[c.Rank()]
+				}
 				return core.Sort(c, local, cd, cmp, opt)
 			case "hyksort":
 				opt := hyksort.DefaultOptions()
@@ -264,6 +303,13 @@ func runRecords[T any](records []T, out string, cd codec.Codec[T], cmp func(a, b
 			}
 			fmt.Printf("  zero-copy: %s (codec eligible: %v)\n", zc, codec.IsZeroCopy(cd))
 		}
+		if gauges != nil {
+			var peak int64
+			for _, g := range gauges {
+				peak = max(peak, g.Peak())
+			}
+			fmt.Printf("  mem peak: %d of %d bytes per rank\n", peak, mem)
+		}
 	}
 	if out != "" {
 		var flat []T
@@ -275,4 +321,190 @@ func runRecords[T any](records []T, out string, cd codec.Codec[T], cmp func(a, b
 		}
 		fmt.Printf("wrote %s\n", out)
 	}
+}
+
+// spillConfig bundles the knobs of the out-of-core path.
+type spillConfig struct {
+	nodes, cores  int
+	stable        bool
+	stage, mem    int64
+	dir           string
+	chunk         int
+	stats, verify bool
+	tracer        trace.Tracer
+}
+
+// runSpilled is the out-of-core driver: the input file is never loaded —
+// each rank streams its shard through core.SortFileShard, spilling
+// sorted runs under sc.dir, and the resulting blocks are lazily merged
+// straight into the output file. With -mem set, every rank runs under a
+// hard per-rank budget, so a fixed-memory invocation sorts inputs of
+// any size.
+func runSpilled[T any](in, out string, cd codec.Codec[T], cmp func(a, b T) int, sc spillConfig) {
+	// Sweep wreckage from a previous crashed invocation before spilling
+	// new runs next to it.
+	if err := extsort.RemoveStaleTemps(sc.dir); err != nil {
+		log.Fatal(err)
+	}
+	topo := cluster.Topology{Nodes: sc.nodes, CoresPerNode: sc.cores}
+	p := topo.Size()
+	spStats := &metrics.SpillStats{}
+	exch := &metrics.ExchangeStats{}
+	timers := make([]*metrics.PhaseTimer, p)
+	gauges := make([]*memlimit.Gauge, p)
+	for i := range timers {
+		timers[i] = metrics.NewPhaseTimer()
+		if sc.mem > 0 {
+			gauges[i] = memlimit.New(sc.mem)
+		}
+	}
+	sp := &core.SpillOptions{Dir: sc.dir, Force: true, ChunkRecords: sc.chunk, Stats: spStats}
+	sp.FitBudget(sc.mem)
+	start := time.Now()
+	blocks, err := cluster.Gather(topo, cluster.Options{}, func(c *comm.Comm) (*core.Spilled[T], error) {
+		opt := core.DefaultOptions()
+		opt.Stable = sc.stable
+		opt.StageBytes = sc.stage
+		opt.Exchange = exch
+		opt.Timer = timers[c.Rank()]
+		opt.Trace = sc.tracer
+		opt.Mem = gauges[c.Rank()]
+		opt.Spill = sp
+		return core.SortFileShard(c, in, cd, cmp, opt)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	defer func() {
+		for _, b := range blocks {
+			b.Remove()
+		}
+	}()
+
+	var total int64
+	loads := make([]int, p)
+	for r, b := range blocks {
+		loads[r] = int(b.Records())
+		total += b.Records()
+	}
+	fmt.Printf("spill-sorted %d records on %d×%d ranks in %v (%s)\n",
+		total, sc.nodes, sc.cores, elapsed.Round(time.Microsecond),
+		metrics.FormatThroughput(metrics.Throughput(total*int64(cd.Size()), elapsed)))
+	if sc.stats {
+		fmt.Printf("RDFA: %s\n", metrics.FmtRDFA(metrics.RDFA(loads)))
+		merged := metrics.MergeMax(timers)
+		for _, ph := range metrics.Phases() {
+			fmt.Printf("  %-16s %s\n", ph.String(), metrics.FmtDur(merged[ph]))
+		}
+		fmt.Printf("  %s\n", exch)
+		fmt.Printf("  %s\n", spStats)
+		if sc.mem > 0 {
+			var peak int64
+			for _, g := range gauges {
+				peak = max(peak, g.Peak())
+			}
+			fmt.Printf("  mem peak: %d of %d bytes per rank\n", peak, sc.mem)
+		}
+	}
+
+	// The blocks stream through a sortedness checker and (when -out is
+	// given) into a temp file committed by rename, so a failed or killed
+	// run never leaves a truncated output behind. A non-regular
+	// destination (/dev/null, a pipe) cannot take the rename commit —
+	// renaming over it would replace the node itself — so those are
+	// streamed into directly.
+	check := &orderChecker[T]{cd: cd, cmp: cmp}
+	if out != "" || sc.verify {
+		var w io.Writer
+		var dst *os.File
+		rename := false
+		if out != "" {
+			if st, serr := os.Lstat(out); serr == nil && !st.Mode().IsRegular() {
+				dst, err = os.OpenFile(out, os.O_WRONLY, 0)
+			} else {
+				dst, err = os.CreateTemp(filepath.Dir(out), ".sdssort-out-*")
+				rename = true
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+			w = dst
+			if sc.verify {
+				w = io.MultiWriter(dst, check)
+			}
+		} else {
+			w = check
+		}
+		fail := func(err error) {
+			if dst != nil {
+				dst.Close()
+				if rename {
+					os.Remove(dst.Name())
+				}
+			}
+			log.Fatal(err)
+		}
+		for _, b := range blocks {
+			if err := b.Stream(w); err != nil {
+				fail(err)
+			}
+		}
+		if sc.verify {
+			if check.err != nil {
+				fail(check.err)
+			}
+			if check.n != total {
+				fail(fmt.Errorf("verify: streamed %d records, expected %d", check.n, total))
+			}
+			fmt.Printf("verified: output globally sorted (%d records)\n", check.n)
+		}
+		if dst != nil {
+			if err := dst.Close(); err != nil {
+				fail(err)
+			}
+			if rename {
+				if err := os.Chmod(dst.Name(), 0o644); err != nil {
+					fail(err)
+				}
+				if err := os.Rename(dst.Name(), out); err != nil {
+					fail(err)
+				}
+			}
+			fmt.Printf("wrote %s\n", out)
+		}
+	}
+}
+
+// orderChecker verifies global sortedness of a recordio stream flowing
+// through it as an io.Writer, without holding more than one partial
+// record — the streaming counterpart of core.Verify for the spilled
+// path, where the output never exists as a slice.
+type orderChecker[T any] struct {
+	cd   codec.Codec[T]
+	cmp  func(a, b T) int
+	buf  []byte
+	prev T
+	n    int64
+	err  error
+}
+
+func (oc *orderChecker[T]) Write(p []byte) (int, error) {
+	if oc.err != nil {
+		return 0, oc.err
+	}
+	oc.buf = append(oc.buf, p...)
+	size := oc.cd.Size()
+	i := 0
+	for ; i+size <= len(oc.buf); i += size {
+		rec := oc.cd.Unmarshal(oc.buf[i : i+size])
+		if oc.n > 0 && oc.cmp(oc.prev, rec) > 0 {
+			oc.err = fmt.Errorf("verify: output not sorted at record %d", oc.n)
+			return 0, oc.err
+		}
+		oc.prev = rec
+		oc.n++
+	}
+	oc.buf = oc.buf[:copy(oc.buf, oc.buf[i:])]
+	return len(p), nil
 }

@@ -200,3 +200,67 @@ func TestCLITraceWrites(t *testing.T) {
 		t.Fatalf("trace missing sort.start:\n%.400s", data)
 	}
 }
+
+// TestCLISpilledSort is the out-of-core quick-start: a file 8× the
+// per-rank budget is sorted with -mem and -spill-dir, never resident,
+// and the committed output is byte-identical to the sorted input.
+func TestCLISpilledSort(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.f64")
+	out := filepath.Join(dir, "out.f64")
+	spill := filepath.Join(dir, "spill")
+	if err := os.MkdirAll(spill, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	const n = 40000 // 320 KB across 4 ranks = 80 KB per rank
+	keys := workload.ZipfKeys(9, n, 1.3, workload.DefaultZipfUniverse)
+	if err := recordio.WriteFile(in, codec.Float64{}, keys); err != nil {
+		t.Fatal(err)
+	}
+	// An 80 KB shard under a 64 KB budget cannot be sorted resident —
+	// the whole pipeline (chunks, staging window, merges) must honour
+	// the budget out of core.
+	stdout, err := runCLI(t, "-in", in, "-out", out,
+		"-nodes", "2", "-cores", "2", "-stable",
+		"-mem", "65536", "-spill-dir", spill)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, stdout)
+	}
+	for _, want := range []string{"spill-sorted 40000 records", "verified: output globally sorted", "wrote " + out} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("output missing %q:\n%s", want, stdout)
+		}
+	}
+	got, err := recordio.ReadFile(out, codec.Float64{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]float64(nil), keys...)
+	slices.Sort(want)
+	if !slices.Equal(got, want) {
+		t.Fatal("spilled CLI output is not the sorted input")
+	}
+	// Every spill run was cleaned up on exit.
+	ents, err := os.ReadDir(spill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("spill dir not empty after the run: %v", ents)
+	}
+}
+
+// TestCLISpilledSortErrors: the spill tier is sds-only and file-backed.
+func TestCLISpilledSortErrors(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.f64")
+	if err := recordio.WriteFile(in, codec.Float64{}, []float64{2, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := runCLI(t, "-in", in, "-spill-dir", dir, "-algo", "hyksort"); err == nil {
+		t.Fatalf("-spill-dir with hyksort accepted:\n%s", out)
+	}
+	if out, err := runCLI(t, "-in", in, "-spill-dir", dir, "-type", "csv"); err == nil {
+		t.Fatalf("-spill-dir with csv accepted:\n%s", out)
+	}
+}

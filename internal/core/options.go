@@ -106,6 +106,13 @@ type Options struct {
 	// internal/checkpoint. Nil disables checkpointing entirely.
 	Checkpoint *Checkpointing
 
+	// Spill, when non-nil, enables the out-of-core spill tier: a
+	// receive side that does not fit Mem (or Spill.Force) streams to
+	// per-source run files merged lazily at output, and SortStream
+	// becomes available for inputs larger than the budget. Must agree
+	// across ranks — the spill decision is collective. See SpillOptions.
+	Spill *SpillOptions
+
 	// DisableZeroCopy forces the exchange through the generic marshal
 	// path — encode into pooled buffers, decode record by record —
 	// even for zero-copy-capable codecs. Benchmark/ablation knob: the
@@ -152,6 +159,12 @@ func (o Options) Validate() error {
 	}
 	if o.StageBytes < 0 {
 		return fmt.Errorf("core: negative StageBytes %d", o.StageBytes)
+	}
+	if sp := o.Spill; sp != nil {
+		if sp.ChunkRecords < 0 || sp.MaxFanIn < 0 || sp.BufBytes < 0 {
+			return fmt.Errorf("core: negative spill knob (ChunkRecords=%d MaxFanIn=%d BufBytes=%d)",
+				sp.ChunkRecords, sp.MaxFanIn, sp.BufBytes)
+		}
 	}
 	return nil
 }

@@ -285,8 +285,34 @@ func Sort[T any](c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int
 		"stage_bytes": stage, "staged": stage > 0,
 		"zero_copy": zeroCopyEligible(cd, opt),
 	})
-	if err := acct.reserve(m * recSize); err != nil {
-		return nil, fmt.Errorf("core: receive buffer of %d records: %w", m, err)
+	// Receive-buffer budgeting doubles as the spill trigger: with a
+	// spill tier configured, a receive side that does not fit (or
+	// Spill.Force) diverts the exchange through disk runs instead of
+	// dying of OOM. The decision is collective — the exchange is one
+	// collective, so if any rank must spill, every rank takes the
+	// spilled path.
+	reserveErr := acct.reserve(m * recSize)
+	if opt.Spill != nil {
+		spill, aerr := agreeSpill(wc, opt.Spill.Force || reserveErr != nil)
+		if aerr != nil {
+			return nil, aerr
+		}
+		if spill {
+			if reserveErr == nil {
+				acct.release(m * recSize)
+			}
+			out, err := spillExchange(wc, work, bounds, rcounts, m, cd, cmp, opt, tm, acct, tr, rank)
+			if err != nil {
+				return nil, err
+			}
+			if err := saveCkpt(ck, tr, rank, checkpoint.PhaseFinal, merged, true, nil, cd, out); err != nil {
+				return nil, err
+			}
+			return done(out, "spilled")
+		}
+	}
+	if reserveErr != nil {
+		return nil, fmt.Errorf("core: receive buffer of %d records: %w", m, reserveErr)
 	}
 
 	// Exchange + local ordering (lines 15-27).

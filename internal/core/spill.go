@@ -1,0 +1,383 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"sdssort/internal/codec"
+	"sdssort/internal/comm"
+	"sdssort/internal/extsort"
+	"sdssort/internal/memlimit"
+	"sdssort/internal/metrics"
+	"sdssort/internal/trace"
+)
+
+// The out-of-core spill tier. When the receive side of the exchange
+// does not fit the memlimit budget (or spilling is forced), each
+// source's incoming payload — already sorted, being a contiguous slice
+// of that source's sorted partition — streams to a per-source run file
+// in raw wire format, with no decode and no re-sort, through the same
+// atomic temp-and-rename commit the checkpoint writer uses. The output
+// is then a lazy k-way merge over the run files with the source rank
+// as tiebreaker, which is exactly the stable rank-ordered merge of the
+// in-memory path — so every driver path (stable, staged, monolithic,
+// zero-copy, marshal) spills with identical output bytes.
+//
+// SortStream (spillstream.go) extends the same machinery to the input
+// side, so a rank never needs its full shard resident at once.
+
+// SpillOptions configures the spill tier; Options.Spill nil disables
+// it entirely. Like the rest of Options it must agree across ranks:
+// the spill decision is collective (if any rank must spill, all do),
+// so a job where only some ranks configure spilling deadlocks.
+type SpillOptions struct {
+	// Dir is the directory that holds spill files. Every sort creates
+	// (and removes) a private subdirectory under it, so a crashed
+	// attempt can never leak stale temp runs into a retry. Empty means
+	// the OS temp dir.
+	Dir string
+	// Force spills the exchange's receive side unconditionally, even
+	// when it would fit the budget — the ablation/test knob behind the
+	// spilled-vs-resident equivalence property.
+	Force bool
+	// ChunkRecords is the streaming driver's in-memory run size in
+	// records; SortStream's peak chunk footprint is ChunkRecords ×
+	// record size × 2. Zero derives it from the gauge budget (a
+	// quarter of the budget, in records), or 1<<20 with no budget.
+	ChunkRecords int
+	// MaxFanIn caps the width of one merge pass over run files; more
+	// runs are pre-merged in batches first. Default 64.
+	MaxFanIn int
+	// BufBytes is the per-cursor I/O buffer for run readers and
+	// writers; a merge holds (fan-in + 1) × BufBytes, reserved from
+	// the gauge. Default 256 KiB.
+	BufBytes int
+	// Stats accrues spill counters (runs, bytes, merge passes). May be
+	// shared across ranks.
+	Stats *metrics.SpillStats
+}
+
+// FitBudget sizes the tier's unset knobs to a per-rank memory budget.
+// Run/merge buffers get budget/32 (floored at 4 KiB, capped at the
+// 256 KiB default) and the merge fan-in is whatever a quarter of the
+// budget holds in cursor buffers (floored at 4, capped at the 64
+// default). Explicitly-set fields are left alone; a zero budget is a
+// no-op. The cap on fan-in is what makes the tier safe at any input
+// size: run counts grow with the data, but a capped merge pre-merges
+// in bounded passes, so the worst concurrent reservation — staging
+// window, fill-merge cursors, spool and read buffers — stays under the
+// budget regardless of how many runs spilled.
+func (sp *SpillOptions) FitBudget(budget int64) {
+	if budget <= 0 {
+		return
+	}
+	if sp.BufBytes == 0 {
+		sp.BufBytes = int(min(max(budget/32, 4<<10), 256<<10))
+	}
+	if sp.MaxFanIn == 0 {
+		sp.MaxFanIn = int(min(max(budget/4/int64(sp.bufBytes()), 4), 64))
+	}
+}
+
+func (sp *SpillOptions) bufBytes() int {
+	if sp.BufBytes > 0 {
+		return sp.BufBytes
+	}
+	return 256 << 10
+}
+
+func (sp *SpillOptions) maxFanIn() int {
+	if sp.MaxFanIn > 0 {
+		return sp.MaxFanIn
+	}
+	return 64
+}
+
+func (sp *SpillOptions) chunkRecords(recSize, budget int64) int {
+	if sp.ChunkRecords > 0 {
+		return sp.ChunkRecords
+	}
+	if budget > 0 {
+		n := budget / (4 * recSize)
+		if n < 1 {
+			n = 1
+		}
+		if n > 1<<20 {
+			n = 1 << 20
+		}
+		return int(n)
+	}
+	return 1 << 20
+}
+
+// Footprint bounds the peak resident memory of a whole sort job run
+// with this spill configuration: one copy of the dataset (the spill
+// hand-off releases the input before the output is reserved, so the
+// two never co-occupy the budget), plus each rank's staging window,
+// spool write buffer and merge cursor buffers, with 25% slack for
+// skew. Compare sortjob.Footprint, the in-memory declaration, which
+// holds input and receive buffers simultaneously.
+func (sp *SpillOptions) Footprint(totalBytes int64, ranks int, stageBytes int64) int64 {
+	buf := int64(sp.bufBytes())
+	stage := stageBytes
+	if stage <= 0 {
+		stage = 4 * buf // spillStage's fallback for an unstaged config
+	}
+	fan := int64(sp.maxFanIn())
+	if int64(ranks) < fan {
+		fan = int64(ranks) // the output merge fans in one run per source
+	}
+	perRank := 2*stage + buf + (fan+1)*buf
+	return totalBytes + int64(ranks)*perRank + totalBytes/4
+}
+
+// mergeOptions builds the extsort merge configuration for this spill.
+func (sp *SpillOptions) mergeOptions(tempDir string, g *memlimit.Gauge) extsort.MergeOptions {
+	return extsort.MergeOptions{
+		MaxFanIn: sp.maxFanIn(),
+		BufBytes: sp.bufBytes(),
+		Mem:      g,
+		TempDir:  tempDir,
+		Stats:    sp.Stats,
+	}
+}
+
+// spillStage picks the stage-chunk size for a spilled exchange: the
+// configured StageBytes, or — because the spill path is always staged,
+// a monolithic chunk would defeat the bounded window — 4 × BufBytes.
+func spillStage(opt Options, recSize int64) int64 {
+	if s := effStage(opt.StageBytes, recSize); s > 0 {
+		return s
+	}
+	return effStage(int64(opt.Spill.bufBytes())*4, recSize)
+}
+
+// agreeSpill makes the spill decision collective: each rank reports
+// whether its receive buffer fits the budget, and the exchange spills
+// everywhere if it fails to fit anywhere — the exchange is one
+// collective, so all ranks must walk the same path. localWant is
+// Force, or a failed receive reservation.
+func agreeSpill(wc *comm.Comm, localWant bool) (bool, error) {
+	b := []byte{0}
+	if localWant {
+		b[0] = 1
+	}
+	votes, err := wc.Allgather(b)
+	if err != nil {
+		return false, fmt.Errorf("core: spill agreement: %w", err)
+	}
+	for _, v := range votes {
+		if len(v) == 1 && v[0] != 0 {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// recvSpool lands the exchange's receive side on disk: one run file
+// per source rank, written in raw wire bytes as chunks arrive. The
+// staged schedule streams one source to completion per round, so at
+// most one run writer is ever open — the spool's memory is a single
+// write buffer.
+type recvSpool struct {
+	dir       string
+	bufBytes  int
+	recSize   int64
+	stats     *metrics.SpillStats
+	active    *extsort.RawRunWriter
+	activeSrc int
+	runs      []string // by source rank; "" = no data
+	done      []bool
+}
+
+func newRecvSpool(dir string, p int, bufBytes int, recSize int64, stats *metrics.SpillStats) *recvSpool {
+	return &recvSpool{
+		dir: dir, bufBytes: bufBytes, recSize: recSize, stats: stats,
+		activeSrc: -1, runs: make([]string, p), done: make([]bool, p),
+	}
+}
+
+// drain is the comm.StagedOptions.Drain callback.
+func (s *recvSpool) drain(src int, _ int64, chunk []byte) error {
+	if src != s.activeSrc {
+		if err := s.commitActive(); err != nil {
+			return err
+		}
+		if s.done[src] {
+			// The schedule visits each (src, dst) pair exactly once;
+			// a revisit means interleaved sources, which would corrupt
+			// the per-source run.
+			return fmt.Errorf("core: spill receive from rank %d resumed after commit", src)
+		}
+		path := filepath.Join(s.dir, fmt.Sprintf("recv-%06d", src))
+		w, err := extsort.CreateRawRun(path, s.bufBytes)
+		if err != nil {
+			return err
+		}
+		s.active, s.activeSrc = w, src
+		s.runs[src] = path
+	}
+	_, err := s.active.Write(chunk)
+	return err
+}
+
+// commitActive closes out the in-flight source's run.
+func (s *recvSpool) commitActive() error {
+	if s.active == nil {
+		return nil
+	}
+	bytes := s.active.Bytes()
+	if err := s.active.Commit(); err != nil {
+		return err
+	}
+	s.stats.AddRun(bytes)
+	s.done[s.activeSrc] = true
+	s.active, s.activeSrc = nil, -1
+	return nil
+}
+
+// finish commits the last run and returns the run paths in source-rank
+// order — the stability order of the merge.
+func (s *recvSpool) finish() ([]string, error) {
+	if err := s.commitActive(); err != nil {
+		return nil, err
+	}
+	var runs []string
+	for _, p := range s.runs {
+		if p != "" {
+			runs = append(runs, p)
+		}
+	}
+	return runs, nil
+}
+
+// abort discards the in-flight run (committed runs die with the spill
+// directory).
+func (s *recvSpool) abort() {
+	if s.active != nil {
+		s.active.Abort()
+		s.active = nil
+	}
+}
+
+// spillExchange runs the all-to-all with its receive side on disk and
+// returns the merged resident output. Peak memory is max(input +
+// staging window + one write buffer, output + merge cursor buffers)
+// instead of the in-memory path's input + output together: the input's
+// reservation is released the moment the exchange completes, before
+// the output buffer is reserved.
+func spillExchange[T any](wc *comm.Comm, work []T, bounds []int, rcounts []int64, m int64, cd codec.Codec[T], cmp func(a, b T) int, opt Options, tm *metrics.PhaseTimer, acct *memAcct, tr trace.Tracer, rank int) ([]T, error) {
+	sp := opt.Spill
+	p := wc.Size()
+	recSize := int64(cd.Size())
+	sp.Stats.AddSpilledSort()
+
+	dir, err := os.MkdirTemp(spillRoot(sp), "spill-*")
+	if err != nil {
+		return nil, fmt.Errorf("core: spill dir: %w", err)
+	}
+	defer os.RemoveAll(dir)
+
+	stage := spillStage(opt, recSize)
+	zc := zeroCopyEligible(cd, opt)
+	// Window: one incoming chunk, plus one outgoing encode buffer on
+	// the marshal path (zero-copy sends alias the work slab), plus the
+	// spool's single write buffer.
+	window := 2*stage + int64(sp.bufBytes())
+	if zc {
+		window = stage + int64(sp.bufBytes())
+	}
+	if err := acct.reserve(window); err != nil {
+		return nil, fmt.Errorf("core: spill staging window of %d bytes: %w", window, err)
+	}
+	opt.Exchange.ObservePeakStaging(window)
+
+	spool := newRecvSpool(dir, p, sp.bufBytes(), recSize, sp.Stats)
+	so := comm.StagedOptions{
+		StageBytes: stage,
+		SendBytes:  sendBytesOf(bounds, p, recSize),
+		RecvBytes:  scale(rcounts, recSize),
+		OnWindow:   opt.Exchange.AddWindow,
+		Drain:      spool.drain,
+	}
+	var pool *codec.BufferPool
+	if zc {
+		workBytes, ok := codec.View(cd, work)
+		if !ok {
+			return nil, fmt.Errorf("core: zero-copy spill on non-zero-copy codec")
+		}
+		so.Fill = func(dst int, off, n int64) ([]byte, error) {
+			lo := int64(bounds[dst])*recSize + off
+			return workBytes[lo : lo+n : lo+n], nil
+		}
+	} else {
+		pool = &codec.BufferPool{}
+		so.Fill = stagedFill(work, bounds, cd, recSize, pool)
+		so.FillDone = func(_ int, buf []byte) { pool.Put(buf) }
+	}
+	st, err := wc.StagedAlltoallv(so)
+	opt.Exchange.AddStaged(st.BytesStaged, st.Chunks)
+	if zc {
+		opt.Exchange.AddZeroCopy(st.BytesStaged, st.Chunks)
+	} else {
+		opt.Exchange.AddPool(pool.Stats())
+	}
+	if err != nil {
+		spool.abort()
+		return nil, fmt.Errorf("core: spilled alltoall: %w", err)
+	}
+	runs, err := spool.finish()
+	if err != nil {
+		return nil, err
+	}
+	acct.release(window)
+
+	// The working set has been fully shipped (the self slice too — it
+	// went through the spool like any other source): its claim on the
+	// budget ends here, and only now is the output reserved. This
+	// hand-off is the spill tier's point: input and output never
+	// occupy the budget together.
+	acct.release(int64(len(work)) * recSize)
+	if err := acct.reserve(m * recSize); err != nil {
+		return nil, fmt.Errorf("core: spilled output of %d records: %w", m, err)
+	}
+
+	tr.Emit(rank, "spill.exchange", map[string]any{
+		"runs": len(runs), "bytes": st.BytesStaged, "stage_bytes": stage,
+	})
+
+	// Lazy merge back to a resident block: source-rank order with the
+	// run index as tiebreaker reproduces the in-memory rank-ordered
+	// stable merge exactly.
+	tm.Start(metrics.PhaseLocalOrdering)
+	ms, err := extsort.OpenMerge(runs, cd, cmp, sp.mergeOptions(dir, opt.Mem))
+	if err != nil {
+		return nil, err
+	}
+	defer ms.Close()
+	out := make([]T, 0, m)
+	for {
+		rec, err := ms.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	if int64(len(out)) != m {
+		return nil, fmt.Errorf("core: spilled merge yielded %d of %d records", len(out), m)
+	}
+	return out, nil
+}
+
+// spillRoot resolves the spill parent directory.
+func spillRoot(sp *SpillOptions) string {
+	if sp.Dir != "" {
+		return sp.Dir
+	}
+	return os.TempDir()
+}

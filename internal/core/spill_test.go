@@ -1,0 +1,625 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"slices"
+	"sync"
+	"testing"
+	"time"
+
+	"sdssort/internal/checkpoint"
+	"sdssort/internal/cluster"
+	"sdssort/internal/codec"
+	"sdssort/internal/comm"
+	"sdssort/internal/extsort"
+	"sdssort/internal/faultnet"
+	"sdssort/internal/memlimit"
+	"sdssort/internal/metrics"
+	"sdssort/internal/recordio"
+)
+
+// collisionFree generates keys that are unique across every (rank, i),
+// so any correct sort — in-memory or spilled, merge or re-sort — has
+// exactly one valid output and byte-identity is a meaningful assertion.
+func collisionFree(p int) func(rank, i int) float64 {
+	return func(rank, i int) float64 {
+		return float64(uint32((i*p + rank) * 2654435761))
+	}
+}
+
+func flatten(parts [][]codec.Tagged) []codec.Tagged {
+	var flat []codec.Tagged
+	for _, part := range parts {
+		flat = append(flat, part...)
+	}
+	return flat
+}
+
+// canonTagged is the one total order on Tagged records: key, then
+// origin rank, then origin index. For collision-free keys it degrades
+// to key order; for duplicated keys it is the stable sort's output.
+func canonTagged(a, b codec.Tagged) int {
+	if c := codec.CompareTagged(a, b); c != 0 {
+		return c
+	}
+	if a.Rank != b.Rank {
+		return int(a.Rank - b.Rank)
+	}
+	return int(a.Index - b.Index)
+}
+
+// TestSpillForcedMatchesInMemory is the spilled-vs-resident
+// equivalence property: with Spill.Force the exchange's receive side
+// goes through disk runs, and the per-rank outputs must be identical —
+// not merely "some sorted order" — to the in-memory path, on every
+// driver path: sync-merge, sync-resort, overlap, stable, τm-merged,
+// staged and monolithic, zero-copy and marshal.
+func TestSpillForcedMatchesInMemory(t *testing.T) {
+	topo := cluster.Topology{Nodes: 2, CoresPerNode: 2}
+	p := topo.Size()
+	unique := collisionFree(p)
+	dup := func(rank, i int) float64 { return float64((rank*31 + i) % 7) }
+	configs := []struct {
+		name string
+		gen  func(rank, i int) float64
+		opt  Options
+	}{
+		{"sync-merge", unique, func() Options { o := DefaultOptions(); o.TauO = 0; o.TauS = 1 << 20; o.TauM = 0; return o }()},
+		{"sync-resort", unique, func() Options { o := DefaultOptions(); o.TauO = 0; o.TauS = 1; o.TauM = 0; return o }()},
+		{"overlap", unique, func() Options { o := DefaultOptions(); o.TauO = 1 << 20; o.TauM = 0; return o }()},
+		{"stable", dup, func() Options { o := DefaultOptions(); o.Stable = true; o.TauM = 0; return o }()},
+		{"merged", unique, func() Options { o := DefaultOptions(); o.TauM = 1 << 40; return o }()},
+	}
+	for _, cfg := range configs {
+		t.Run(cfg.name, func(t *testing.T) {
+			in := makeTagged(p, 400, cfg.gen)
+			for _, stage := range []int64{0, 1000} {
+				for _, zc := range []bool{true, false} {
+					name := "monolithic"
+					if stage > 0 {
+						name = fmt.Sprintf("stage%d", stage)
+					}
+					if !zc {
+						name += "-marshal"
+					}
+					t.Run(name, func(t *testing.T) {
+						base := cfg.opt
+						base.StageBytes = stage
+						base.DisableZeroCopy = !zc
+						want := runSort(t, topo, in, base)
+						checkSorted(t, in, want, base.Stable)
+
+						spilled := base
+						stats := &metrics.SpillStats{}
+						spilled.Exchange = &metrics.ExchangeStats{}
+						spilled.Spill = &SpillOptions{
+							Force: true, Dir: t.TempDir(),
+							BufBytes: 4 << 10, Stats: stats,
+						}
+						got := runSort(t, topo, in, spilled)
+						equalOutputs(t, want, got, "spill-forced")
+						if !stats.Spilled() {
+							t.Fatal("forced spill never spilled")
+						}
+						// With τm merging only the node leaders reach the
+						// exchange; otherwise every rank spills.
+						if n, max := stats.SpilledSorts.Load(), int64(p); n < 1 || n > max {
+							t.Fatalf("SpilledSorts = %d outside [1, %d]", n, max)
+						}
+						if stats.RunsSpilled.Load() == 0 || stats.BytesSpilled.Load() == 0 {
+							t.Fatalf("no run traffic recorded: %s", stats)
+						}
+					})
+				}
+			}
+		})
+	}
+}
+
+// TestSpillBudgetTrigger: a budget that admits the input but not
+// input+receive must fail with OOM on the plain path and succeed —
+// same output, Peak under budget, gauge drained — once a spill tier
+// is configured. This is the tentpole's admission story: the spill
+// decision is driven by the same reservation that used to kill the job.
+func TestSpillBudgetTrigger(t *testing.T) {
+	topo := cluster.Topology{Nodes: 2, CoresPerNode: 2}
+	p := topo.Size()
+	const perRank = 2000 // 32000 bytes of input per rank
+	const budget = 56000 // fits input + spill machinery, not input + receive
+	in := makeTagged(p, perRank, collisionFree(p))
+
+	// Control: without the spill tier this budget is a death sentence.
+	err := cluster.Run(topo, func(c *comm.Comm) error {
+		opt := DefaultOptions()
+		opt.TauM = 0
+		opt.Mem = memlimit.New(budget)
+		local := append([]codec.Tagged(nil), in[c.Rank()]...)
+		_, err := Sort(c, local, taggedCodec, codec.CompareTagged, opt)
+		if !errors.Is(err, memlimit.ErrOutOfMemory) {
+			return fmt.Errorf("rank %d: got %v, want ErrOutOfMemory", c.Rank(), err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// With the tier: the failed receive reservation votes to spill.
+	stats := &metrics.SpillStats{}
+	spillDir := t.TempDir()
+	gauges := make([]*memlimit.Gauge, p)
+	out, err := cluster.Gather(topo, cluster.Options{}, func(c *comm.Comm) ([]codec.Tagged, error) {
+		opt := DefaultOptions()
+		opt.TauM = 0
+		opt.StageBytes = 4 << 10
+		opt.Exchange = &metrics.ExchangeStats{}
+		opt.Mem = memlimit.New(budget)
+		gauges[c.Rank()] = opt.Mem
+		opt.Spill = &SpillOptions{Dir: spillDir, BufBytes: 4 << 10, Stats: stats}
+		local := append([]codec.Tagged(nil), in[c.Rank()]...)
+		return Sort(c, local, taggedCodec, codec.CompareTagged, opt)
+	})
+	if err != nil {
+		t.Fatalf("budgeted sort died despite the spill tier: %v", err)
+	}
+	checkSorted(t, in, out, false)
+	if !stats.Spilled() {
+		t.Fatal("receive pressure never triggered a spill")
+	}
+	for r, g := range gauges {
+		if g.Used() != 0 {
+			t.Fatalf("rank %d gauge holds %d bytes after Sort returned", r, g.Used())
+		}
+		if pk := g.Peak(); pk == 0 || pk > budget {
+			t.Fatalf("rank %d peak %d outside (0, %d]", r, pk, budget)
+		}
+	}
+	// The spill directories are private per sort and die with it.
+	ents, err := os.ReadDir(spillDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("spill dir not cleaned: %v", ents)
+	}
+}
+
+// TestSpillDecisionIsCollective: only one rank is under pressure, but
+// the exchange is one collective — every rank must take the spilled
+// path, and the output must still be exact.
+func TestSpillDecisionIsCollective(t *testing.T) {
+	topo := cluster.Topology{Nodes: 2, CoresPerNode: 2}
+	p := topo.Size()
+	in := makeTagged(p, 1000, collisionFree(p))
+	base := DefaultOptions()
+	base.TauM = 0
+	want := runSort(t, topo, in, base)
+
+	stats := &metrics.SpillStats{}
+	got, err := cluster.Gather(topo, cluster.Options{}, func(c *comm.Comm) ([]codec.Tagged, error) {
+		opt := base
+		opt.StageBytes = 2 << 10
+		opt.Spill = &SpillOptions{Dir: t.TempDir(), BufBytes: 1 << 10, Stats: stats}
+		if c.Rank() == 1 {
+			// Tight enough that rank 1's receive reservation fails
+			// (input + receive ≈ 32000), roomy enough for its spilled
+			// path (output + merge cursors ≈ 20000).
+			opt.Mem = memlimit.New(24000)
+		}
+		local := append([]codec.Tagged(nil), in[c.Rank()]...)
+		return Sort(c, local, taggedCodec, codec.CompareTagged, opt)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalOutputs(t, want, got, "collective-spill")
+	if n := stats.SpilledSorts.Load(); n != int64(p) {
+		t.Fatalf("%d ranks spilled, want all %d — the decision must be collective", n, p)
+	}
+}
+
+// sliceSource feeds a slice through the RecordSource interface.
+type sliceSource[T any] struct {
+	recs []T
+	i    int
+}
+
+func (s *sliceSource[T]) Read() (T, error) {
+	if s.i >= len(s.recs) {
+		var zero T
+		return zero, io.EOF
+	}
+	rec := s.recs[s.i]
+	s.i++
+	return rec, nil
+}
+
+// runSortStream runs SortStream over in-memory per-rank inputs and
+// returns the per-rank materialised blocks. Each rank round-trips its
+// block through Spilled.Stream as well, so the recordio surface is
+// exercised on every test that goes through here.
+func runSortStream(t *testing.T, topo cluster.Topology, in [][]codec.Tagged, opt Options) [][]codec.Tagged {
+	t.Helper()
+	out, err := cluster.Gather(topo, cluster.Options{}, func(c *comm.Comm) ([]codec.Tagged, error) {
+		sp, err := SortStream[codec.Tagged](c, &sliceSource[codec.Tagged]{recs: in[c.Rank()]}, taggedCodec, codec.CompareTagged, opt)
+		if err != nil {
+			return nil, err
+		}
+		defer sp.Remove()
+		recs, err := sp.ReadAll()
+		if err != nil {
+			return nil, err
+		}
+		if int64(len(recs)) != sp.Records() {
+			return nil, fmt.Errorf("ReadAll yielded %d of %d records", len(recs), sp.Records())
+		}
+		var buf bytes.Buffer
+		if err := sp.Stream(&buf); err != nil {
+			return nil, fmt.Errorf("stream block: %w", err)
+		}
+		rr := recordio.NewReader(bytes.NewReader(buf.Bytes()), taggedCodec)
+		for i := 0; ; i++ {
+			rec, err := rr.Read()
+			if err == io.EOF {
+				if i != len(recs) {
+					return nil, fmt.Errorf("streamed %d records, ReadAll %d", i, len(recs))
+				}
+				break
+			}
+			if err != nil {
+				return nil, err
+			}
+			if rec != recs[i] {
+				return nil, fmt.Errorf("stream and ReadAll disagree at %d: %v vs %v", i, rec, recs[i])
+			}
+		}
+		return recs, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestSpillStreamMatchesSort: the fully out-of-core driver must
+// produce the same global dataset order as the resident sort — exactly
+// equal concatenation, since the test keys make the sorted order
+// unique (collision-free keys for the fast path, stability for the
+// duplicated one). Per-rank boundaries may differ: SortStream samples
+// per chunk, the resident sort samples the fully sorted shard.
+func TestSpillStreamMatchesSort(t *testing.T) {
+	topo := cluster.Topology{Nodes: 2, CoresPerNode: 2}
+	p := topo.Size()
+	modes := []struct {
+		name   string
+		gen    func(rank, i int) float64
+		stable bool
+	}{
+		{"unique", collisionFree(p), false},
+		{"stable-dup", func(rank, i int) float64 { return float64((rank*13 + i) % 5) }, true},
+	}
+	for _, mode := range modes {
+		t.Run(mode.name, func(t *testing.T) {
+			in := makeTagged(p, 1000, mode.gen)
+			want := flatten(in)
+			slices.SortStableFunc(want, canonTagged)
+
+			opt := DefaultOptions()
+			opt.Stable = mode.stable
+			opt.StageBytes = 512
+			opt.Exchange = &metrics.ExchangeStats{}
+			stats := &metrics.SpillStats{}
+			// Tiny chunks and a tiny fan-in force many local runs AND
+			// pre-merge passes on the exchange's send side.
+			opt.Spill = &SpillOptions{
+				Dir: t.TempDir(), ChunkRecords: 100,
+				BufBytes: 4 << 10, MaxFanIn: 4, Stats: stats,
+			}
+			out := runSortStream(t, topo, in, opt)
+			checkSorted(t, in, out, mode.stable)
+			if got := flatten(out); !slices.Equal(got, want) {
+				t.Fatal("streamed sort's concatenation differs from the canonical order")
+			}
+			if stats.RunsSpilled.Load() < int64(p*10) {
+				t.Fatalf("expected >= %d local runs, got %d", p*10, stats.RunsSpilled.Load())
+			}
+			if stats.MergePasses.Load() == 0 {
+				t.Fatal("fan-in cap 4 over 10 runs never pre-merged")
+			}
+		})
+	}
+}
+
+// TestSpillStreamEdgeCases: the single-rank world (pure external sort)
+// and the globally empty dataset, both of which skip the exchange.
+func TestSpillStreamEdgeCases(t *testing.T) {
+	t.Run("single-rank", func(t *testing.T) {
+		topo := cluster.Topology{Nodes: 1, CoresPerNode: 1}
+		in := makeTagged(1, 777, zipfGen(5, 1.2))
+		opt := DefaultOptions()
+		opt.Spill = &SpillOptions{Dir: t.TempDir(), ChunkRecords: 64, MaxFanIn: 3, BufBytes: 4 << 10}
+		out := runSortStream(t, topo, in, opt)
+		checkSorted(t, in, out, false)
+	})
+	t.Run("empty", func(t *testing.T) {
+		topo := cluster.Topology{Nodes: 2, CoresPerNode: 2}
+		in := make([][]codec.Tagged, topo.Size())
+		opt := DefaultOptions()
+		opt.Spill = &SpillOptions{Dir: t.TempDir(), ChunkRecords: 64, BufBytes: 4 << 10}
+		out := runSortStream(t, topo, in, opt)
+		for r, part := range out {
+			if len(part) != 0 {
+				t.Fatalf("rank %d produced %d records from nothing", r, len(part))
+			}
+		}
+	})
+	t.Run("needs-spill-options", func(t *testing.T) {
+		err := cluster.Run(cluster.Topology{Nodes: 1, CoresPerNode: 1}, func(c *comm.Comm) error {
+			_, err := SortStream[codec.Tagged](c, &sliceSource[codec.Tagged]{}, taggedCodec, codec.CompareTagged, DefaultOptions())
+			if err == nil {
+				return errors.New("SortStream accepted a nil Spill")
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestSpillFileShardBeyondMemory is the acceptance e2e: a multi-rank
+// world sorts a file 8x larger (per rank) than each rank's memlimit
+// budget, every reservation staying under the gauge, and the result is
+// byte-identical to the in-memory sort of the same data.
+func TestSpillFileShardBeyondMemory(t *testing.T) {
+	topo := cluster.Topology{Nodes: 2, CoresPerNode: 2}
+	p := topo.Size()
+	const budget = 64 << 10                            // 64 KiB per rank
+	perRank := 8 * budget / taggedCodec.Size()    // 8x the budget, in records
+	total := p * perRank                               // 2 MiB file
+	recs := make([]codec.Tagged, total)
+	for i := range recs {
+		// A bijection on uint32 keeps keys unique and well spread.
+		recs[i] = codec.Tagged{Key: float64(uint32(i * 2654435761)), Index: int32(i)}
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "huge.rec")
+	if err := recordio.WriteFile(path, taggedCodec, recs); err != nil {
+		t.Fatal(err)
+	}
+
+	// In-memory reference over the same shard layout, no budget.
+	shards := make([][]codec.Tagged, p)
+	for r := 0; r < p; r++ {
+		shards[r] = recs[r*perRank : (r+1)*perRank]
+	}
+	ref := runSort(t, topo, shards, DefaultOptions())
+	want := flatten(ref)
+
+	stats := &metrics.SpillStats{}
+	gauges := make([]*memlimit.Gauge, p)
+	out, err := cluster.Gather(topo, cluster.Options{}, func(c *comm.Comm) ([]codec.Tagged, error) {
+		opt := DefaultOptions()
+		opt.StageBytes = 4 << 10
+		opt.Exchange = &metrics.ExchangeStats{}
+		opt.Mem = memlimit.New(budget)
+		gauges[c.Rank()] = opt.Mem
+		opt.Spill = &SpillOptions{
+			Dir: t.TempDir(), ChunkRecords: 512,
+			BufBytes: 4 << 10, MaxFanIn: 8, Stats: stats,
+		}
+		sp, err := SortFileShard(c, path, taggedCodec, codec.CompareTagged, opt)
+		if err != nil {
+			return nil, err
+		}
+		defer sp.Remove()
+		return sp.ReadAll()
+	})
+	if err != nil {
+		t.Fatalf("8x-budget sort failed: %v", err)
+	}
+	if got := flatten(out); !slices.Equal(got, want) {
+		t.Fatal("out-of-core output differs from the in-memory sort")
+	}
+	for r, g := range gauges {
+		if pk := g.Peak(); pk == 0 || pk > budget {
+			t.Fatalf("rank %d peak %d bytes outside (0, %d] — the footprint is not honest", r, pk, budget)
+		}
+		if g.Used() != 0 {
+			t.Fatalf("rank %d gauge holds %d bytes after the sort", r, g.Used())
+		}
+		t.Logf("rank %d: peak %d of %d budget (input %d bytes)",
+			r, g.Peak(), budget, int64(perRank)*int64(taggedCodec.Size()))
+	}
+	if stats.MergePasses.Load() == 0 {
+		t.Fatal("64 runs under fan-in 8 never pre-merged")
+	}
+}
+
+// TestSpillCrashResume: a rank dies after its partition checkpoint —
+// with the next stop being the spilled exchange — and the supervised
+// relaunch must converge to the fault-free in-memory output in exactly
+// one restart, ignoring both a stale spill directory and orphaned
+// .tmp-run- files pre-seeded where a crashed attempt would leave them.
+func TestSpillCrashResume(t *testing.T) {
+	topo := cluster.Topology{Nodes: 2, CoresPerNode: 2}
+	p := topo.Size()
+	const killRank = 1
+	in := makeTagged(p, 300, collisionFree(p))
+	base := DefaultOptions()
+	base.TauM = 0
+
+	// Fault-free in-memory baseline.
+	store, err := checkpoint.NewStore(t.TempDir(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := runSupervisedSort(t, topo, cluster.Options{}, store, in, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSorted(t, in, baseline, false)
+
+	// The wreckage of a hypothetical earlier crash: an uncommitted
+	// temp run and a whole abandoned spill directory with plausible
+	// run names but garbage contents. Reading any of it would corrupt
+	// the resumed sort.
+	spillDir := t.TempDir()
+	stale := filepath.Join(spillDir, "spill-stale")
+	if err := os.Mkdir(stale, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	junk := []byte("not a recordio run")
+	for _, f := range []string{
+		filepath.Join(spillDir, extsort.TempPrefix+"orphan"),
+		filepath.Join(stale, "recv-000000"),
+		filepath.Join(stale, extsort.TempPrefix+"half-written"),
+	} {
+		if err := os.WriteFile(f, junk, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	store2, err := checkpoint.NewStore(t.TempDir(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := faultnet.New(faultnet.Plan{
+		KillRank:      killRank,
+		KillAfterFile: store2.ManifestPath(0, checkpoint.PhasePartition, killRank),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec metrics.RecoveryStats
+	opts := cluster.Options{
+		MaxRestarts: 2,
+		Recovery:    &rec,
+		WrapTransport: func(tr comm.Transport) comm.Transport {
+			return inj.Wrap(tr)
+		},
+	}
+	spilled := base
+	spilled.StageBytes = 4 << 10
+	spilled.Spill = &SpillOptions{Force: true, Dir: spillDir, BufBytes: 4 << 10, Stats: &metrics.SpillStats{}}
+	got, err := runSupervisedSort(t, topo, opts, store2, in, spilled)
+	if err != nil {
+		t.Fatalf("supervised spilled sort did not recover: %v", err)
+	}
+	if k := inj.Stats().Kills; k != 1 {
+		t.Fatalf("kill fired %d times, want 1", k)
+	}
+	if r := rec.Snapshot().Restarts; r != 1 {
+		t.Fatalf("recovered with %d restarts, want exactly 1", r)
+	}
+	equalOutputs(t, baseline, got, "crash-mid-spill")
+
+	// The wreckage is still there, untouched (each sort works in its
+	// own fresh subdirectory), and nothing new leaked next to it.
+	ents, err := os.ReadDir(spillDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	slices.Sort(names)
+	if want := []string{extsort.TempPrefix + "orphan", "spill-stale"}; !slices.Equal(names, want) {
+		t.Fatalf("spill dir after recovery holds %v, want only the pre-seeded wreckage %v", names, want)
+	}
+	if b, err := os.ReadFile(filepath.Join(stale, "recv-000000")); err != nil || !bytes.Equal(b, junk) {
+		t.Fatalf("stale run was modified (err=%v)", err)
+	}
+}
+
+// TestSpillSoak runs forced-spill sorts over a flaky fabric — send and
+// recv failures, connection drops, delays, duplicated frames, all
+// under the retry budget — with the schedule seeded from FAULTNET_SEED
+// so the CI soak lane explores different interleavings run to run.
+func TestSpillSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	seed := shrinkSeed(t)
+	inj, err := faultnet.New(faultnet.Plan{
+		Seed:         seed,
+		SendFailRate: 0.10, ConnDropRate: 0.03, RecvFailRate: 0.05,
+		MaxConsecutive: 2,
+		DelayRate:      0.05, MaxDelay: 200 * time.Microsecond,
+		DupRate: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy := comm.RetryPolicy{MaxAttempts: 6, BaseDelay: 100 * time.Microsecond, MaxDelay: 2 * time.Millisecond, Seed: seed}
+	topo := cluster.Topology{Nodes: 2, CoresPerNode: 2}
+	p := topo.Size()
+	in := makeTagged(p, 1200, zipfGen(seed, 1.3))
+	stats := &metrics.SpillStats{}
+	outputs := make([][]codec.Tagged, p)
+	var mu sync.Mutex
+	err = cluster.RunOpts(topo, cluster.Options{WrapTransport: inj.WrapTransport(policy)}, func(c *comm.Comm) error {
+		opt := DefaultOptions()
+		opt.Stable = true // the strictest output contract under faults
+		opt.StageBytes = 2 << 10
+		opt.Spill = &SpillOptions{Force: true, Dir: t.TempDir(), BufBytes: 4 << 10, Stats: stats}
+		local := append([]codec.Tagged(nil), in[c.Rank()]...)
+		out, err := Sort(c, local, taggedCodec, codec.CompareTagged, opt)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		outputs[c.Rank()] = out
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("spilled sort under injected faults failed: %v\nstats: %+v", err, inj.Stats())
+	}
+	checkSorted(t, in, outputs, true)
+	if !stats.Spilled() {
+		t.Fatal("soak never spilled")
+	}
+	st := inj.Stats()
+	if st.SendFailures+st.ConnDrops+st.RecvFailures == 0 {
+		t.Fatalf("the run was never actually faulted: %+v", st)
+	}
+	t.Logf("survived %+v with %s", st, stats)
+}
+
+// TestSpillFitBudget: the budget-derived knob fit the CLIs rely on —
+// buffers scale with the budget, fan-in caps so cursor buffers hold a
+// quarter of it, explicit settings win, zero budget is a no-op.
+func TestSpillFitBudget(t *testing.T) {
+	sp := &SpillOptions{}
+	sp.FitBudget(1 << 20)
+	if sp.BufBytes != 32<<10 || sp.MaxFanIn != 8 {
+		t.Fatalf("1MiB budget fit: buf=%d fan=%d", sp.BufBytes, sp.MaxFanIn)
+	}
+	tiny := &SpillOptions{}
+	tiny.FitBudget(64 << 10)
+	if tiny.BufBytes != 4<<10 || tiny.MaxFanIn != 4 {
+		t.Fatalf("64KiB budget fit: buf=%d fan=%d", tiny.BufBytes, tiny.MaxFanIn)
+	}
+	big := &SpillOptions{}
+	big.FitBudget(1 << 30)
+	if big.BufBytes != 256<<10 || big.MaxFanIn != 64 {
+		t.Fatalf("1GiB budget fit: buf=%d fan=%d", big.BufBytes, big.MaxFanIn)
+	}
+	set := &SpillOptions{BufBytes: 1 << 10, MaxFanIn: 3}
+	set.FitBudget(1 << 20)
+	if set.BufBytes != 1<<10 || set.MaxFanIn != 3 {
+		t.Fatalf("explicit knobs overridden: buf=%d fan=%d", set.BufBytes, set.MaxFanIn)
+	}
+	zero := &SpillOptions{}
+	zero.FitBudget(0)
+	if zero.BufBytes != 0 || zero.MaxFanIn != 0 {
+		t.Fatalf("zero budget touched the knobs: buf=%d fan=%d", zero.BufBytes, zero.MaxFanIn)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"sdssort/internal/engine/sortjob"
 	"sdssort/internal/faultnet"
 	"sdssort/internal/memlimit"
+	"sdssort/internal/metrics"
 	"sdssort/internal/trace"
 	"sdssort/internal/workload"
 )
@@ -551,5 +552,58 @@ func TestJobCommName(t *testing.T) {
 	}
 	if got := engine.JobCommName("world@e2", 7); got != "world@e2/job7" {
 		t.Errorf("engine.JobCommName(world@e2, 7) = %q", got)
+	}
+}
+
+// TestSpillJobAdmission is the engine half of the out-of-core story: a
+// dataset whose in-memory footprint exceeds the engine budget is
+// rejected at submit ("could never be admitted"), while the same
+// dataset declared with the spill-aware footprint — a single resident
+// copy plus bounded buffers — is admitted, spills under its per-job
+// gauge, and sorts correctly.
+func TestSpillJobAdmission(t *testing.T) {
+	const ranks = 4
+	const n = 40000 // 320 KB dataset
+	const stage = 4 << 10
+	sp := &core.SpillOptions{Dir: t.TempDir(), BufBytes: 4 << 10, Stats: &metrics.SpillStats{}}
+	inMem := sortjob.Footprint(n, 8, ranks, stage)
+	fp := sortjob.SpillFootprint(n, 8, ranks, stage, sp)
+	if fp >= inMem {
+		t.Fatalf("spill footprint %d is not below the in-memory declaration %d", fp, inMem)
+	}
+	budget := fp + fp/10
+	if budget >= inMem {
+		t.Fatalf("budget %d does not separate the footprints (%d vs %d)", budget, fp, inMem)
+	}
+	gauge := memlimit.New(budget)
+	e := newTestEngine(t, ranks, 2, engine.Options{Mem: gauge})
+	data := workload.Uniform(31, n)
+
+	opt := core.DefaultOptions()
+	opt.StageBytes = stage
+	if _, err := sortjob.Submit(e, engine.JobSpec{Name: "resident", Footprint: inMem},
+		opt, parts(data, ranks), codec.Float64{}, cmpF); err == nil {
+		t.Fatal("a footprint above the engine budget was accepted")
+	}
+
+	opt.Spill = sp
+	j, err := sortjob.Submit(e, engine.JobSpec{Name: "spilled", Footprint: fp},
+		opt, parts(data, ranks), codec.Float64{}, cmpF)
+	if err != nil {
+		t.Fatalf("spill-aware footprint rejected: %v", err)
+	}
+	out, err := j.Output()
+	if err != nil {
+		t.Fatalf("spilled job failed: %v", err)
+	}
+	checkSorted(t, "spilled job", out, n)
+	// The per-job gauge (budget = the declared footprint) is what
+	// forced the receive side to disk: the in-memory exchange needs two
+	// dataset copies, the declaration funds roughly one.
+	if !sp.Stats.Spilled() {
+		t.Fatal("the admitted job never spilled — the footprint separation is meaningless")
+	}
+	if used := gauge.Used(); used != 0 {
+		t.Fatalf("engine gauge holds %d bytes after the job", used)
 	}
 }

@@ -84,3 +84,15 @@ func Footprint(totalRecords int64, recSize, ranks int, stage int64) int64 {
 	b := totalRecords * int64(recSize)
 	return 2*b + b/2 + 2*stage*int64(ranks)
 }
+
+// SpillFootprint is the JobSpec.Footprint declaration for a sort job
+// whose options carry a spill tier (core.Options.Spill = sp): roughly
+// one copy of the dataset instead of Footprint's two-and-a-half,
+// because the spilled exchange holds input and output on disk rather
+// than in memory at the same time. A dataset whose in-memory Footprint
+// exceeds the engine budget can often still be admitted under its
+// SpillFootprint — the spill tier is what makes the declaration
+// honest.
+func SpillFootprint(totalRecords int64, recSize, ranks int, stage int64, sp *core.SpillOptions) int64 {
+	return sp.Footprint(totalRecords*int64(recSize), ranks, stage)
+}

@@ -3,27 +3,30 @@
 // distributed sort uses) and spilled to temporary run files, which are
 // then streamed through a k-way merge into the output. This is the
 // out-of-core regime the paper's related work (TritonSort, NTOSort — §5)
-// addresses; SDS-Sort itself is in-memory, so this package is the
-// library's extension for datasets that do not fit.
+// addresses; SDS-Sort itself is in-memory, so this package is both the
+// library's extension for datasets that do not fit and the shared
+// run-file/merge layer core.Sort's spill tier is built on (runs.go).
 package extsort
 
 import (
-	"container/heap"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 
 	"sdssort/internal/codec"
+	"sdssort/internal/memlimit"
+	"sdssort/internal/metrics"
 	"sdssort/internal/psort"
+	"sdssort/internal/radix"
 	"sdssort/internal/recordio"
 )
 
 // Options configures an external sort.
 type Options struct {
 	// ChunkRecords is the number of records sorted in memory per run;
-	// it bounds peak memory at roughly ChunkRecords × record size × 2.
-	// Default 1<<20.
+	// it bounds peak memory at roughly ChunkRecords × record size × 2
+	// (the chunk plus the sort's scratch buffer). Default 1<<20.
 	ChunkRecords int
 	// Cores bounds the goroutines used to sort each chunk.
 	Cores int
@@ -32,6 +35,17 @@ type Options struct {
 	Stable bool
 	// TempDir holds the spill files; defaults to the OS temp dir.
 	TempDir string
+	// Mem, when non-nil, accounts the sort's documented peak — the
+	// ChunkRecords × size × 2 chunk-phase footprint and the merge
+	// phase's cursor buffers — against the gauge, so an external sort
+	// inside a budgeted engine job cannot silently exceed the shared
+	// budget. Every reservation is released by the time Sort returns.
+	Mem *memlimit.Gauge
+	// MaxFanIn caps the k-way merge width; more runs than this are
+	// pre-merged in batches first. Default 64.
+	MaxFanIn int
+	// Stats accrues spill-tier counters (runs, bytes, merge passes).
+	Stats *metrics.SpillStats
 }
 
 func (o Options) chunkRecords() int {
@@ -50,25 +64,37 @@ func (o Options) cores() int {
 
 // SortFile sorts the record file at in into out. The input is read once;
 // peak memory is bounded by Options.ChunkRecords regardless of file
-// size.
+// size. The output commits atomically: it is written to a temp file in
+// out's directory and renamed into place only on success, so an error
+// (or a crash) never truncates or corrupts an existing out.
 func SortFile[T any](in, out string, cd codec.Codec[T], cmp func(a, b T) int, opt Options) error {
 	f, err := os.Open(in)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	of, err := os.Create(out)
+	tmp, err := os.CreateTemp(filepath.Dir(out), TempPrefix+"out-*")
 	if err != nil {
+		return fmt.Errorf("extsort: temp output: %w", err)
+	}
+	if err := Sort(f, tmp, cd, cmp, opt); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
 		return err
 	}
-	if err := Sort(f, of, cd, cmp, opt); err != nil {
-		of.Close()
-		return err
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("extsort: close output: %w", err)
 	}
-	return of.Close()
+	if err := os.Rename(tmp.Name(), out); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("extsort: commit output: %w", err)
+	}
+	return nil
 }
 
-// Sort is SortFile over streams.
+// Sort is SortFile over streams (minus the atomic-rename commit, which
+// needs a named destination).
 func Sort[T any](in io.Reader, out io.Writer, cd codec.Codec[T], cmp func(a, b T) int, opt Options) error {
 	tmpDir, err := os.MkdirTemp(opt.TempDir, "extsort-*")
 	if err != nil {
@@ -82,26 +108,53 @@ func Sort[T any](in io.Reader, out io.Writer, cd codec.Codec[T], cmp func(a, b T
 		return err
 	}
 	// Phase 2: stream-merge the runs.
-	return mergeRuns(runs, out, cd, cmp)
+	return Merge(runs, out, cd, cmp, MergeOptions{
+		MaxFanIn: opt.MaxFanIn,
+		Mem:      opt.Mem,
+		TempDir:  tmpDir,
+		Stats:    opt.Stats,
+	})
+}
+
+// sortChunk orders one in-memory run, through the same radix dispatch
+// core uses for its local sorts: integer-keyed codecs take the LSD
+// radix fast path (gated to non-stable sorts, since key-stability is
+// weaker than comparator-stability), everything else — and a dispatch
+// whose order disagrees with cmp — falls back to the comparison sort.
+func sortChunk[T any](chunk []T, cd codec.Codec[T], cmp func(a, b T) int, opt Options) {
+	if !opt.Stable && radix.DispatchLocal(chunk, cd, cmp) {
+		return
+	}
+	psort.ParallelSort(chunk, opt.cores(), opt.Stable, cmp)
 }
 
 // spillRuns reads the input chunk by chunk, sorts each chunk, and
 // writes one run file per chunk. It returns the run paths in input
-// order (which is what makes the merge stable overall).
+// order (which is what makes the merge stable overall). The chunk
+// buffer and the sort's scratch copy — the documented
+// ChunkRecords × size × 2 peak — are reserved from opt.Mem up front
+// and released before returning.
 func spillRuns[T any](in io.Reader, dir string, cd codec.Codec[T], cmp func(a, b T) int, opt Options) ([]string, error) {
-	reader := recordio.NewReader(in, cd)
 	limit := opt.chunkRecords()
+	need := int64(limit) * int64(cd.Size()) * 2
+	if err := opt.Mem.Reserve(need); err != nil {
+		return nil, fmt.Errorf("extsort: chunk of %d records: %w", limit, err)
+	}
+	defer opt.Mem.Release(need)
+
+	reader := recordio.NewReader(in, cd)
 	var runs []string
 	chunk := make([]T, 0, limit)
 	flush := func() error {
 		if len(chunk) == 0 {
 			return nil
 		}
-		psort.ParallelSort(chunk, opt.cores(), opt.Stable, cmp)
+		sortChunk(chunk, cd, cmp, opt)
 		path := filepath.Join(dir, fmt.Sprintf("run-%06d", len(runs)))
-		if err := recordio.WriteFile(path, cd, chunk); err != nil {
+		if err := WriteRun(path, cd, chunk); err != nil {
 			return fmt.Errorf("extsort: spill %s: %w", path, err)
 		}
+		opt.Stats.AddRun(int64(len(chunk)) * int64(cd.Size()))
 		runs = append(runs, path)
 		chunk = chunk[:0]
 		return nil
@@ -127,12 +180,36 @@ func spillRuns[T any](in io.Reader, dir string, cd codec.Codec[T], cmp func(a, b
 	return runs, nil
 }
 
-// runHead is one run's cursor in the merge heap.
+// runHead is one run segment's cursor in the merge heap.
 type runHead[T any] struct {
 	reader *recordio.Reader[T]
 	file   *os.File
 	head   T
-	idx    int // run index, the stability tiebreaker
+	idx    int   // run index, the stability tiebreaker
+	left   int64 // records remaining in the segment; -1 = until EOF
+}
+
+// advance loads the cursor's next record, reporting false at the end
+// of the segment (record budget exhausted or clean EOF).
+func (c *runHead[T]) advance() (bool, error) {
+	if c.left == 0 {
+		return false, nil
+	}
+	rec, err := c.reader.Read()
+	if err == io.EOF {
+		if c.left > 0 {
+			return false, fmt.Errorf("segment ends %d records early", c.left)
+		}
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	if c.left > 0 {
+		c.left--
+	}
+	c.head = rec
+	return true, nil
 }
 
 // runHeap orders run cursors by (head record, run index).
@@ -161,52 +238,4 @@ func (h *runHeap[T]) Pop() any {
 	it := old[n-1]
 	h.items = old[:n-1]
 	return it
-}
-
-// mergeRuns streams the runs through a heap into the output.
-func mergeRuns[T any](runs []string, out io.Writer, cd codec.Codec[T], cmp func(a, b T) int) error {
-	h := &runHeap[T]{cmp: cmp}
-	defer func() {
-		for _, it := range h.items {
-			it.file.Close()
-		}
-	}()
-	for idx, path := range runs {
-		f, err := os.Open(path)
-		if err != nil {
-			return fmt.Errorf("extsort: open run: %w", err)
-		}
-		r := recordio.NewReader(f, cd)
-		rec, err := r.Read()
-		if err == io.EOF {
-			f.Close()
-			continue
-		}
-		if err != nil {
-			f.Close()
-			return fmt.Errorf("extsort: run %d: %w", idx, err)
-		}
-		h.items = append(h.items, &runHead[T]{reader: r, file: f, head: rec, idx: idx})
-	}
-	heap.Init(h)
-
-	w := recordio.NewWriter(out, cd)
-	for h.Len() > 0 {
-		top := h.items[0]
-		if err := w.Write(top.head); err != nil {
-			return err
-		}
-		rec, err := top.reader.Read()
-		if err == io.EOF {
-			top.file.Close()
-			heap.Pop(h)
-			continue
-		}
-		if err != nil {
-			return fmt.Errorf("extsort: run %d: %w", top.idx, err)
-		}
-		top.head = rec
-		heap.Fix(h, 0)
-	}
-	return w.Flush()
 }

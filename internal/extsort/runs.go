@@ -1,0 +1,473 @@
+package extsort
+
+import (
+	"bufio"
+	"container/heap"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"sdssort/internal/codec"
+	"sdssort/internal/memlimit"
+	"sdssort/internal/metrics"
+	"sdssort/internal/recordio"
+)
+
+// This file is the shared run-file layer of the out-of-core spill
+// tier: atomically-committed sorted run files in the recordio format,
+// and a lazy k-way merge over them with a bounded fan-in. extsort.Sort
+// is one client; core.Sort's spill paths are the other.
+
+// TempPrefix marks an in-flight (uncommitted) run file. A crash can
+// leave such files behind; they are never read — committed runs have
+// no prefix — and RemoveStaleTemps sweeps them on the next attempt.
+const TempPrefix = ".tmp-run-"
+
+// RemoveStaleTemps deletes uncommitted run temp files left in dir by a
+// crashed writer. Missing dir is not an error.
+func RemoveStaleTemps(dir string) error {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("extsort: sweep temps: %w", err)
+	}
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), TempPrefix) {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("extsort: sweep temps: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// RunWriter streams records into a run file that becomes visible at
+// its final path only on Commit — the checkpoint writer's
+// temp-and-rename idiom, so readers never observe a partial run.
+type RunWriter[T any] struct {
+	f    *os.File
+	w    *recordio.Writer[T]
+	path string
+	size int
+	done bool
+}
+
+// CreateRun opens an atomic run writer targeting path, buffering
+// bufBytes (<=0 means the recordio default).
+func CreateRun[T any](path string, cd codec.Codec[T], bufBytes int) (*RunWriter[T], error) {
+	f, err := os.CreateTemp(filepath.Dir(path), TempPrefix+"*")
+	if err != nil {
+		return nil, fmt.Errorf("extsort: create run: %w", err)
+	}
+	var w *recordio.Writer[T]
+	if bufBytes > 0 {
+		w = recordio.NewWriterSize(f, cd, bufBytes)
+	} else {
+		w = recordio.NewWriter(f, cd)
+	}
+	return &RunWriter[T]{f: f, w: w, path: path, size: cd.Size()}, nil
+}
+
+// Write appends records to the uncommitted run.
+func (rw *RunWriter[T]) Write(recs ...T) error { return rw.w.Write(recs...) }
+
+// Count returns the records written so far.
+func (rw *RunWriter[T]) Count() int64 { return rw.w.Count() }
+
+// Bytes returns the payload bytes written so far.
+func (rw *RunWriter[T]) Bytes() int64 { return rw.w.Count() * int64(rw.size) }
+
+// Commit flushes, closes and renames the temp file to its final path.
+// On any failure the temp is removed and the final path is untouched.
+func (rw *RunWriter[T]) Commit() error {
+	if rw.done {
+		return nil
+	}
+	rw.done = true
+	if err := rw.w.Flush(); err != nil {
+		rw.f.Close()
+		os.Remove(rw.f.Name())
+		return fmt.Errorf("extsort: commit run: %w", err)
+	}
+	if err := rw.f.Close(); err != nil {
+		os.Remove(rw.f.Name())
+		return fmt.Errorf("extsort: commit run: %w", err)
+	}
+	if err := os.Rename(rw.f.Name(), rw.path); err != nil {
+		os.Remove(rw.f.Name())
+		return fmt.Errorf("extsort: commit run: %w", err)
+	}
+	return nil
+}
+
+// Abort discards the uncommitted run. Safe after Commit (no-op).
+func (rw *RunWriter[T]) Abort() {
+	if rw.done {
+		return
+	}
+	rw.done = true
+	rw.f.Close()
+	os.Remove(rw.f.Name())
+}
+
+// WriteRun atomically writes recs as a committed run file at path.
+func WriteRun[T any](path string, cd codec.Codec[T], recs []T) error {
+	rw, err := CreateRun(path, cd, 0)
+	if err != nil {
+		return err
+	}
+	if err := rw.Write(recs...); err != nil {
+		rw.Abort()
+		return fmt.Errorf("extsort: write run %s: %w", path, err)
+	}
+	return rw.Commit()
+}
+
+// RawRunWriter is RunWriter for pre-encoded record bytes: the spill
+// tier's exchange receive side streams wire-format chunks to disk as
+// they arrive, with no decode — a run file IS the codec's wire format.
+// Same atomic commit: temp in the target directory, rename on Commit.
+type RawRunWriter struct {
+	f    *os.File
+	w    *bufio.Writer
+	path string
+	n    int64
+	done bool
+}
+
+// CreateRawRun opens an atomic raw run writer targeting path.
+func CreateRawRun(path string, bufBytes int) (*RawRunWriter, error) {
+	f, err := os.CreateTemp(filepath.Dir(path), TempPrefix+"*")
+	if err != nil {
+		return nil, fmt.Errorf("extsort: create run: %w", err)
+	}
+	if bufBytes <= 0 {
+		bufBytes = 1 << 20
+	}
+	return &RawRunWriter{f: f, w: bufio.NewWriterSize(f, bufBytes), path: path}, nil
+}
+
+// Write appends encoded record bytes to the uncommitted run.
+func (rw *RawRunWriter) Write(b []byte) (int, error) {
+	n, err := rw.w.Write(b)
+	rw.n += int64(n)
+	if err != nil {
+		return n, fmt.Errorf("extsort: write run: %w", err)
+	}
+	return n, nil
+}
+
+// Bytes returns the payload bytes written so far.
+func (rw *RawRunWriter) Bytes() int64 { return rw.n }
+
+// Commit flushes, closes and renames into place; on failure the temp
+// is removed and the final path untouched.
+func (rw *RawRunWriter) Commit() error {
+	if rw.done {
+		return nil
+	}
+	rw.done = true
+	if err := rw.w.Flush(); err != nil {
+		rw.f.Close()
+		os.Remove(rw.f.Name())
+		return fmt.Errorf("extsort: commit run: %w", err)
+	}
+	if err := rw.f.Close(); err != nil {
+		os.Remove(rw.f.Name())
+		return fmt.Errorf("extsort: commit run: %w", err)
+	}
+	if err := os.Rename(rw.f.Name(), rw.path); err != nil {
+		os.Remove(rw.f.Name())
+		return fmt.Errorf("extsort: commit run: %w", err)
+	}
+	return nil
+}
+
+// Abort discards the uncommitted run. Safe after Commit (no-op).
+func (rw *RawRunWriter) Abort() {
+	if rw.done {
+		return
+	}
+	rw.done = true
+	rw.f.Close()
+	os.Remove(rw.f.Name())
+}
+
+// MergeOptions configures a lazy merge over run files.
+type MergeOptions struct {
+	// MaxFanIn caps how many run cursors a single merge pass holds
+	// open; when there are more runs, batches are pre-merged into
+	// intermediate runs first (consuming — deleting — their inputs).
+	// Default 64.
+	MaxFanIn int
+	// BufBytes is the read/write buffer per open run cursor. The merge
+	// reserves (fan-in + 1) × BufBytes from Mem: one buffer per cursor
+	// plus one writer. Default 256 KiB.
+	BufBytes int
+	// Mem accounts the cursor buffers; nil means unlimited.
+	Mem *memlimit.Gauge
+	// TempDir holds intermediate pre-merge runs; defaults to the
+	// directory of the first run.
+	TempDir string
+	// Stats accrues merge-pass and intermediate-run counters.
+	Stats *metrics.SpillStats
+}
+
+func (o MergeOptions) maxFanIn() int {
+	if o.MaxFanIn <= 0 {
+		return 64
+	}
+	// A 1-way "merge" could never reduce the run count.
+	if o.MaxFanIn < 2 {
+		return 2
+	}
+	return o.MaxFanIn
+}
+
+func (o MergeOptions) bufBytes() int {
+	if o.BufBytes <= 0 {
+		return 256 << 10
+	}
+	return o.BufBytes
+}
+
+// MergeStream is a lazy cursor over the merged order of a set of
+// sorted run files. Records stream from disk through per-run buffers;
+// nothing is held resident beyond (fan-in + 1) × BufBytes, which is
+// reserved from MergeOptions.Mem for the stream's lifetime.
+type MergeStream[T any] struct {
+	h        *runHeap[T]
+	mem      *memlimit.Gauge
+	reserved int64
+	closed   bool
+}
+
+// RunSegment is one sorted stretch of a committed run file: records
+// [Lo, Hi) by record index, Hi < 0 meaning through end of file. The
+// spill driver's send side merges per-destination segments of its
+// local runs without materialising them.
+type RunSegment struct {
+	Path   string
+	Lo, Hi int64
+}
+
+// wholeRuns converts run paths to full-file segments.
+func wholeRuns(runs []string) []RunSegment {
+	segs := make([]RunSegment, len(runs))
+	for i, p := range runs {
+		segs[i] = RunSegment{Path: p, Lo: 0, Hi: -1}
+	}
+	return segs
+}
+
+// OpenMerge opens a merge stream over runs (paths of committed run
+// files, in stability order). If there are more runs than MaxFanIn,
+// whole batches are first pre-merged into intermediate runs — each
+// pass consumes and deletes its input files — until one pass fits.
+func OpenMerge[T any](runs []string, cd codec.Codec[T], cmp func(a, b T) int, opt MergeOptions) (*MergeStream[T], error) {
+	return openMergeCapped(wholeRuns(runs), true, cd, cmp, opt)
+}
+
+// OpenMergeSegments is OpenMerge over run segments. Segments may alias
+// the same file, so fan-in-capped pre-merges never delete their inputs
+// here; intermediate runs land in MergeOptions.TempDir (default: the
+// first segment's directory) and are left for the caller's directory
+// cleanup.
+func OpenMergeSegments[T any](segs []RunSegment, cd codec.Codec[T], cmp func(a, b T) int, opt MergeOptions) (*MergeStream[T], error) {
+	return openMergeCapped(append([]RunSegment(nil), segs...), false, cd, cmp, opt)
+}
+
+func openMergeCapped[T any](segs []RunSegment, consume bool, cd codec.Codec[T], cmp func(a, b T) int, opt MergeOptions) (*MergeStream[T], error) {
+	fan := opt.maxFanIn()
+	seq := 0
+	for len(segs) > fan {
+		next := segs[:0:0]
+		for i := 0; i < len(segs); i += fan {
+			j := min(i+fan, len(segs))
+			if j-i == 1 {
+				next = append(next, segs[i])
+				continue
+			}
+			dir := opt.TempDir
+			if dir == "" {
+				dir = filepath.Dir(segs[i].Path)
+			}
+			dst := filepath.Join(dir, fmt.Sprintf("premerge-%06d", seq))
+			seq++
+			if err := premerge(segs[i:j], dst, cd, cmp, opt); err != nil {
+				return nil, err
+			}
+			if consume {
+				for _, s := range segs[i:j] {
+					os.Remove(s.Path)
+				}
+			}
+			next = append(next, RunSegment{Path: dst, Lo: 0, Hi: -1})
+		}
+		segs = next
+	}
+	ms, err := openCursors(segs, cd, cmp, opt)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) > 1 {
+		opt.Stats.AddMerge(len(segs))
+	}
+	return ms, nil
+}
+
+// openCursors opens one read cursor per segment and heapifies the
+// heads.
+func openCursors[T any](segs []RunSegment, cd codec.Codec[T], cmp func(a, b T) int, opt MergeOptions) (*MergeStream[T], error) {
+	ms := &MergeStream[T]{h: &runHeap[T]{cmp: cmp}, mem: opt.Mem}
+	need := int64(len(segs)) * int64(opt.bufBytes())
+	if err := opt.Mem.Reserve(need); err != nil {
+		return nil, fmt.Errorf("extsort: merge buffers for %d runs: %w", len(segs), err)
+	}
+	ms.reserved = need
+	recSize := int64(cd.Size())
+	for idx, seg := range segs {
+		if seg.Hi >= 0 && seg.Hi <= seg.Lo {
+			continue
+		}
+		f, err := os.Open(seg.Path)
+		if err != nil {
+			ms.Close()
+			return nil, fmt.Errorf("extsort: open run: %w", err)
+		}
+		if seg.Lo > 0 {
+			if _, err := f.Seek(seg.Lo*recSize, io.SeekStart); err != nil {
+				f.Close()
+				ms.Close()
+				return nil, fmt.Errorf("extsort: seek run: %w", err)
+			}
+		}
+		left := int64(-1)
+		if seg.Hi >= 0 {
+			left = seg.Hi - seg.Lo
+		}
+		r := recordio.NewReaderSize(f, cd, opt.bufBytes())
+		cur := &runHead[T]{reader: r, file: f, idx: idx, left: left}
+		ok, err := cur.advance()
+		if err != nil {
+			f.Close()
+			ms.Close()
+			return nil, fmt.Errorf("extsort: run %d: %w", idx, err)
+		}
+		if !ok {
+			f.Close()
+			continue
+		}
+		ms.h.items = append(ms.h.items, cur)
+	}
+	heap.Init(ms.h)
+	return ms, nil
+}
+
+// Next returns the next record in merged order, or io.EOF.
+func (ms *MergeStream[T]) Next() (T, error) {
+	var zero T
+	if ms.h.Len() == 0 {
+		return zero, io.EOF
+	}
+	top := ms.h.items[0]
+	out := top.head
+	ok, err := top.advance()
+	if err != nil {
+		return zero, fmt.Errorf("extsort: run %d: %w", top.idx, err)
+	}
+	if !ok {
+		top.file.Close()
+		heap.Pop(ms.h)
+		return out, nil
+	}
+	heap.Fix(ms.h, 0)
+	return out, nil
+}
+
+// Close releases the remaining cursors and the buffer reservation.
+// Safe to call more than once.
+func (ms *MergeStream[T]) Close() error {
+	if ms.closed {
+		return nil
+	}
+	ms.closed = true
+	for _, it := range ms.h.items {
+		it.file.Close()
+	}
+	ms.h.items = nil
+	ms.mem.Release(ms.reserved)
+	ms.reserved = 0
+	return nil
+}
+
+// premerge streams one batch of run segments into a single committed
+// intermediate run at dst.
+func premerge[T any](batch []RunSegment, dst string, cd codec.Codec[T], cmp func(a, b T) int, opt MergeOptions) error {
+	ms, err := openCursors(batch, cd, cmp, opt)
+	if err != nil {
+		return err
+	}
+	defer ms.Close()
+	if err := opt.Mem.Reserve(int64(opt.bufBytes())); err != nil {
+		return fmt.Errorf("extsort: pre-merge writer buffer: %w", err)
+	}
+	defer opt.Mem.Release(int64(opt.bufBytes()))
+	rw, err := CreateRun(dst, cd, opt.bufBytes())
+	if err != nil {
+		return err
+	}
+	for {
+		rec, err := ms.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			rw.Abort()
+			return err
+		}
+		if err := rw.Write(rec); err != nil {
+			rw.Abort()
+			return fmt.Errorf("extsort: pre-merge write: %w", err)
+		}
+	}
+	bytes := rw.Bytes()
+	if err := rw.Commit(); err != nil {
+		return err
+	}
+	opt.Stats.AddRun(bytes)
+	opt.Stats.AddMerge(len(batch))
+	return nil
+}
+
+// Merge streams the merged order of runs into out as recordio. The
+// writer's buffer is reserved from opt.Mem alongside the cursors'.
+func Merge[T any](runs []string, out io.Writer, cd codec.Codec[T], cmp func(a, b T) int, opt MergeOptions) error {
+	ms, err := OpenMerge(runs, cd, cmp, opt)
+	if err != nil {
+		return err
+	}
+	defer ms.Close()
+	if err := opt.Mem.Reserve(int64(opt.bufBytes())); err != nil {
+		return fmt.Errorf("extsort: merge writer buffer: %w", err)
+	}
+	defer opt.Mem.Release(int64(opt.bufBytes()))
+	w := recordio.NewWriterSize(out, cd, opt.bufBytes())
+	for {
+		rec, err := ms.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}

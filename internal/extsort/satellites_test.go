@@ -1,0 +1,284 @@
+package extsort
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"slices"
+	"strings"
+	"testing"
+
+	"sdssort/internal/codec"
+	"sdssort/internal/memlimit"
+	"sdssort/internal/recordio"
+	"sdssort/internal/workload"
+)
+
+// TestSortFileAtomicOnError: a failing sort must leave an existing
+// destination byte-for-byte untouched and remove its temp output —
+// SortFile used to open-and-truncate the destination first, so any
+// error destroyed the file it was asked to replace.
+func TestSortFileAtomicOnError(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "out.f64")
+	precious := []float64{3, 1, 4, 1, 5}
+	if err := recordio.WriteFile(out, f64, precious); err != nil {
+		t.Fatal(err)
+	}
+	// Ragged input: the sort fails partway through reading.
+	in := filepath.Join(dir, "bad.f64")
+	if err := os.WriteFile(in, []byte{1, 2, 3}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := SortFile(in, out, f64, cmpF, Options{TempDir: dir}); err == nil {
+		t.Fatal("ragged input accepted")
+	}
+	got, err := recordio.ReadFile(out, f64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(got, precious) {
+		t.Fatalf("failed sort clobbered the destination: %v", got)
+	}
+	assertNoTemps(t, dir)
+}
+
+// TestSortFileAtomicOnSuccess: the committed output appears via rename
+// and no temp files survive in either directory.
+func TestSortFileAtomicOnSuccess(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.f64")
+	out := filepath.Join(dir, "out.f64")
+	keys := workload.Uniform(11, 3000)
+	if err := recordio.WriteFile(in, f64, keys); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite an existing destination, too — the realistic re-run.
+	if err := recordio.WriteFile(out, f64, []float64{9, 9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := SortFile(in, out, f64, cmpF, Options{ChunkRecords: 500, TempDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := recordio.ReadFile(out, f64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]float64(nil), keys...)
+	slices.Sort(want)
+	if !slices.Equal(got, want) {
+		t.Fatal("sorted output wrong")
+	}
+	assertNoTemps(t, dir)
+}
+
+func assertNoTemps(t *testing.T, dir string) {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), TempPrefix) {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+}
+
+// TestSortGaugeReservations: the documented ChunkRecords × size × 2
+// chunk-phase peak (plus the merge phase's cursor buffers) must
+// actually hit the gauge, and everything must drain to zero by the
+// time Sort returns — previously the Mem option did not exist and an
+// extsort inside a budgeted job ran unaccounted.
+func TestSortGaugeReservations(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.f64")
+	keys := workload.ZipfKeys(3, 10000, 1.3, workload.DefaultZipfUniverse)
+	if err := recordio.WriteFile(in, f64, keys); err != nil {
+		t.Fatal(err)
+	}
+	const chunk = 1000
+	g := memlimit.New(64 << 20)
+	opt := Options{ChunkRecords: chunk, TempDir: dir, Mem: g, MaxFanIn: 4}
+	if err := SortFile(in, filepath.Join(dir, "out.f64"), f64, cmpF, opt); err != nil {
+		t.Fatal(err)
+	}
+	if g.Used() != 0 {
+		t.Fatalf("gauge holds %d bytes after Sort returned", g.Used())
+	}
+	if min := int64(chunk) * 8 * 2; g.Peak() < min {
+		t.Fatalf("peak %d below the documented chunk footprint %d", g.Peak(), min)
+	}
+
+	// And a budget below the chunk footprint is refused up front.
+	tight := memlimit.New(chunk * 8)
+	err := SortFile(in, filepath.Join(dir, "out2.f64"), f64, cmpF,
+		Options{ChunkRecords: chunk, TempDir: dir, Mem: tight})
+	if !errors.Is(err, memlimit.ErrOutOfMemory) {
+		t.Fatalf("got %v, want ErrOutOfMemory", err)
+	}
+	if tight.Used() != 0 {
+		t.Fatalf("failed sort left %d bytes reserved", tight.Used())
+	}
+	assertNoTemps(t, dir)
+}
+
+// TestSortRadixDispatch: integer-keyed codecs must take the same radix
+// fast path core's local sorts use — and produce the identical output
+// to the comparison path; a comparator that disagrees with the key
+// order (descending) must make the dispatch stand down and still sort
+// correctly.
+func TestSortRadixDispatch(t *testing.T) {
+	dir := t.TempDir()
+	u64 := codec.Uint64{}
+	rng := rand.New(rand.NewSource(42))
+	keys := make([]uint64, 20000)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	in := filepath.Join(dir, "in.u64")
+	if err := recordio.WriteFile(in, u64, keys); err != nil {
+		t.Fatal(err)
+	}
+	asc := func(a, b uint64) int {
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		return 0
+	}
+	desc := func(a, b uint64) int { return -asc(a, b) }
+
+	sortWith := func(name string, cmp func(a, b uint64) int, stable bool) []uint64 {
+		t.Helper()
+		out := filepath.Join(dir, name)
+		if err := SortFile(in, out, u64, cmp, Options{ChunkRecords: 3000, TempDir: dir, Stable: stable}); err != nil {
+			t.Fatal(err)
+		}
+		got, err := recordio.ReadFile(out, u64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	radixed := sortWith("radix.u64", asc, false)   // dispatch accepts
+	compared := sortWith("cmp.u64", asc, true)     // stable forces comparison
+	if !slices.Equal(radixed, compared) {
+		t.Fatal("radix and comparison paths disagree")
+	}
+	want := append([]uint64(nil), keys...)
+	slices.Sort(want)
+	if !slices.Equal(radixed, want) {
+		t.Fatal("radix output not sorted")
+	}
+
+	down := sortWith("desc.u64", desc, false) // dispatch must stand down
+	slices.Reverse(want)
+	if !slices.Equal(down, want) {
+		t.Fatal("descending comparator mis-sorted after radix dispatch")
+	}
+}
+
+// TestSortENOSPC streams the merge into /dev/full: the write error
+// must surface as a failure (not a silently truncated output), and a
+// SortFile pointed there must not leak its temp file.
+func TestSortENOSPC(t *testing.T) {
+	if _, err := os.Stat("/dev/full"); err != nil {
+		t.Skip("/dev/full not available on this platform")
+	}
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.f64")
+	if err := recordio.WriteFile(in, f64, workload.Uniform(7, 5000)); err != nil {
+		t.Fatal(err)
+	}
+	inF, err := os.Open(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inF.Close()
+	full, err := os.OpenFile("/dev/full", os.O_WRONLY, 0)
+	if err != nil {
+		t.Skip("cannot open /dev/full for writing")
+	}
+	defer full.Close()
+	if err := Sort(inF, full, f64, cmpF, Options{ChunkRecords: 1000, TempDir: dir}); err == nil {
+		t.Fatal("ENOSPC swallowed: Sort reported success writing to /dev/full")
+	} else if !strings.Contains(err.Error(), "no space left on device") {
+		t.Fatalf("error does not surface ENOSPC: %v", err)
+	}
+	assertNoTemps(t, dir)
+}
+
+// TestRemoveStaleTemps: the startup sweep removes orphaned .tmp-run-
+// files, keeps everything else, and tolerates a missing directory.
+func TestRemoveStaleTemps(t *testing.T) {
+	dir := t.TempDir()
+	keep := filepath.Join(dir, "run-000001")
+	stale := filepath.Join(dir, TempPrefix+"123456")
+	for _, f := range []string{keep, stale} {
+		if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := RemoveStaleTemps(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale temp survived the sweep (err=%v)", err)
+	}
+	if _, err := os.Stat(keep); err != nil {
+		t.Fatalf("committed run swept away: %v", err)
+	}
+	if err := RemoveStaleTemps(filepath.Join(dir, "missing")); err != nil {
+		t.Fatalf("missing dir not tolerated: %v", err)
+	}
+}
+
+// TestMergeSegmentsNonConsuming: merging segment views of shared run
+// files — even under a fan-in cap that forces pre-merge passes — must
+// leave the underlying runs intact and re-readable.
+func TestMergeSegmentsNonConsuming(t *testing.T) {
+	dir := t.TempDir()
+	var segs []RunSegment
+	var want []float64
+	for r := 0; r < 9; r++ {
+		recs := make([]float64, 100)
+		for i := range recs {
+			recs[i] = float64(r*1000 + i*3)
+		}
+		want = append(want, recs...)
+		path := filepath.Join(dir, "run-"+string(rune('a'+r)))
+		if err := WriteRun(path, f64, recs); err != nil {
+			t.Fatal(err)
+		}
+		segs = append(segs, RunSegment{Path: path, Lo: 0, Hi: -1})
+	}
+	slices.Sort(want)
+	read := func() []float64 {
+		t.Helper()
+		ms, err := OpenMergeSegments(segs, f64, cmpF, MergeOptions{MaxFanIn: 3, TempDir: dir, BufBytes: 1 << 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ms.Close()
+		var got []float64
+		for {
+			rec, err := ms.Next()
+			if err != nil {
+				break
+			}
+			got = append(got, rec)
+		}
+		return got
+	}
+	if got := read(); !slices.Equal(got, want) {
+		t.Fatal("first capped segment merge wrong")
+	}
+	// The inputs must still be there for a second pass.
+	if got := read(); !slices.Equal(got, want) {
+		t.Fatal("second pass over the same segments wrong — inputs were consumed")
+	}
+}

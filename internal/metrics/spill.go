@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// SpillStats counts what the out-of-core spill tier did: how many
+// sorted runs were written to disk, how many payload bytes they held,
+// and how the lazy merges over them fanned in. Like ExchangeStats, one
+// SpillStats may be shared by every rank of an in-process job — the
+// counters are atomic — mirroring how one memlimit.Gauge models a
+// shared budget.
+type SpillStats struct {
+	// RunsSpilled is the number of sorted run files written (initial
+	// runs plus intermediate pre-merge runs).
+	RunsSpilled atomic.Int64
+	// BytesSpilled is the total record payload written to run files.
+	BytesSpilled atomic.Int64
+	// MergePasses is the number of k-way merge passes streamed over run
+	// files (final output merges plus fan-in-capped pre-merges).
+	MergePasses atomic.Int64
+	// MaxFanIn is the widest single merge pass observed.
+	MaxFanIn atomic.Int64
+	// SpilledSorts is the number of Sort calls that left the in-memory
+	// regime (forced or budget-driven).
+	SpilledSorts atomic.Int64
+}
+
+// AddRun accrues one spilled run of the given payload size.
+func (s *SpillStats) AddRun(bytes int64) {
+	if s == nil {
+		return
+	}
+	s.RunsSpilled.Add(1)
+	s.BytesSpilled.Add(bytes)
+}
+
+// AddMerge accrues one merge pass over fanIn runs.
+func (s *SpillStats) AddMerge(fanIn int) {
+	if s == nil {
+		return
+	}
+	s.MergePasses.Add(1)
+	v := int64(fanIn)
+	for {
+		p := s.MaxFanIn.Load()
+		if v <= p || s.MaxFanIn.CompareAndSwap(p, v) {
+			return
+		}
+	}
+}
+
+// AddSpilledSort accrues one sort that entered the spill regime.
+func (s *SpillStats) AddSpilledSort() {
+	if s == nil {
+		return
+	}
+	s.SpilledSorts.Add(1)
+}
+
+// Spilled reports whether any run was ever written.
+func (s *SpillStats) Spilled() bool {
+	return s != nil && s.RunsSpilled.Load() > 0
+}
+
+// String renders the counters on one line for reports.
+func (s *SpillStats) String() string {
+	if s == nil {
+		return "spill: off"
+	}
+	return fmt.Sprintf("spill: %d runs (%dB) in %d sorts, %d merge passes, max fan-in %d",
+		s.RunsSpilled.Load(), s.BytesSpilled.Load(), s.SpilledSorts.Load(),
+		s.MergePasses.Load(), s.MaxFanIn.Load())
+}

@@ -15,6 +15,15 @@ func (s *ExchangeStats) Register(r *telemetry.Registry) {
 	r.CounterFunc("sds_exchange_zero_copy_chunks_total", "Chunks moved by the zero-copy path.", telemetry.FInt(s.ZeroCopyChunks.Load))
 }
 
+// Register exposes the out-of-core spill-tier counters.
+func (s *SpillStats) Register(r *telemetry.Registry) {
+	r.CounterFunc("sds_spill_runs_total", "Sorted run files written to the spill tier.", telemetry.FInt(s.RunsSpilled.Load))
+	r.CounterFunc("sds_spill_bytes_total", "Record payload bytes written to spill run files.", telemetry.FInt(s.BytesSpilled.Load))
+	r.CounterFunc("sds_spill_merge_passes_total", "K-way merge passes streamed over spill runs.", telemetry.FInt(s.MergePasses.Load))
+	r.GaugeFunc("sds_spill_max_fan_in", "Widest single merge pass over spill runs.", telemetry.FInt(s.MaxFanIn.Load))
+	r.CounterFunc("sds_spill_sorts_total", "Sort calls that entered the out-of-core spill regime.", telemetry.FInt(s.SpilledSorts.Load))
+}
+
 // Register exposes supervisor-level recovery counters.
 func (s *RecoveryStats) Register(r *telemetry.Registry) {
 	snap := func(f func(RecoverySnapshot) int64) func() float64 {

@@ -25,8 +25,15 @@ type Writer[T any] struct {
 
 // NewWriter wraps w.
 func NewWriter[T any](w io.Writer, cd codec.Codec[T]) *Writer[T] {
+	return NewWriterSize(w, cd, 1<<20)
+}
+
+// NewWriterSize wraps w with an explicit buffer size, for callers that
+// account their buffers against a memory budget (the spill tier opens
+// many writers at once and cannot afford the default 1 MiB each).
+func NewWriterSize[T any](w io.Writer, cd codec.Codec[T], bufBytes int) *Writer[T] {
 	return &Writer[T]{
-		w:   bufio.NewWriterSize(w, 1<<20),
+		w:   bufio.NewWriterSize(w, bufBytes),
 		cd:  cd,
 		buf: make([]byte, cd.Size()),
 	}
@@ -59,8 +66,13 @@ type Reader[T any] struct {
 
 // NewReader wraps r.
 func NewReader[T any](r io.Reader, cd codec.Codec[T]) *Reader[T] {
+	return NewReaderSize(r, cd, 1<<20)
+}
+
+// NewReaderSize wraps r with an explicit buffer size; see NewWriterSize.
+func NewReaderSize[T any](r io.Reader, cd codec.Codec[T], bufBytes int) *Reader[T] {
 	return &Reader[T]{
-		r:   bufio.NewReaderSize(r, 1<<20),
+		r:   bufio.NewReaderSize(r, bufBytes),
 		cd:  cd,
 		buf: make([]byte, cd.Size()),
 	}
