@@ -17,10 +17,10 @@ FAULTNET_SEED ?= 1
 BENCH_PROCS    ?= 4
 BENCH_TIME     ?= 1s
 BENCH_COUNT    ?= 5
-BENCH_HOT      := ^(BenchmarkExchange|BenchmarkLocalSortIntKeys|BenchmarkMergeKernel|BenchmarkSpillMerge)$$
-BENCH_HOT_PKGS := ./internal/core/ ./internal/psort/
+BENCH_HOT      := ^(BenchmarkExchange|BenchmarkLocalSortIntKeys|BenchmarkMergeKernel|BenchmarkSpillMerge|BenchmarkAlgoCompare)$$
+BENCH_HOT_PKGS := ./internal/core/ ./internal/psort/ ./internal/algo/
 
-.PHONY: all build test race vet lint bench bench-json bench-json-all bench-baseline bench-diff soak soak-engine soak-shrink soak-spill telemetry-smoke experiments experiments-quick fuzz clean
+.PHONY: all build test race vet lint bench bench-json bench-json-all bench-baseline bench-diff algo-matrix soak soak-engine soak-shrink soak-spill telemetry-smoke experiments experiments-quick fuzz clean
 
 all: build test
 
@@ -47,9 +47,10 @@ bench:
 # job runs them: pinned GOMAXPROCS, fixed -benchtime, -count repeats.
 # BenchmarkExchange covers the staged/monolithic × zero-copy/marshal
 # exchange grid (with peak-staging-bytes), BenchmarkLocalSortIntKeys the
-# radix dispatch, BenchmarkMergeKernel the branchless merge, and
+# radix dispatch, BenchmarkMergeKernel the branchless merge,
 # BenchmarkSpillMerge the out-of-core exchange against its in-memory
-# twin (with spill-bytes/op).
+# twin (with spill-bytes/op), and BenchmarkAlgoCompare the end-to-end
+# driver race (sds/hss/ams/hyksort) on Zipf keys.
 bench-json:
 	GOMAXPROCS=$(BENCH_PROCS) $(GO) test -run xxx -json \
 		-bench '$(BENCH_HOT)' -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) \
@@ -73,6 +74,13 @@ bench-baseline:
 # a >15% ns/op or peak-staging-bytes regression.
 bench-diff: bench-json
 	$(GO) run ./cmd/benchdiff -old BENCH_baseline.json -new BENCH_ci.json
+
+# The cross-driver algorithm matrix: every registered driver must emit
+# byte-identical output across the workload grid on both transports,
+# and -algo auto must resolve as the decision rule documents. Mirrors
+# the CI algo-matrix job.
+algo-matrix:
+	$(GO) test -race -run 'TestDriverEquivalence|TestAutoSelects|TestAutoSpillPressure' -count=1 -timeout 10m ./internal/algo/
 
 # Fault-injection soak: repeat the Fault|Retry|Reconnect|Recovery test
 # families under the race detector. Vary the schedule with

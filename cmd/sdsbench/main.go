@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"sdssort/internal/algo"
 	"sdssort/internal/experiments"
 )
 
@@ -49,13 +50,21 @@ func writeCSV(dir string, res *experiments.Result) error {
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "comma-separated experiment ids, or 'all'")
-		quick  = flag.Bool("quick", false, "shrink data sizes for a fast pass")
-		seed   = flag.Int64("seed", 42, "workload seed")
-		list   = flag.Bool("list", false, "list available experiments")
-		csvDir = flag.String("csv", "", "also write each table as CSV into this directory")
+		exp      = flag.String("exp", "", "comma-separated experiment ids, or 'all'")
+		quick    = flag.Bool("quick", false, "shrink data sizes for a fast pass")
+		seed     = flag.Int64("seed", 42, "workload seed")
+		list     = flag.Bool("list", false, "list available experiments")
+		csvDir   = flag.String("csv", "", "also write each table as CSV into this directory")
+		algoName = flag.String("algo", "", "restrict the algorithm-comparison experiments to one driver: "+strings.Join(algo.Names(), " | "))
 	)
 	flag.Parse()
+
+	if *algoName != "" {
+		if _, ok := algo.Lookup(*algoName); !ok {
+			fmt.Fprintln(os.Stderr, &algo.UnknownError{Name: *algoName})
+			os.Exit(2)
+		}
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("available experiments (paper artifact — description):")
@@ -78,7 +87,7 @@ func main() {
 		}
 	}
 
-	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Algo: *algoName}
 	failed := 0
 	for _, id := range ids {
 		run, ok := experiments.Lookup(id)

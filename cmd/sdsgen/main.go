@@ -8,6 +8,11 @@
 //	sdsgen -kind ptf      -n 1000000 -o ptf.rec
 //	sdsgen -kind cosmo    -n 1000000 -o cosmo.rec
 //	sdsgen -kind ksorted  -n 1000000 -blocks 16 -o ksorted.f64
+//	sdsgen -kind zipf-hot -n 1000000 -o hot.f64
+//
+// Any workload preset name (see internal/workload presets) is also a
+// valid -kind, so the skew/duplicate datasets the algorithm-comparison
+// experiments use are reproducible byte-for-byte from the CLI.
 //
 // float64 workloads are written as little-endian 8-byte keys; ptf and
 // cosmo use the fixed-width record formats of the library's codecs.
@@ -17,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 
 	"sdssort/internal/codec"
 	"sdssort/internal/recordio"
@@ -27,7 +33,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sdsgen: ")
 	var (
-		kind   = flag.String("kind", "uniform", "uniform | zipf | ksorted | ptf | cosmo")
+		kind   = flag.String("kind", "uniform", "uniform | zipf | ksorted | ptf | cosmo | preset ("+strings.Join(workload.PresetNames(), " | ")+")")
 		n      = flag.Int("n", 1_000_000, "number of records")
 		alpha  = flag.Float64("alpha", 1.4, "Zipf exponent (zipf only)")
 		univ   = flag.Int("universe", workload.DefaultZipfUniverse, "Zipf value universe (zipf only)")
@@ -71,7 +77,18 @@ func main() {
 		}
 		written = int64(len(recs)) * 32
 	default:
-		log.Fatalf("unknown kind %q", *kind)
+		pre, ok := workload.LookupPreset(*kind)
+		if !ok {
+			log.Fatalf("unknown kind %q (presets: %s)", *kind, strings.Join(workload.PresetNames(), " | "))
+		}
+		keys := pre.Gen(*seed, *n)
+		if err := recordio.WriteFile(*out, codec.Float64{}, keys); err != nil {
+			log.Fatal(err)
+		}
+		written = int64(len(keys)) * 8
+		s := workload.Summarize(keys)
+		fmt.Printf("δ (duplication ratio) = %.4f%%; %d distinct values in [%.4g, %.4g]; %d runs\n",
+			s.DupRatio*100, s.Distinct, s.Min, s.Max, s.Runs)
 	}
 	fmt.Printf("wrote %d records (%d bytes) to %s\n", *n, written, *out)
 }

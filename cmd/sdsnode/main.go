@@ -64,6 +64,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -71,9 +72,11 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync/atomic"
 	"time"
 
+	"sdssort/internal/algo"
 	"sdssort/internal/checkpoint"
 	"sdssort/internal/codec"
 	"sdssort/internal/comm"
@@ -127,6 +130,7 @@ type jobParams struct {
 	in, out  string
 	stable   bool
 	stage    int64
+	algo     string
 }
 
 // withSpec overlays a job spec on the flag defaults for one rank.
@@ -150,7 +154,26 @@ func (p jobParams) withSpec(jb engine.NodeJob, rank int) jobParams {
 	if jb.Stage > 0 {
 		p.stage = jb.Stage
 	}
+	if jb.Algo != "" {
+		p.algo = jb.Algo
+	}
 	return p
+}
+
+// checkAlgo validates one job's driver choice against the registry and
+// its capability gates, so a bad manifest fails before the fabric boots.
+func (p jobParams) checkAlgo(ckpt bool) error {
+	info, ok := algo.Lookup(p.algo)
+	if !ok {
+		return &algo.UnknownError{Name: p.algo}
+	}
+	if p.stable && !info.Caps.Stable {
+		return fmt.Errorf("driver %q does not support -stable (only: sds)", p.algo)
+	}
+	if ckpt && !info.Caps.Checkpoint {
+		return fmt.Errorf("driver %q does not support -ckpt-dir (only: sds)", p.algo)
+	}
+	return nil
 }
 
 // nodeEnv carries the per-process observability plumbing every job of
@@ -160,6 +183,11 @@ type nodeEnv struct {
 	tracer trace.Tracer
 	gauge  *memlimit.Gauge
 	exch   *metrics.ExchangeStats
+
+	// algoStats counts the resolved driver of every sort (a job under
+	// -algo auto increments the profile's choice), exported as
+	// sds_algo_selected_total.
+	algoStats *metrics.AlgoStats
 
 	// Out-of-core spill tier (nil without -spill-dir): shared by every
 	// job of this rank so a budgeted sort that cannot hold its receive
@@ -196,7 +224,8 @@ func run(args []string) (code int) {
 		node     = fs.Int("node", -1, "physical node id (default: rank)")
 		registry = fs.String("registry", "127.0.0.1:7777", "bootstrap registry address (rank 0 binds it)")
 		listen   = fs.String("listen", "127.0.0.1:0", "data listener bind address")
-		wl       = fs.String("workload", "zipf", "generated shard: uniform | zipf")
+		wl       = fs.String("workload", "zipf", "generated shard: uniform | zipf | any preset ("+strings.Join(workload.PresetNames(), " | ")+")")
+		algoName = fs.String("algo", "sds", "sorting driver: "+strings.Join(algo.Names(), " | "))
 		alpha    = fs.Float64("alpha", 1.4, "Zipf exponent")
 		n        = fs.Int("n", 100_000, "records per rank when generating")
 		in       = fs.String("in", "", "read this rank's shard from a float64 record file instead")
@@ -259,6 +288,14 @@ func run(args []string) (code int) {
 		log.Printf("sdsnode: -allow-shrink needs -ckpt-dir (the survivors resume from the checkpointed cut)")
 		return exitUsage
 	}
+	if err := (jobParams{stable: *stable, algo: *algoName}).checkAlgo(*ckptDir != ""); err != nil {
+		log.Printf("sdsnode: %v", err)
+		return exitUsage
+	}
+	if *spillDir != "" && *in != "" && *algoName != algo.NameSDS {
+		log.Printf("sdsnode: the fully out-of-core -in streaming path requires -algo sds")
+		return exitUsage
+	}
 	log.SetPrefix(fmt.Sprintf("sdsnode[%d]: ", *rank))
 	nodeID := *node
 	if nodeID < 0 {
@@ -289,12 +326,21 @@ func run(args []string) (code int) {
 			log.Printf("jobs: empty job stream")
 			return exitUsage
 		}
+		// Per-job driver choices fail here, before the fabric boots: a
+		// desynchronised usage error mid-stream would strand the world.
+		for i, jb := range jobs {
+			pj := (jobParams{stable: *stable, algo: *algoName}).withSpec(jb, 0)
+			if err := pj.checkAlgo(false); err != nil {
+				log.Printf("jobs: job %d %q: %v", i, jb.Name, err)
+				return exitUsage
+			}
+		}
 	}
 
 	// Trace sinks. The JSONL file's first write error is latched and
 	// surfaced at exit (a silently truncated trace is worse than none);
 	// the ring feeds /debug/trace when telemetry is on.
-	env := &nodeEnv{exch: &metrics.ExchangeStats{}}
+	env := &nodeEnv{exch: &metrics.ExchangeStats{}, algoStats: &metrics.AlgoStats{}}
 	if *memB > 0 {
 		env.gauge = memlimit.New(*memB)
 	}
@@ -428,6 +474,7 @@ func run(args []string) (code int) {
 	telemetry.RegisterNodeInfo(reg, *rank, *size, ep)
 	checkpoint.RegisterMetrics(reg)
 	env.exch.Register(reg)
+	env.algoStats.Register(reg, algo.Names()...)
 	if env.spillStats != nil {
 		env.spillStats.Register(reg)
 	}
@@ -481,6 +528,7 @@ func run(args []string) (code int) {
 	defaults := jobParams{
 		workload: *wl, alpha: *alpha, n: *n, seed: *seed,
 		in: *in, out: *out, stable: *stable, stage: *stage,
+		algo: *algoName,
 	}
 
 	if *serve {
@@ -661,9 +709,14 @@ func loadJobData(p jobParams, rank, size int) ([]float64, int) {
 	case "uniform":
 		return workload.Uniform(p.seed+int64(rank)*997, p.n), exitOK
 	case "zipf":
+		// Explicit case so -alpha keeps steering the exponent; the
+		// preset of the same name pins the paper's α=1.4.
 		return workload.ZipfKeys(p.seed+int64(rank)*997, p.n, p.alpha, workload.DefaultZipfUniverse), exitOK
 	default:
-		log.Printf("unknown workload %q", p.workload)
+		if pre, ok := workload.LookupPreset(p.workload); ok {
+			return pre.Gen(p.seed+int64(rank)*997, p.n), exitOK
+		}
+		log.Printf("unknown workload %q (presets: %s)", p.workload, strings.Join(workload.PresetNames(), " | "))
 		return nil, exitUsage
 	}
 }
@@ -673,27 +726,33 @@ func loadJobData(p jobParams, rank, size int) ([]float64, int) {
 // Every log line is prefixed with label so interleaved jobs of a served
 // stream stay attributable.
 func sortJob(c *comm.Comm, p jobParams, data []float64, ck *core.Checkpointing, label string, env *nodeEnv) int {
-	opt := core.DefaultOptions()
-	opt.Stable = p.stable
-	opt.StageBytes = p.stage
+	aopt := algo.DefaultOptions()
+	aopt.Core.Stable = p.stable
+	aopt.Core.StageBytes = p.stage
 	// The exchange stats are shared across the process's jobs so the
 	// telemetry plane exports them live (in particular the staging
 	// window gauge mid-exchange); the log line below is therefore
 	// cumulative in -serve mode. Wired unconditionally: the zero-copy
 	// counters are meaningful for the monolithic exchange too.
 	exch := env.exch
-	opt.Exchange = exch
-	opt.Mem = env.gauge
-	opt.Spill = env.spill
-	opt.Trace = env.tracer
+	aopt.Core.Exchange = exch
+	aopt.Core.Mem = env.gauge
+	aopt.Core.Spill = env.spill
+	aopt.Core.Trace = env.tracer
 	tm := metrics.NewPhaseTimer()
-	opt.Timer = tm
+	aopt.Core.Timer = tm
 	if ck != nil {
-		opt.Checkpoint = ck
+		aopt.Core.Checkpoint = ck
+	}
+	aopt.Selection = env.algoStats
+	drv, err := algo.New[float64](p.algo)
+	if err != nil { // pre-validated; belt and braces
+		log.Printf("%s%v", label, err)
+		return exitUsage
 	}
 
 	start := time.Now()
-	sorted, err := core.Sort(c, data, codec.Float64{}, cmpF, opt)
+	sorted, err := drv.Sort(context.Background(), c, data, codec.Float64{}, cmpF, aopt)
 	if err != nil {
 		env.finishJob(time.Since(start), true)
 		if lost, ok := comm.PeerLost(err); ok {

@@ -13,23 +13,24 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
+	"sdssort/internal/algo"
 	"sdssort/internal/cluster"
 	"sdssort/internal/codec"
 	"sdssort/internal/comm"
 	"sdssort/internal/core"
 	"sdssort/internal/extsort"
-	"sdssort/internal/hyksort"
 	"sdssort/internal/memlimit"
 	"sdssort/internal/metrics"
-	"sdssort/internal/psrs"
 	"sdssort/internal/recordio"
 	"sdssort/internal/trace"
 )
@@ -38,24 +39,24 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sdssort: ")
 	var (
-		in     = flag.String("in", "", "input record file (required)")
-		out    = flag.String("out", "", "output file (omit to discard)")
-		typ    = flag.String("type", "f64", "record type: f64 | ptf | cosmo | csv")
-		col    = flag.Int("col", 0, "CSV column holding the numeric key (csv type only)")
-		algo   = flag.String("algo", "sds", "algorithm: sds | hyksort | psrs | external")
-		chunk  = flag.Int("chunk", 1<<20, "records per in-memory chunk (external only)")
-		nodes  = flag.Int("nodes", 2, "simulated nodes")
-		cores  = flag.Int("cores", 2, "ranks per node")
-		stable = flag.Bool("stable", false, "stable sort (sds only)")
-		tauM   = flag.Int64("taum", core.DefaultOptions().TauM, "node-merge threshold τm (bytes)")
-		tauO   = flag.Int("tauo", core.DefaultOptions().TauO, "overlap threshold τo (ranks)")
-		tauS   = flag.Int("taus", core.DefaultOptions().TauS, "merge-vs-sort threshold τs (ranks)")
-		stage  = flag.Int64("stage", 0, "staging window for the data exchange in bytes (0 = monolithic all-to-all, sds only)")
-		stats  = flag.Bool("stats", true, "print phase breakdown and RDFA")
-		verify = flag.Bool("verify", true, "run the distributed sortedness check after the sort")
-		trc    = flag.String("trace", "", "write a JSONL event trace to this file")
+		in       = flag.String("in", "", "input record file (required)")
+		out      = flag.String("out", "", "output file (omit to discard)")
+		typ      = flag.String("type", "f64", "record type: f64 | ptf | cosmo | csv")
+		col      = flag.Int("col", 0, "CSV column holding the numeric key (csv type only)")
+		algoName = flag.String("algo", "sds", "algorithm: "+strings.Join(algo.Names(), " | ")+" | external")
+		chunk    = flag.Int("chunk", 1<<20, "records per in-memory chunk (external only)")
+		nodes    = flag.Int("nodes", 2, "simulated nodes")
+		cores    = flag.Int("cores", 2, "ranks per node")
+		stable   = flag.Bool("stable", false, "stable sort (sds only)")
+		tauM     = flag.Int64("taum", core.DefaultOptions().TauM, "node-merge threshold τm (bytes)")
+		tauO     = flag.Int("tauo", core.DefaultOptions().TauO, "overlap threshold τo (ranks)")
+		tauS     = flag.Int("taus", core.DefaultOptions().TauS, "merge-vs-sort threshold τs (ranks)")
+		stage    = flag.Int64("stage", 0, "staging window for the data exchange in bytes (0 = monolithic all-to-all)")
+		stats    = flag.Bool("stats", true, "print phase breakdown and RDFA")
+		verify   = flag.Bool("verify", true, "run the distributed sortedness check after the sort")
+		trc      = flag.String("trace", "", "write a JSONL event trace to this file")
 
-		memB       = flag.Int64("mem", 0, "per-rank memory budget in bytes; with -spill-dir a fixed budget sorts inputs of any size (0 = unlimited, sds only)")
+		memB       = flag.Int64("mem", 0, "per-rank memory budget in bytes; with -spill-dir a fixed budget sorts inputs of any size (0 = unlimited)")
 		spillDir   = flag.String("spill-dir", "", "enable the out-of-core spill tier: stream the input and spill sorted runs here instead of holding the shard resident (sds only)")
 		spillChunk = flag.Int("spill-chunk", 0, "records per streamed in-memory run with -spill-dir (0 = derive from -mem)")
 	)
@@ -63,12 +64,21 @@ func main() {
 	if *in == "" {
 		log.Fatal("-in input file is required")
 	}
-	if *algo == "external" {
+	if *algoName == "external" {
 		if *out == "" {
 			log.Fatal("-out is required with -algo external")
 		}
 		runExternal(*in, *out, *typ, *col, *chunk, *cores, *stable)
 		return
+	}
+	// Validate the driver name against the registry up front so a typo
+	// prints the available names instead of failing mid-run.
+	info, ok := algo.Lookup(*algoName)
+	if !ok {
+		log.Fatal(&algo.UnknownError{Name: *algoName})
+	}
+	if *stable && !info.Caps.Stable {
+		log.Fatalf("-stable requires a stable-capable algorithm (%q is not; use sds or auto)", *algoName)
 	}
 	// The trace file is finalised deliberately: JSONL latches its first
 	// write error, so without checking Err() a full disk would silently
@@ -96,8 +106,8 @@ func main() {
 		}
 	}
 	if *spillDir != "" {
-		if *algo != "sds" {
-			log.Fatalf("-spill-dir requires -algo sds (got %q)", *algo)
+		if *algoName != "sds" {
+			log.Fatalf("-spill-dir requires -algo sds (got %q)", *algoName)
 		}
 		sc := spillConfig{
 			nodes: *nodes, cores: *cores, stable: *stable,
@@ -119,17 +129,17 @@ func main() {
 	}
 	switch *typ {
 	case "f64":
-		run(*in, *out, codec.Float64{}, cmpOrdered[float64], *algo, *nodes, *cores, *stable, *tauM, *tauO, *tauS, *stage, *memB, *stats, *verify, tracer)
+		run(*in, *out, codec.Float64{}, cmpOrdered[float64], *algoName, *nodes, *cores, *stable, *tauM, *tauO, *tauS, *stage, *memB, *stats, *verify, tracer)
 	case "csv":
 		keys, err := recordio.ReadCSVColumn(*in, *col)
 		if err != nil {
 			log.Fatal(err)
 		}
-		runRecords(keys, *out, codec.Float64{}, cmpOrdered[float64], *algo, *nodes, *cores, *stable, *tauM, *tauO, *tauS, *stage, *memB, *stats, *verify, tracer)
+		runRecords(keys, *out, codec.Float64{}, cmpOrdered[float64], *algoName, *nodes, *cores, *stable, *tauM, *tauO, *tauS, *stage, *memB, *stats, *verify, tracer)
 	case "ptf":
-		run(*in, *out, codec.PTFCodec{}, codec.ComparePTF, *algo, *nodes, *cores, *stable, *tauM, *tauO, *tauS, *stage, *memB, *stats, *verify, tracer)
+		run(*in, *out, codec.PTFCodec{}, codec.ComparePTF, *algoName, *nodes, *cores, *stable, *tauM, *tauO, *tauS, *stage, *memB, *stats, *verify, tracer)
 	case "cosmo":
-		run(*in, *out, codec.ParticleCodec{}, codec.CompareParticles, *algo, *nodes, *cores, *stable, *tauM, *tauO, *tauS, *stage, *memB, *stats, *verify, tracer)
+		run(*in, *out, codec.ParticleCodec{}, codec.CompareParticles, *algoName, *nodes, *cores, *stable, *tauM, *tauO, *tauS, *stage, *memB, *stats, *verify, tracer)
 	default:
 		log.Fatalf("unknown record type %q", *typ)
 	}
@@ -191,18 +201,19 @@ func cmpOrdered[T float64 | int64 | uint64](a, b T) int {
 }
 
 func run[T any](in, out string, cd codec.Codec[T], cmp func(a, b T) int,
-	algo string, nodes, cores int, stable bool, tauM int64, tauO, tauS int, stage, mem int64, stats, verify bool, tracer trace.Tracer) {
+	algoName string, nodes, cores int, stable bool, tauM int64, tauO, tauS int, stage, mem int64, stats, verify bool, tracer trace.Tracer) {
 
 	records, err := recordio.ReadFile(in, cd)
 	if err != nil {
 		log.Fatal(err)
 	}
-	runRecords(records, out, cd, cmp, algo, nodes, cores, stable, tauM, tauO, tauS, stage, mem, stats, verify, tracer)
+	runRecords(records, out, cd, cmp, algoName, nodes, cores, stable, tauM, tauO, tauS, stage, mem, stats, verify, tracer)
 }
 
-// runRecords sorts already-loaded records on an in-process cluster.
+// runRecords sorts already-loaded records on an in-process cluster,
+// dispatching through the algorithm driver registry.
 func runRecords[T any](records []T, out string, cd codec.Codec[T], cmp func(a, b T) int,
-	algo string, nodes, cores int, stable bool, tauM int64, tauO, tauS int, stage, mem int64, stats, verify bool, tracer trace.Tracer) {
+	algoName string, nodes, cores int, stable bool, tauM int64, tauO, tauS int, stage, mem int64, stats, verify bool, tracer trace.Tracer) {
 
 	topo := cluster.Topology{Nodes: nodes, CoresPerNode: cores}
 	p := topo.Size()
@@ -222,49 +233,39 @@ func runRecords[T any](records []T, out string, cd codec.Codec[T], cmp func(a, b
 		timers[i] = metrics.NewPhaseTimer()
 	}
 	// One shared, atomic stats block across the ranks, like the shared
-	// memory gauge. Always present for the sds algorithm so the
-	// zero-copy line below reflects what the exchange actually did,
-	// staged or not.
-	var exch *metrics.ExchangeStats
-	if algo == "sds" {
-		exch = &metrics.ExchangeStats{}
-	}
+	// memory gauge. Every driver routes its exchange through the shared
+	// core path, so the zero-copy line below reflects what the exchange
+	// actually did for any -algo.
+	exch := &metrics.ExchangeStats{}
+	selection := &metrics.AlgoStats{}
 	var gauges []*memlimit.Gauge
-	if algo == "sds" && mem > 0 {
+	if mem > 0 {
 		gauges = make([]*memlimit.Gauge, p)
 		for i := range gauges {
 			gauges[i] = memlimit.New(mem)
 		}
 	}
+	drv, err := algo.New[T](algoName)
+	if err != nil {
+		log.Fatal(err)
+	}
 	start := time.Now()
 	outputs, err := cluster.Gather(topo, cluster.Options{}, func(c *comm.Comm) ([]T, error) {
 		local := append([]T(nil), parts[c.Rank()]...)
-		sorted, err := func() ([]T, error) {
-			switch algo {
-			case "sds":
-				opt := core.DefaultOptions()
-				opt.Stable = stable
-				opt.TauM = tauM
-				opt.TauO = tauO
-				opt.TauS = tauS
-				opt.StageBytes = stage
-				opt.Exchange = exch
-				opt.Timer = timers[c.Rank()]
-				opt.Trace = tracer
-				if gauges != nil {
-					opt.Mem = gauges[c.Rank()]
-				}
-				return core.Sort(c, local, cd, cmp, opt)
-			case "hyksort":
-				opt := hyksort.DefaultOptions()
-				opt.Timer = timers[c.Rank()]
-				return hyksort.Sort(c, local, cd, cmp, opt)
-			case "psrs":
-				return psrs.Sort(c, local, cd, cmp, psrs.Options{Timer: timers[c.Rank()]})
-			default:
-				return nil, fmt.Errorf("unknown algorithm %q", algo)
-			}
-		}()
+		aopt := algo.DefaultOptions()
+		aopt.Core.Stable = stable
+		aopt.Core.TauM = tauM
+		aopt.Core.TauO = tauO
+		aopt.Core.TauS = tauS
+		aopt.Core.StageBytes = stage
+		aopt.Core.Exchange = exch
+		aopt.Core.Timer = timers[c.Rank()]
+		aopt.Core.Trace = tracer
+		if gauges != nil {
+			aopt.Core.Mem = gauges[c.Rank()]
+		}
+		aopt.Selection = selection
+		sorted, err := drv.Sort(context.Background(), c, local, cd, cmp, aopt)
 		if err != nil {
 			return nil, err
 		}
@@ -286,8 +287,19 @@ func runRecords[T any](records []T, out string, cd codec.Codec[T], cmp func(a, b
 		loads[r] = len(part)
 		total += len(part)
 	}
+	// Under -algo auto the profile resolved a concrete driver; report
+	// what actually ran.
+	ran := algoName
+	if algoName == algo.NameAuto {
+		for _, name := range algo.Names() {
+			if selection.Count(name) > 0 {
+				ran = algoName + "→" + name
+				break
+			}
+		}
+	}
 	fmt.Printf("sorted %d records with %s on %d×%d ranks in %v (%s)\n",
-		total, algo, nodes, cores, elapsed.Round(time.Microsecond),
+		total, ran, nodes, cores, elapsed.Round(time.Microsecond),
 		metrics.FormatThroughput(metrics.Throughput(int64(total)*int64(cd.Size()), elapsed)))
 	if stats {
 		fmt.Printf("RDFA: %s\n", metrics.FmtRDFA(metrics.RDFA(loads)))

@@ -1,0 +1,152 @@
+package algo
+
+import (
+	"context"
+	"testing"
+
+	"sdssort/internal/cluster"
+	"sdssort/internal/codec"
+	"sdssort/internal/comm"
+	"sdssort/internal/core"
+	"sdssort/internal/metrics"
+	"sdssort/internal/trace"
+	"sdssort/internal/workload"
+)
+
+// TestChooseDecisionRule pins the documented rule branch by branch.
+func TestChooseDecisionRule(t *testing.T) {
+	base := profile{sample: 512, dupRatio: 0.001, distinct: 500, total: 1 << 20}
+	cases := []struct {
+		name       string
+		pr         profile
+		p, recSize int
+		opt        Options
+		want       string
+		reason     string
+	}{
+		{"stable", base, 8, 8, Options{Core: core.Options{Stable: true}}, NameSDS, "capabilities"},
+		{"checkpoint", base, 8, 8, Options{Core: core.Options{Checkpoint: &core.Checkpointing{}}}, NameSDS, "capabilities"},
+		{"pressure", profile{sample: 512, pressure: true}, 8, 8, Options{}, NameSDS, "spill-pressure"},
+		{"duplicates", profile{sample: 512, dupRatio: 0.3, distinct: 16}, 8, 8, Options{}, NameSDS, "duplicates"},
+		{"scale", base, 64, 8, Options{}, NameAMS, "scale"},
+		{"scale-wide-records", base, 64, 32, Options{}, NameHSS, "uniform"},
+		{"uniform", base, 8, 8, Options{}, NameHSS, "uniform"},
+		{"empty-sample", profile{}, 8, 8, Options{}, NameHSS, "uniform"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, reason := choose(tc.pr, tc.p, tc.recSize, tc.opt)
+			if got != tc.want || reason != tc.reason {
+				t.Fatalf("choose = (%q, %q), want (%q, %q)", got, reason, tc.want, tc.reason)
+			}
+		})
+	}
+}
+
+func TestDupThreshold(t *testing.T) {
+	if got := dupThreshold(1000); got != 0.01 {
+		t.Fatalf("large sample threshold %v, want 0.01", got)
+	}
+	// Small pools: one repeated value is noise, require two hits.
+	if got := dupThreshold(10); got != 0.2 {
+		t.Fatalf("small sample threshold %v, want 0.2", got)
+	}
+	if got := dupThreshold(0); got != 0.01 {
+		t.Fatalf("empty sample threshold %v, want 0.01", got)
+	}
+}
+
+// runAuto sorts one preset under -algo auto and returns the selection
+// counters plus the traced decisions.
+func runAuto(t *testing.T, preset string, opt Options) (*metrics.AlgoStats, []trace.Event) {
+	t.Helper()
+	const p, perRank = 4, 4000
+	pre, ok := workload.LookupPreset(preset)
+	if !ok {
+		t.Fatalf("preset %q missing", preset)
+	}
+	ring := trace.NewRing(256)
+	sel := &metrics.AlgoStats{}
+	opt.Core.Trace = ring
+	opt.Selection = sel
+	drv, err := New[float64](NameAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := cluster.Topology{Nodes: p, CoresPerNode: 1}
+	outs, err := cluster.Gather(topo, cluster.Options{}, func(c *comm.Comm) ([]float64, error) {
+		return drv.Sort(context.Background(), c, pre.Gen(11+int64(c.Rank())*613, perRank), codec.Float64{}, cmpF64, opt)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, o := range outs {
+		total += len(o)
+	}
+	if total != p*perRank {
+		t.Fatalf("auto run lost records: %d of %d", total, p*perRank)
+	}
+	var selected []trace.Event
+	for _, ev := range ring.Events() {
+		if ev.Kind == "algo.selected" {
+			selected = append(selected, ev)
+		}
+	}
+	return sel, selected
+}
+
+// TestAutoSelectsByWorkload is the issue's acceptance check: auto must
+// resolve to different drivers on uniform vs Zipf inputs, observable in
+// both the selection counters (the sds_algo_selected telemetry source)
+// and the "algo.selected" trace events.
+func TestAutoSelectsByWorkload(t *testing.T) {
+	const p = 4
+	cases := []struct {
+		preset, want, reason string
+	}{
+		{"uniform", NameHSS, "uniform"},
+		{"zipf", NameSDS, "duplicates"},
+		{"allequal", NameSDS, "duplicates"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.preset, func(t *testing.T) {
+			sel, events := runAuto(t, tc.preset, DefaultOptions())
+			if got := sel.Count(tc.want); got != p {
+				t.Fatalf("selection count for %q = %d, want %d (one per rank)", tc.want, got, p)
+			}
+			for _, other := range Names() {
+				if other != tc.want && sel.Count(other) != 0 {
+					t.Fatalf("driver %q also counted %d times", other, sel.Count(other))
+				}
+			}
+			if len(events) != p {
+				t.Fatalf("%d algo.selected events, want %d", len(events), p)
+			}
+			for _, ev := range events {
+				if ev.Detail["algo"] != tc.want {
+					t.Fatalf("rank %d selected %v, want %q", ev.Rank, ev.Detail["algo"], tc.want)
+				}
+				if ev.Detail["reason"] != tc.reason {
+					t.Fatalf("rank %d reason %v, want %q", ev.Rank, ev.Detail["reason"], tc.reason)
+				}
+			}
+		})
+	}
+}
+
+// TestAutoSpillPressure: forced spill must steer auto to sds even on
+// uniform data — the only driver that degrades gracefully under it.
+func TestAutoSpillPressure(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Core.Spill = &core.SpillOptions{Dir: t.TempDir(), Force: true}
+	sel, events := runAuto(t, "uniform", opt)
+	if got := sel.Count(NameSDS); got != 4 {
+		t.Fatalf("sds count %d, want 4", got)
+	}
+	for _, ev := range events {
+		if ev.Detail["reason"] != "spill-pressure" {
+			t.Fatalf("reason %v, want spill-pressure", ev.Detail["reason"])
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package algo
+
+import (
+	"context"
+	"fmt"
+
+	"sdssort/internal/codec"
+	"sdssort/internal/comm"
+	"sdssort/internal/hyksort"
+	"sdssort/internal/psrs"
+)
+
+// errStable rejects a stable request on a driver whose partition cannot
+// keep input order. An explicit error beats a silent downgrade: the
+// caller asked for a property the output would not have.
+func errStable(name string) error {
+	return fmt.Errorf("algo: driver %q does not support stable sorting", name)
+}
+
+// errCheckpoint likewise rejects checkpointed recovery on drivers
+// without phase snapshots.
+func errCheckpoint(name string) error {
+	return fmt.Errorf("algo: driver %q does not support checkpointing", name)
+}
+
+// reject enforces the capability gates shared by every non-sds driver.
+func reject(name string, opt Options) error {
+	if opt.Core.Stable {
+		return errStable(name)
+	}
+	if opt.Core.Checkpoint != nil {
+		return errCheckpoint(name)
+	}
+	return nil
+}
+
+// hykDriver adapts the HykSort baseline to the driver contract.
+type hykDriver[T any] struct{}
+
+func (hykDriver[T]) Info() Info {
+	in, _ := Lookup(NameHyk)
+	return in
+}
+
+func (hykDriver[T]) Sort(ctx context.Context, c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int, opt Options) ([]T, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := reject(NameHyk, opt); err != nil {
+		return nil, err
+	}
+	opt.record(NameHyk)
+	h := hyksort.DefaultOptions()
+	if opt.K > 0 {
+		h.K = opt.K
+	}
+	if opt.HistogramRounds > 0 {
+		h.HistogramRounds = opt.HistogramRounds
+	}
+	h.Cores = opt.Core.Cores
+	h.Mem = opt.Core.Mem
+	h.Timer = opt.Core.Timer
+	h.StageBytes = opt.Core.StageBytes
+	h.Exchange = opt.Core.Exchange
+	h.Spill = opt.Core.Spill
+	h.Trace = opt.Core.Trace
+	return hyksort.Sort(c, data, cd, cmp, h)
+}
+
+// psrsDriver adapts the PSRS baseline to the driver contract.
+type psrsDriver[T any] struct{}
+
+func (psrsDriver[T]) Info() Info {
+	in, _ := Lookup(NamePSRS)
+	return in
+}
+
+func (psrsDriver[T]) Sort(ctx context.Context, c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int, opt Options) ([]T, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := reject(NamePSRS, opt); err != nil {
+		return nil, err
+	}
+	opt.record(NamePSRS)
+	ps := psrs.Options{
+		Cores:      opt.Core.Cores,
+		Mem:        opt.Core.Mem,
+		Timer:      opt.Core.Timer,
+		StageBytes: opt.Core.StageBytes,
+		Exchange:   opt.Core.Exchange,
+		Spill:      opt.Core.Spill,
+		Trace:      opt.Core.Trace,
+	}
+	return psrs.Sort(c, data, cd, cmp, ps)
+}

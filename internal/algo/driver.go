@@ -1,0 +1,133 @@
+// Package algo is the pluggable algorithm layer: every distributed sort
+// in the tree — SDS-Sort and the competitor baselines — sits behind one
+// Driver contract, so front ends, experiments and benchmarks select an
+// algorithm by registry name (or let the runtime profile the data and
+// pick one, see the auto driver) instead of hand-wiring each package's
+// option struct. All drivers route their data exchange through
+// core.ExchangeSorted, which carries the staged/zero-copy collectives,
+// memory-budget accounting and the out-of-core spill tier; the layer
+// therefore compares algorithms, not plumbing.
+package algo
+
+import (
+	"context"
+
+	"sdssort/internal/codec"
+	"sdssort/internal/comm"
+	"sdssort/internal/core"
+	"sdssort/internal/memlimit"
+	"sdssort/internal/metrics"
+	"sdssort/internal/trace"
+)
+
+// Capabilities declares what a driver can honour. Front ends check them
+// before dispatch (e.g. -stable with a driver that cannot keep it is an
+// error, not a silent downgrade).
+type Capabilities struct {
+	// Stable: duplicate keys keep their global input order.
+	Stable bool
+	// Spill: the exchange can divert through the out-of-core tier.
+	Spill bool
+	// Checkpoint: phase-checkpointed recovery is supported.
+	Checkpoint bool
+}
+
+// Info identifies a registered driver.
+type Info struct {
+	Name  string
+	About string
+	Caps  Capabilities
+}
+
+// Options carries the cross-driver tunables. Drivers map the fields
+// they understand onto their own knobs and ignore the rest; zero values
+// mean "driver default".
+type Options struct {
+	// Core carries the shared tunables every driver consumes through
+	// core.ExchangeSorted — Mem, StageBytes, Spill, Exchange, Timer,
+	// Trace, Cores — plus the SDS-Sort-specific ones (τm/τo/τs, Stable,
+	// Checkpoint) that only the sds driver honours in full.
+	Core core.Options
+	// K is the splitting arity of the multi-way drivers (hyksort: 128,
+	// ams: 4 when zero).
+	K int
+	// HistogramRounds bounds splitter-refinement iterations (hyksort: 3,
+	// hss: 8 when zero).
+	HistogramRounds int
+	// Epsilon is hss's splitter tolerance: a splitter is accepted once
+	// its global rank is within Epsilon·N/p of the ideal cut (0.05 when
+	// zero).
+	Epsilon float64
+	// Selection, when non-nil, counts which driver each sort actually
+	// ran (the resolved choice under auto).
+	Selection *metrics.AlgoStats
+}
+
+// DefaultOptions returns the shared defaults; per-driver knobs stay at
+// their zero values and resolve inside each driver.
+func DefaultOptions() Options {
+	return Options{Core: core.DefaultOptions()}
+}
+
+// record notes the driver that actually ran. Concrete drivers call it;
+// the auto driver does not, so a resolved choice is counted once.
+func (o Options) record(name string) { o.Selection.Selected(name) }
+
+func (o Options) cores() int {
+	if o.Core.Cores < 1 {
+		return 1
+	}
+	return o.Core.Cores
+}
+
+func (o Options) tracer() trace.Tracer {
+	if o.Core.Trace != nil {
+		return o.Core.Trace
+	}
+	return trace.Nop{}
+}
+
+// timer returns the configured phase timer or a throwaway, and the
+// core options with that timer installed so driver-local phases and the
+// shared exchange accrue on the same clock.
+func (o Options) timer() (*metrics.PhaseTimer, core.Options) {
+	tm := o.Core.Timer
+	if tm == nil {
+		tm = metrics.NewPhaseTimer()
+	}
+	c := o.Core
+	c.Timer = tm
+	return tm, c
+}
+
+// Driver is one distributed sort algorithm. Sort is collective: every
+// rank of c calls it with its local slice (which the driver may
+// reorder) and receives its block of the globally sorted output, rank
+// order = value order. Cancellation via ctx is checked at phase
+// boundaries, not mid-collective.
+type Driver[T any] interface {
+	Info() Info
+	Sort(ctx context.Context, c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int, opt Options) ([]T, error)
+}
+
+// ledger tracks the bytes a driver holds against the shared gauge so a
+// single deferred release settles every exit path. core.ExchangeSorted
+// adopts the holding: on its success the ledger must be reset to the
+// output size, on its failure to zero.
+type ledger struct {
+	g    *memlimit.Gauge
+	held int64
+}
+
+func (l *ledger) reserve(n int64) error {
+	if err := l.g.Reserve(n); err != nil {
+		return err
+	}
+	l.held += n
+	return nil
+}
+
+func (l *ledger) releaseAll() {
+	l.g.Release(l.held)
+	l.held = 0
+}

@@ -1,0 +1,230 @@
+package algo
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"sdssort/internal/cluster"
+	"sdssort/internal/codec"
+	"sdssort/internal/comm"
+	"sdssort/internal/comm/tcpcomm"
+	"sdssort/internal/workload"
+)
+
+func cmpF64(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// eqInput generates one rank's shard of a named equivalence workload.
+type eqInput struct {
+	name string
+	gen  func(rank, p, perRank int) []float64
+}
+
+func presetGen(t testing.TB, name string) func(seed int64, n int) []float64 {
+	t.Helper()
+	pre, ok := workload.LookupPreset(name)
+	if !ok {
+		t.Fatalf("preset %q missing", name)
+	}
+	return pre.Gen
+}
+
+// eqInputs covers the issue's matrix: uniform, skewed, duplicate-heavy,
+// and zero-length-per-rank shards (both some-empty and globally empty).
+func eqInputs(t testing.TB) []eqInput {
+	return []eqInput{
+		{"uniform", func(rank, p, perRank int) []float64 {
+			return presetGen(t, "uniform")(7+int64(rank)*613, perRank)
+		}},
+		{"zipf", func(rank, p, perRank int) []float64 {
+			return presetGen(t, "zipf")(7+int64(rank)*613, perRank)
+		}},
+		{"dup", func(rank, p, perRank int) []float64 {
+			return presetGen(t, "dup")(7+int64(rank)*613, perRank)
+		}},
+		{"allequal", func(rank, p, perRank int) []float64 {
+			return presetGen(t, "allequal")(7+int64(rank)*613, perRank)
+		}},
+		{"empty-ranks", func(rank, p, perRank int) []float64 {
+			if rank%2 == 1 {
+				return nil
+			}
+			return presetGen(t, "zipf")(7+int64(rank)*613, perRank)
+		}},
+		{"all-empty", func(rank, p, perRank int) []float64 {
+			return nil
+		}},
+	}
+}
+
+// reference returns the expected global output: every shard pooled and
+// sorted ascending. float64 keys carry no payload, so any correct sort's
+// concatenated output must match it byte for byte.
+func reference(p, perRank int, gen func(rank, p, perRank int) []float64) []float64 {
+	var all []float64
+	for r := 0; r < p; r++ {
+		all = append(all, gen(r, p, perRank)...)
+	}
+	sort.Float64s(all)
+	return all
+}
+
+// checkEquivalent asserts the per-rank blocks concatenate to exactly the
+// reference sequence.
+func checkEquivalent(t *testing.T, outs [][]float64, want []float64) {
+	t.Helper()
+	var got []float64
+	for _, blk := range outs {
+		got = append(got, blk...)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("output has %d records, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func sortInproc(name string, p, perRank int, gen func(rank, p, perRank int) []float64) ([][]float64, error) {
+	drv, err := New[float64](name)
+	if err != nil {
+		return nil, err
+	}
+	topo := cluster.Topology{Nodes: p, CoresPerNode: 1}
+	return cluster.Gather(topo, cluster.Options{}, func(c *comm.Comm) ([]float64, error) {
+		return drv.Sort(context.Background(), c, gen(c.Rank(), p, perRank), codec.Float64{}, cmpF64, DefaultOptions())
+	})
+}
+
+// sortTCP runs the same collective sort with every rank on its own
+// localhost TCP transport, the multi-process wire path.
+func sortTCP(name string, p, perRank int, gen func(rank, p, perRank int) []float64) ([][]float64, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	registry := ln.Addr().String()
+	ln.Close()
+
+	outs := make([][]float64, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			tr, err := tcpcomm.New(tcpcomm.Config{
+				Rank: rank, Size: p, Node: rank,
+				Registry: registry, Timeout: 30 * time.Second,
+			})
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			defer tr.Close()
+			c := comm.New(tr)
+			drv, err := New[float64](name)
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			out, err := drv.Sort(context.Background(), c, gen(rank, p, perRank), codec.Float64{}, cmpF64, DefaultOptions())
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			outs[rank] = out
+			errs[rank] = c.Barrier()
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("rank %d: %w", r, err)
+		}
+	}
+	return outs, nil
+}
+
+// TestDriverEquivalenceInproc: every built-in driver produces the exact
+// reference sequence on every equivalence workload, over the in-process
+// fabric. p=8 keeps ams genuinely multi-level (k=4 → two levels).
+func TestDriverEquivalenceInproc(t *testing.T) {
+	const p, perRank = 8, 3000
+	for _, in := range builtins {
+		for _, input := range eqInputs(t) {
+			t.Run(in.Name+"/"+input.name, func(t *testing.T) {
+				want := reference(p, perRank, input.gen)
+				outs, err := sortInproc(in.Name, p, perRank, input.gen)
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkEquivalent(t, outs, want)
+			})
+		}
+	}
+}
+
+// TestDriverEquivalenceTCP repeats the matrix over localhost TCP at a
+// smaller size: the wire path must not change a single byte either.
+func TestDriverEquivalenceTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP matrix is slow in -short mode")
+	}
+	const p, perRank = 4, 1200
+	for _, in := range builtins {
+		for _, input := range eqInputs(t) {
+			t.Run(in.Name+"/"+input.name, func(t *testing.T) {
+				want := reference(p, perRank, input.gen)
+				outs, err := sortTCP(in.Name, p, perRank, input.gen)
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkEquivalent(t, outs, want)
+			})
+		}
+	}
+}
+
+// TestDriverStableRejected: drivers without the Stable capability must
+// reject a stable request instead of silently dropping the property.
+func TestDriverStableRejected(t *testing.T) {
+	const p, perRank = 4, 500
+	gen := func(rank, p, perRank int) []float64 {
+		return presetGen(t, "uniform")(int64(rank), perRank)
+	}
+	for _, in := range builtins {
+		if in.Caps.Stable {
+			continue
+		}
+		t.Run(in.Name, func(t *testing.T) {
+			drv, err := New[float64](in.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			topo := cluster.Topology{Nodes: p, CoresPerNode: 1}
+			_, err = cluster.Gather(topo, cluster.Options{}, func(c *comm.Comm) ([]float64, error) {
+				opt := DefaultOptions()
+				opt.Core.Stable = true
+				return drv.Sort(context.Background(), c, gen(c.Rank(), p, perRank), codec.Float64{}, cmpF64, opt)
+			})
+			if err == nil {
+				t.Fatalf("driver %q accepted a stable sort it cannot honour", in.Name)
+			}
+		})
+	}
+}

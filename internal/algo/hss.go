@@ -1,0 +1,215 @@
+package algo
+
+import (
+	"context"
+	"fmt"
+
+	"sdssort/internal/codec"
+	"sdssort/internal/comm"
+	"sdssort/internal/core"
+	"sdssort/internal/metrics"
+	"sdssort/internal/partition"
+	"sdssort/internal/pivots"
+	"sdssort/internal/psort"
+	"sdssort/internal/radix"
+)
+
+// hssDriver implements Histogram Sort with Sampling (Harsh, Kalé,
+// Solomonik — arXiv 1803.01237): splitter selection by iterative
+// histogramming seeded with a sample far smaller than one-shot regular
+// sampling needs, refined only where the measured cut is still outside
+// a rank tolerance. One exchange follows, through the shared
+// core.ExchangeSorted. Like HykSort's selection it is duplicate-
+// oblivious: on heavy duplicates the refinement stalls (no candidate
+// can separate equal keys) and the partition concentrates — the auto
+// driver routes such inputs to sds instead.
+type hssDriver[T any] struct{}
+
+func (hssDriver[T]) Info() Info {
+	in, _ := Lookup(NameHSS)
+	return in
+}
+
+func (hssDriver[T]) Sort(ctx context.Context, c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int, opt Options) ([]T, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := reject(NameHSS, opt); err != nil {
+		return nil, err
+	}
+	opt.record(NameHSS)
+	tm, copt := opt.timer()
+	tm.Start(metrics.PhaseOther)
+	defer tm.Stop()
+
+	recSize := int64(cd.Size())
+	led := &ledger{g: opt.Core.Mem}
+	if err := led.reserve(int64(len(data)) * recSize); err != nil {
+		return nil, fmt.Errorf("hss: input buffer: %w", err)
+	}
+	defer led.releaseAll()
+
+	tm.Start(metrics.PhaseLocalSort)
+	if !radix.DispatchLocal(data, cd, cmp) {
+		psort.ParallelSort(data, opt.cores(), false, cmp)
+	}
+	p := c.Size()
+	if p == 1 {
+		return data, nil
+	}
+
+	tm.Start(metrics.PhasePivotSelection)
+	rounds := opt.HistogramRounds
+	if rounds <= 0 {
+		rounds = 8
+	}
+	eps := opt.Epsilon
+	if eps <= 0 {
+		eps = 0.05
+	}
+	sp, st, err := hssSplitters(c, data, p-1, rounds, eps, cd, cmp)
+	if err != nil {
+		return nil, fmt.Errorf("hss: splitter selection: %w", err)
+	}
+	opt.tracer().Emit(c.Rank(), "hss.splitters", map[string]any{
+		"rounds": st.rounds, "candidates": st.candidates,
+		"resolved": st.resolved, "splitters": p - 1, "tolerance": st.tol,
+	})
+	if len(sp) == 0 {
+		return data, nil // globally empty dataset
+	}
+
+	// Plain upper_bound partition on the refined splitters — HSS is
+	// duplicate-oblivious by design.
+	bounds := make([]int, p+1)
+	bounds[p] = len(data)
+	for j, s := range sp {
+		bounds[j+1] = partition.UpperBound(data, s, cmp)
+	}
+	for j := 1; j <= p; j++ {
+		if bounds[j] < bounds[j-1] {
+			bounds[j] = bounds[j-1]
+		}
+	}
+
+	out, err := core.ExchangeSorted(c, data, bounds, cd, cmp, copt)
+	if err != nil {
+		led.held = 0 // ExchangeSorted settled the ledger on failure
+		return nil, fmt.Errorf("hss: exchange: %w", err)
+	}
+	led.held = int64(len(out)) * recSize
+	return out, nil
+}
+
+// hssStats summarises one splitter selection for the trace.
+type hssStats struct {
+	rounds     int
+	candidates int
+	resolved   int
+	tol        int64
+}
+
+// hssSplitters refines nsplit splitters until every cut's global rank is
+// within tol = max(1, eps·N/(nsplit+1)) of ideal, probing only the
+// bracket of each unresolved cut — the sample-volume saving that is
+// HSS's contribution over one-shot sampling. All decisions derive from
+// all-gathered state, so every rank runs the same number of collectives.
+func hssSplitters[T any](c *comm.Comm, sorted []T, nsplit, maxRounds int, eps float64, cd codec.Codec[T], cmp func(a, b T) int) ([]T, hssStats, error) {
+	var st hssStats
+	if nsplit <= 0 {
+		return nil, st, nil
+	}
+	total, err := c.AllreduceInt64(int64(len(sorted)), func(a, b int64) int64 { return a + b })
+	if err != nil {
+		return nil, st, err
+	}
+	if total == 0 {
+		return nil, st, nil
+	}
+	targets := make([]int64, nsplit)
+	for i := range targets {
+		targets[i] = int64(i+1) * total / int64(nsplit+1)
+	}
+	tol := int64(eps * float64(total) / float64(nsplit+1))
+	if tol < 1 {
+		tol = 1
+	}
+	st.tol = tol
+
+	// Seed pool: 8 regular samples per rank — independent of p, unlike
+	// PSRS's p samples per rank.
+	pool, err := pivots.ShareCandidates(c, pivots.RegularSample(sorted, 8), cd, cmp)
+	if err != nil {
+		return nil, st, err
+	}
+
+	chosen := make([]T, nsplit)
+	resolved := make([]bool, nsplit)
+	for round := 0; round < maxRounds; round++ {
+		if len(pool) == 0 {
+			break
+		}
+		st.rounds = round + 1
+		cdf, err := pivots.GlobalCDF(c, sorted, pool, cmp)
+		if err != nil {
+			return nil, st, err
+		}
+		// Adopt, per cut, the candidate whose global rank is closest;
+		// within tolerance the cut is final. The probe for a cut still
+		// off target covers the bracket between the best candidate's
+		// neighbours — the only interval a better splitter can hide in.
+		allDone := true
+		var probes []T
+		for ti, tgt := range targets {
+			best, bestDist := 0, int64(1)<<62
+			for ci, rank := range cdf {
+				d := rank - tgt
+				if d < 0 {
+					d = -d
+				}
+				if d < bestDist {
+					best, bestDist = ci, d
+				}
+			}
+			chosen[ti] = pool[best]
+			if bestDist <= tol {
+				resolved[ti] = true
+			}
+			if resolved[ti] {
+				continue
+			}
+			allDone = false
+			lo, hi := 0, len(sorted)
+			if best > 0 {
+				lo = partition.LowerBound(sorted, pool[best-1], cmp)
+			}
+			if best < len(pool)-1 {
+				hi = partition.UpperBound(sorted, pool[best+1], cmp)
+			}
+			probes = append(probes, pivots.RegularSample(sorted[lo:hi], 4)...)
+		}
+		if allDone || round == maxRounds-1 {
+			break
+		}
+		// Always enter the collective: whether refinement found local
+		// probes differs per rank, and control flow around collectives
+		// must not.
+		extra, err := pivots.ShareCandidates(c, probes, cd, cmp)
+		if err != nil {
+			return nil, st, err
+		}
+		if len(extra) == 0 {
+			break // globally stuck: no rank can refine further (duplicates)
+		}
+		pool = append(pool, extra...)
+		psort.Sort(pool, cmp)
+	}
+	st.candidates = len(pool)
+	for _, r := range resolved {
+		if r {
+			st.resolved++
+		}
+	}
+	psort.Sort(chosen, cmp)
+	return chosen, st, nil
+}

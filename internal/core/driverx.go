@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+
+	"sdssort/internal/codec"
+	"sdssort/internal/comm"
+	"sdssort/internal/metrics"
+	"sdssort/internal/partition"
+)
+
+// ExchangeSorted is the shared exchange-and-order stage behind every
+// algorithm driver: given this rank's locally sorted working set and a
+// partition of it into p destination slices (bounds, len p+1), it runs
+// the count exchange, budgets the receive side against opt.Mem, diverts
+// through the out-of-core spill tier when configured and necessary, and
+// returns this rank's sorted block — via the staged/zero-copy collective
+// and the merge-versus-resort (τs) and overlap (τo) adaptivity the
+// SDS-Sort core uses. Competitor drivers (hyksort, psrs, hss, ams) call
+// it instead of carrying private exchange paths, so they inherit memory
+// accounting, spill, staging and the exchange telemetry for free.
+//
+// Memory contract: the caller has already reserved len(work)·recSize
+// against opt.Mem (its input reservation). On success that reservation
+// has been settled — the caller then holds exactly len(out)·recSize and
+// must release it when done with the output. On error every byte,
+// including the adopted input reservation, has been returned to the
+// gauge. opt.Checkpoint is ignored: phase snapshots remain a core.Sort
+// concern.
+func ExchangeSorted[T any](wc *comm.Comm, work []T, bounds []int, cd codec.Codec[T], cmp func(a, b T) int, opt Options) ([]T, error) {
+	p := wc.Size()
+	if len(bounds) != p+1 {
+		return nil, fmt.Errorf("core: %d partition bounds for %d processes", len(bounds), p)
+	}
+	if err := partition.Validate(bounds, len(work)); err != nil {
+		return nil, fmt.Errorf("core: exchange partition: %w", err)
+	}
+
+	recSize := int64(cd.Size())
+	workBytes := int64(len(work)) * recSize
+	// Adopt the caller's input reservation into the per-call ledger so
+	// the staging window, the receive buffer and the spill tier account
+	// exactly as they do under core.Sort. ok marks the one exit where
+	// the ledger transfers to the caller instead of being returned.
+	acct := &memAcct{g: opt.Mem, held: workBytes}
+	ok := false
+	defer func() {
+		if !ok {
+			acct.releaseAll()
+		}
+	}()
+
+	tm := opt.timer()
+	tr := opt.tracer()
+	rank := wc.Rank()
+
+	if p == 1 {
+		ok = true
+		return work, nil
+	}
+
+	tm.Start(metrics.PhaseExchange)
+	scounts := partition.Counts(bounds)
+	rcounts, err := exchangeCounts(wc, scounts)
+	if err != nil {
+		return nil, fmt.Errorf("core: count exchange: %w", err)
+	}
+	var m int64
+	for _, rc := range rcounts {
+		m += rc
+	}
+	stage := effStage(opt.StageBytes, recSize)
+	tr.Emit(rank, "exchange.plan", map[string]any{
+		"send_records": len(work), "recv_records": m,
+		"overlap":     !opt.Stable && p <= opt.TauO,
+		"stage_bytes": stage, "staged": stage > 0,
+		"zero_copy": zeroCopyEligible(cd, opt),
+	})
+
+	// Receive-buffer budgeting doubles as the spill trigger, exactly as
+	// in core.Sort: the decision is collective, so if any rank must
+	// spill, every rank takes the spilled path.
+	reserveErr := acct.reserve(m * recSize)
+	if opt.Spill != nil {
+		spill, aerr := agreeSpill(wc, opt.Spill.Force || reserveErr != nil)
+		if aerr != nil {
+			return nil, aerr
+		}
+		if spill {
+			if reserveErr == nil {
+				acct.release(m * recSize)
+			}
+			out, err := spillExchange(wc, work, bounds, rcounts, m, cd, cmp, opt, tm, acct, tr, rank)
+			if err != nil {
+				return nil, err
+			}
+			// spillExchange settled the work bytes and reserved the
+			// output; that reservation transfers to the caller.
+			ok = true
+			return out, nil
+		}
+	}
+	if reserveErr != nil {
+		return nil, fmt.Errorf("core: receive buffer of %d records: %w", m, reserveErr)
+	}
+
+	var out []T
+	if opt.Stable || p > opt.TauO {
+		out, err = syncExchange(wc, work, bounds, rcounts, cd, cmp, opt, tm, acct)
+	} else {
+		out, err = overlapExchange(wc, work, bounds, rcounts, cd, cmp, opt, tm, acct)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// The input has been shipped; its bytes go back to the budget and
+	// the receive reservation transfers to the caller with the output.
+	acct.release(workBytes)
+	ok = true
+	return out, nil
+}

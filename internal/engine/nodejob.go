@@ -21,8 +21,13 @@ import (
 type NodeJob struct {
 	// Name labels the job in logs (default "job<index>").
 	Name string `json:"name,omitempty"`
-	// Workload generates this rank's shard: "uniform" or "zipf".
+	// Workload generates this rank's shard: "uniform", "zipf", or any
+	// workload preset name.
 	Workload string `json:"workload,omitempty"`
+	// Algo selects the sorting driver by algo-registry name ("sds",
+	// "hss", "ams", "hyksort", "psrs", "auto"); empty inherits the
+	// -algo flag. Validated against the registry before the stream runs.
+	Algo string `json:"algo,omitempty"`
 	// Alpha is the Zipf exponent.
 	Alpha float64 `json:"alpha,omitempty"`
 	// N is the records per rank when generating.

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sdssort/internal/algo"
+	"sdssort/internal/cluster"
+	"sdssort/internal/core"
+	"sdssort/internal/metrics"
+	"sdssort/internal/workload"
+)
+
+// AlgoCompare races the registered drivers across the named workload
+// presets — the head-to-head the pluggable algorithm layer exists for.
+// Every row reports which driver actually ran, so the auto rows make
+// the runtime selection visible from the CLI (sdsbench -exp algocmp);
+// -algo restricts the race to one driver.
+func AlgoCompare(cfg Config) (*Result, error) {
+	p, perRank := 8, 8000
+	presetNames := []string{"uniform", "zipf", "dup"}
+	if cfg.Quick {
+		p, perRank = 4, 2000
+		presetNames = []string{"uniform", "zipf"}
+	}
+	names := algo.Names()
+	if cfg.Algo != "" {
+		if _, ok := algo.Lookup(cfg.Algo); !ok {
+			return nil, &algo.UnknownError{Name: cfg.Algo}
+		}
+		names = []string{cfg.Algo}
+	}
+	topo := cluster.Topology{Nodes: p, CoresPerNode: 1}
+	res := &Result{ID: "algocmp", Title: About("algocmp")}
+	for _, pn := range presetNames {
+		pre, ok := workload.LookupPreset(pn)
+		if !ok {
+			return nil, fmt.Errorf("algocmp: unknown preset %q", pn)
+		}
+		gen := func(rank int) []float64 {
+			return pre.Gen(cfg.Seed+int64(rank)*613, perRank)
+		}
+		tbl := &metrics.Table{
+			Title:   "Algorithm comparison — " + pn,
+			Headers: []string{"driver", "time", "RDFA", "ran"},
+		}
+		for _, name := range names {
+			sel := &metrics.AlgoStats{}
+			rc := runCfg{topo: topo, opt: core.DefaultOptions(), selection: sel}
+			o := runSort(sorterKind(name), rc, gen, f64codec, cmpF64)
+			if o.Err != nil && !o.OOM {
+				return nil, fmt.Errorf("algocmp %s/%s: %w", pn, name, o.Err)
+			}
+			rdfa := "inf"
+			if o.Err == nil {
+				rdfa = metrics.FmtRDFA(metrics.RDFA(o.Loads))
+			}
+			tbl.AddRow(name, fmtOutcomeTime(o), rdfa, resolvedName(sel))
+		}
+		res.Tables = append(res.Tables, tbl)
+	}
+	res.Notes = append(res.Notes,
+		"'ran' is the driver that executed; for auto it is the resolved choice of the profile-driven decision rule (docs/INTERNALS.md): duplicate-heavy → sds, spill pressure → sds, large worlds with narrow records → ams, otherwise hss")
+	return res, nil
+}
+
+// resolvedName reports the driver a selection-counting run resolved to.
+func resolvedName(sel *metrics.AlgoStats) string {
+	for _, n := range algo.Names() {
+		if sel.Count(n) > 0 {
+			return n
+		}
+	}
+	return "?"
+}

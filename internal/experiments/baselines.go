@@ -14,9 +14,9 @@ import (
 
 // Baselines runs the paper's future-work item "more comparisons against
 // various parallel sorting methods": SDS-Sort (fast and stable) against
-// HykSort, classical PSRS, distributed bitonic sort, and parallel radix
-// sort, on the Uniform and Zipf workloads. The time columns carry the
-// headline; the RDFA columns carry the why.
+// HykSort, HSS, multi-level AMS, classical PSRS, distributed bitonic
+// sort, and parallel radix sort, on the Uniform and Zipf workloads. The
+// time columns carry the headline; the RDFA columns carry the why.
 func Baselines(cfg Config) (*Result, error) {
 	p, perRank := 8, 8000
 	if cfg.Quick {
@@ -52,13 +52,15 @@ func Baselines(cfg Config) (*Result, error) {
 		row("SDS-Sort", runSort(kindSDS, rc, gen, f64codec, cmpF64))
 		row("SDS-Sort/stable", runSort(kindSDSStable, rc, gen, f64codec, cmpF64))
 		row("HykSort", runSort(kindHyk, rc, gen, f64codec, cmpF64))
+		row("HSS", runSort(kindHSS, rc, gen, f64codec, cmpF64))
+		row("AMS", runSort(kindAMS, rc, gen, f64codec, cmpF64))
 		row("PSRS", runSort(kindPSRS, rc, gen, f64codec, cmpF64))
 		row("Bitonic", runBitonic(topo, gen))
 		row("Radix", runRadix(topo, gen))
 		res.Tables = append(res.Tables, tbl)
 	}
 	res.Notes = append(res.Notes,
-		"bitonic moves data log²p times (communication-bound); radix needs an integer key mapping and distributes on high bits (coarse for floats); PSRS/HykSort lose balance on duplicates — the §5 trade-offs")
+		"bitonic moves data log²p times (communication-bound); radix needs an integer key mapping and distributes on high bits (coarse for floats); PSRS/HykSort/HSS/AMS partition duplicate-obliviously and lose balance on Zipf — the §5 trade-offs")
 	return res, nil
 }
 

@@ -7,19 +7,19 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"time"
 
+	"sdssort/internal/algo"
 	"sdssort/internal/cluster"
 	"sdssort/internal/codec"
 	"sdssort/internal/comm"
 	"sdssort/internal/core"
-	"sdssort/internal/hyksort"
 	"sdssort/internal/memlimit"
 	"sdssort/internal/metrics"
-	"sdssort/internal/psrs"
 )
 
 // Config scales an experiment run.
@@ -29,6 +29,9 @@ type Config struct {
 	Quick bool
 	// Seed makes runs reproducible.
 	Seed int64
+	// Algo, when non-empty, restricts the algorithm-comparison
+	// experiments (algocmp) to one registered driver name.
+	Algo string
 }
 
 // Result is one experiment's output.
@@ -82,7 +85,8 @@ func init() {
 		{"fig10", Fig10, "cosmology dataset phase breakdown"},
 		{"tab4", Table4, "RDFA on the PTF and cosmology datasets"},
 		{"ablation", Ablation, "ablations: run detection, locators, stability overhead"},
-		{"baselines", Baselines, "six sorters compared on Uniform and Zipf workloads"},
+		{"baselines", Baselines, "eight sorters compared on Uniform and Zipf workloads"},
+		{"algocmp", AlgoCompare, "pluggable drivers across the workload presets, with auto's resolved choices"},
 		{"tausweep", TauSweep, "systematic τm/τo/τs parameter study (the paper's §6 future work)"},
 		{"transport", Transport, "same sort over the in-process and TCP transports"},
 	}
@@ -117,7 +121,9 @@ func Lookup(id string) (Runner, bool) {
 	return nil, false
 }
 
-// sorterKind selects the algorithm under test.
+// sorterKind selects the algorithm under test. The values are the
+// display labels the tables print; driverName maps them onto the algo
+// registry.
 type sorterKind string
 
 const (
@@ -125,7 +131,29 @@ const (
 	kindSDSStable sorterKind = "SDS-Sort/stable"
 	kindHyk       sorterKind = "HykSort"
 	kindPSRS      sorterKind = "PSRS"
+	kindHSS       sorterKind = "HSS"
+	kindAMS       sorterKind = "AMS"
+	kindAuto      sorterKind = "auto"
 )
+
+// driverName maps a display kind onto its algo-registry name.
+func driverName(kind sorterKind) string {
+	switch kind {
+	case kindSDS, kindSDSStable:
+		return algo.NameSDS
+	case kindHyk:
+		return algo.NameHyk
+	case kindPSRS:
+		return algo.NamePSRS
+	case kindHSS:
+		return algo.NameHSS
+	case kindAMS:
+		return algo.NameAMS
+	case kindAuto:
+		return algo.NameAuto
+	}
+	return string(kind)
+}
 
 // outcome is one distributed sort run's measurement.
 type outcome struct {
@@ -144,13 +172,20 @@ type runCfg struct {
 	// budgetMultiple × fair share per rank; 0 = unlimited.
 	budgetMultiple float64
 	totalBytes     int64
-	opt            core.Options // for SDS kinds
-	hykOpt         hyksort.Options
-	wrap           func(comm.Transport) comm.Transport
+	// opt carries the shared exchange tunables for every kind; the
+	// τm/τo/τs and Stable fields only reach the SDS kinds (the baseline
+	// drivers map the subset they understand).
+	opt core.Options
+	// selection, when non-nil, counts which driver each rank actually
+	// ran (the resolved choice under kindAuto).
+	selection *metrics.AlgoStats
+	wrap      func(comm.Transport) comm.Transport
 }
 
 // runSort runs one collective sort of the given kind over generated
-// per-rank data and measures wall time, final loads, and phases.
+// per-rank data and measures wall time, final loads, and phases. All
+// kinds dispatch through the algo driver registry, so an experiment
+// exercises exactly the code path the front ends run.
 func runSort[T any](kind sorterKind, rc runCfg, gen func(rank int) []T, cd codec.Codec[T], cmp func(a, b T) int) outcome {
 	p := rc.topo.Size()
 	loads := make([]int, p)
@@ -158,36 +193,24 @@ func runSort[T any](kind sorterKind, rc runCfg, gen func(rank int) []T, cd codec
 	for i := range timers {
 		timers[i] = metrics.NewPhaseTimer()
 	}
+	drv, err := algo.New[T](driverName(kind))
+	if err != nil {
+		return outcome{Err: err}
+	}
 	start := time.Now()
-	err := cluster.RunOpts(rc.topo, cluster.Options{WrapTransport: rc.wrap}, func(c *comm.Comm) error {
+	err = cluster.RunOpts(rc.topo, cluster.Options{WrapTransport: rc.wrap}, func(c *comm.Comm) error {
 		data := gen(c.Rank())
 		var mem *memlimit.Gauge
 		if rc.budgetMultiple > 0 {
 			mem = memlimit.New(memlimit.FairShareBudget(rc.totalBytes, p, rc.budgetMultiple))
 		}
-		var out []T
-		var err error
-		switch kind {
-		case kindSDS, kindSDSStable:
-			opt := rc.opt
-			opt.Stable = kind == kindSDSStable
-			opt.Mem = mem
-			opt.Timer = timers[c.Rank()]
-			out, err = core.Sort(c, data, cd, cmp, opt)
-		case kindHyk:
-			opt := rc.hykOpt
-			if opt.K == 0 {
-				opt = hyksort.DefaultOptions()
-			}
-			opt.Mem = mem
-			opt.Timer = timers[c.Rank()]
-			out, err = hyksort.Sort(c, data, cd, cmp, opt)
-		case kindPSRS:
-			opt := psrs.Options{Mem: mem, Timer: timers[c.Rank()]}
-			out, err = psrs.Sort(c, data, cd, cmp, opt)
-		default:
-			return fmt.Errorf("unknown sorter %q", kind)
-		}
+		aopt := algo.DefaultOptions()
+		aopt.Core = rc.opt
+		aopt.Core.Stable = kind == kindSDSStable
+		aopt.Core.Mem = mem
+		aopt.Core.Timer = timers[c.Rank()]
+		aopt.Selection = rc.selection
+		out, err := drv.Sort(context.Background(), c, data, cd, cmp, aopt)
 		if err != nil {
 			return err
 		}

@@ -40,8 +40,8 @@ func TestAllExperimentsRun(t *testing.T) {
 }
 
 func TestRegistryHelpers(t *testing.T) {
-	if len(IDs()) != 18 {
-		t.Fatalf("expected 18 experiments, got %d", len(IDs()))
+	if len(IDs()) != 19 {
+		t.Fatalf("expected 19 experiments, got %d", len(IDs()))
 	}
 	if About("fig7") == "" {
 		t.Fatal("missing About")

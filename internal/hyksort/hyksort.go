@@ -12,6 +12,11 @@
 // splitters collapse onto the popular values, and the data concentrates
 // on few ranks — the load imbalance and out-of-memory failure the
 // paper's Figs. 6c/8/10 and Tables 3/4 document.
+//
+// The per-round bucket exchange runs through core.ExchangeSorted, the
+// shared driver exchange: staged/zero-copy collectives, memory-budget
+// accounting and the optional spill tier come from there rather than a
+// private all-to-all.
 package hyksort
 
 import (
@@ -19,15 +24,15 @@ import (
 
 	"sdssort/internal/codec"
 	"sdssort/internal/comm"
+	"sdssort/internal/core"
 	"sdssort/internal/memlimit"
 	"sdssort/internal/metrics"
 	"sdssort/internal/partition"
 	"sdssort/internal/pivots"
 	"sdssort/internal/psort"
 	"sdssort/internal/radix"
+	"sdssort/internal/trace"
 )
-
-const tagExchange = 3
 
 // Options configures HykSort.
 type Options struct {
@@ -43,6 +48,17 @@ type Options struct {
 	Mem *memlimit.Gauge
 	// Timer accrues per-phase time when non-nil.
 	Timer *metrics.PhaseTimer
+	// StageBytes bounds the staging window of the per-round exchange,
+	// as core.Options.StageBytes does for SDS-Sort. Zero keeps the
+	// monolithic exchange.
+	StageBytes int64
+	// Exchange accrues staged-exchange counters when non-nil.
+	Exchange *metrics.ExchangeStats
+	// Spill enables the out-of-core spill tier for the per-round
+	// exchange (must agree across ranks; the decision is collective).
+	Spill *core.SpillOptions
+	// Trace receives structured events when non-nil.
+	Trace trace.Tracer
 }
 
 // DefaultOptions mirrors the published configuration.
@@ -64,6 +80,22 @@ func (o Options) timer() *metrics.PhaseTimer {
 	return metrics.NewPhaseTimer()
 }
 
+// coreOpt maps the HykSort knobs onto the shared exchange's options.
+// TauO is pinned to zero: every round takes the synchronous exchange,
+// whose rank-ordered chunks keep the k-way merge deterministic.
+func (o Options) coreOpt(tm *metrics.PhaseTimer) core.Options {
+	c := core.DefaultOptions()
+	c.Cores = o.Cores
+	c.Mem = o.Mem
+	c.Timer = tm
+	c.StageBytes = o.StageBytes
+	c.Exchange = o.Exchange
+	c.Spill = o.Spill
+	c.Trace = o.Trace
+	c.TauO = 0
+	return c
+}
+
 // Sort runs HykSort collectively: each rank contributes its local slice
 // and receives its block of the globally sorted output (rank order =
 // value order). The sort is not stable.
@@ -76,9 +108,17 @@ func Sort[T any](c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int
 	defer tm.Stop()
 
 	recSize := int64(cd.Size())
-	if err := opt.Mem.Reserve(int64(len(data)) * recSize); err != nil {
+	// held tracks the bytes this call still holds against the gauge:
+	// the input reservation, then — after each round's ExchangeSorted
+	// settles the previous holding — the current working set. The defer
+	// returns the remainder on every exit, so repeated sorts cannot
+	// leak the (shared, long-lived) gauge.
+	held := int64(len(data)) * recSize
+	if err := opt.Mem.Reserve(held); err != nil {
 		return nil, fmt.Errorf("hyksort: input buffer: %w", err)
 	}
+	defer func() { opt.Mem.Release(held) }()
+
 	tm.Start(metrics.PhaseLocalSort)
 	// HykSort is never stable, so integer-keyed codecs always qualify
 	// for the LSD radix dispatch.
@@ -90,7 +130,7 @@ func Sort[T any](c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int
 	cur := c
 	for cur.Size() > 1 {
 		var err error
-		local, cur, err = round(cur, local, cd, cmp, recSize, opt, tm)
+		local, cur, err = round(cur, local, cd, cmp, recSize, opt, tm, &held)
 		if err != nil {
 			return nil, err
 		}
@@ -99,8 +139,9 @@ func Sort[T any](c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int
 }
 
 // round performs one k-way split: select splitters, exchange buckets to
-// their groups, merge, and narrow the communicator to this rank's group.
-func round[T any](cur *comm.Comm, local []T, cd codec.Codec[T], cmp func(a, b T) int, recSize int64, opt Options, tm *metrics.PhaseTimer) ([]T, *comm.Comm, error) {
+// their groups, and narrow the communicator to this rank's group. held
+// is the caller's gauge ledger; the exchange settles it.
+func round[T any](cur *comm.Comm, local []T, cd codec.Codec[T], cmp func(a, b T) int, recSize int64, opt Options, tm *metrics.PhaseTimer, held *int64) ([]T, *comm.Comm, error) {
 	p := cur.Size()
 	b := opt.K
 	if b > p {
@@ -112,6 +153,16 @@ func round[T any](cur *comm.Comm, local []T, cd codec.Codec[T], cmp func(a, b T)
 	splitters, err := pivots.HistogramSplitters(cur, local, b-1, opt.HistogramRounds, cd, cmp)
 	if err != nil {
 		return nil, nil, fmt.Errorf("hyksort: splitter selection: %w", err)
+	}
+	if len(splitters) == 0 {
+		// Globally empty dataset: no rank contributed a candidate, and
+		// every rank observes the same empty pool, so ending the
+		// recursion by splitting into singleton worlds stays collective.
+		sub, err := cur.Split(cur.Rank(), 0)
+		if err != nil {
+			return nil, nil, fmt.Errorf("hyksort: empty split: %w", err)
+		}
+		return local, sub, nil
 	}
 	if len(splitters) != b-1 {
 		return nil, nil, fmt.Errorf("hyksort: selected %d splitters for %d groups", len(splitters), b)
@@ -132,7 +183,10 @@ func round[T any](cur *comm.Comm, local []T, cd codec.Codec[T], cmp func(a, b T)
 
 	// Rank layout: group j owns ranks [j*p/b, (j+1)*p/b). Each rank
 	// scatters bucket j to one rank of group j, spreading senders
-	// round-robin across the group's members.
+	// round-robin across the group's members. The targets are strictly
+	// increasing in j, so the locally sorted data is already in
+	// destination order and the buckets translate directly into the
+	// per-destination bounds the shared exchange wants.
 	groupOf := func(rank int) int { return rank * b / p }
 	groupStart := func(j int) int {
 		// First rank whose group is j.
@@ -142,68 +196,27 @@ func round[T any](cur *comm.Comm, local []T, cd codec.Codec[T], cmp func(a, b T)
 		}
 		return lo
 	}
-	parts := make([][]byte, p)
 	myRank := cur.Rank()
+	cnt := make([]int, p)
 	for j := 0; j < b; j++ {
-		if bounds[j+1] == bounds[j] {
-			continue
-		}
 		gs := groupStart(j)
-		var ge int
-		if j == b-1 {
-			ge = p
-		} else {
+		ge := p
+		if j < b-1 {
 			ge = groupStart(j + 1)
 		}
-		target := gs + myRank%(ge-gs)
-		seg := local[bounds[j]:bounds[j+1]]
-		if parts[target] == nil {
-			// Zero-copy-capable codecs scatter the bucket straight
-			// from the record slab. The view has no spare capacity,
-			// so a second bucket for the same target below appends
-			// into a fresh buffer rather than the slab.
-			if wire, ok := codec.View(cd, seg); ok {
-				parts[target] = wire
-				continue
-			}
-		}
-		parts[target] = codec.EncodeSlice(cd, parts[target], seg)
+		cnt[gs+myRank%(ge-gs)] = bounds[j+1] - bounds[j]
+	}
+	db := make([]int, p+1)
+	for dst := 0; dst < p; dst++ {
+		db[dst+1] = db[dst] + cnt[dst]
 	}
 
-	tm.Start(metrics.PhaseExchange)
-	recv, err := cur.Alltoall(parts)
+	merged, err := core.ExchangeSorted(cur, local, db, cd, cmp, opt.coreOpt(tm))
 	if err != nil {
+		*held = 0 // ExchangeSorted settled the ledger on failure
 		return nil, nil, fmt.Errorf("hyksort: exchange: %w", err)
 	}
-
-	// Budget the received volume before materialising it — the spot
-	// where a collapsed split dies of OOM.
-	var incoming int64
-	for src, buf := range recv {
-		if src == myRank {
-			continue
-		}
-		incoming += int64(len(buf))
-	}
-	if err := opt.Mem.Reserve(incoming); err != nil {
-		return nil, nil, fmt.Errorf("hyksort: receive buffer: %w", err)
-	}
-
-	tm.Start(metrics.PhaseLocalOrdering)
-	oldBytes := int64(len(local)) * recSize
-	chunks := make([][]T, 0, p)
-	for src := 0; src < p; src++ {
-		if len(recv[src]) == 0 {
-			continue
-		}
-		chunk, err := codec.DecodeSlice(cd, recv[src])
-		if err != nil {
-			return nil, nil, fmt.Errorf("hyksort: decode from rank %d: %w", src, err)
-		}
-		chunks = append(chunks, chunk)
-	}
-	merged := psort.KWayMerge(chunks, cmp)
-	opt.Mem.Release(oldBytes)
+	*held = int64(len(merged)) * recSize
 
 	tm.Start(metrics.PhaseOther)
 	sub, err := cur.Split(groupOf(myRank), myRank)

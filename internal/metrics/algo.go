@@ -1,0 +1,52 @@
+package metrics
+
+import (
+	"sync"
+
+	"sdssort/internal/telemetry"
+)
+
+// AlgoStats counts which algorithm driver each sort actually ran —
+// the resolved choice, so a job submitted with `-algo auto` increments
+// the driver the profile selected. May be shared across ranks and jobs;
+// safe for concurrent use.
+type AlgoStats struct {
+	mu       sync.Mutex
+	selected map[string]int64
+}
+
+// Selected records one sort dispatched to the named driver. Nil-safe.
+func (s *AlgoStats) Selected(name string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.selected == nil {
+		s.selected = make(map[string]int64)
+	}
+	s.selected[name]++
+}
+
+// Count returns how many sorts ran under the named driver. Nil-safe.
+func (s *AlgoStats) Count(name string) int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.selected[name]
+}
+
+// Register exposes a per-driver selection counter for each of the given
+// driver names. The names are passed in (typically algo.Names()) because
+// the driver registry lives a layer above metrics.
+func (s *AlgoStats) Register(r *telemetry.Registry, algos ...string) {
+	for _, name := range algos {
+		name := name
+		r.CounterFunc("sds_algo_selected_total",
+			"Sorts dispatched per algorithm driver (resolved: auto counts under its choice).",
+			func() float64 { return float64(s.Count(name)) },
+			telemetry.L("algo", name))
+	}
+}

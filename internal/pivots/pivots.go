@@ -180,7 +180,7 @@ func HistogramSplitters[T any](c *comm.Comm, sorted []T, nsplit, rounds int, cd 
 	if sampleCount < 32 {
 		sampleCount = 32
 	}
-	candidates, err := shareCandidates(c, RegularSample(sorted, sampleCount), cd, cmp)
+	candidates, err := ShareCandidates(c, RegularSample(sorted, sampleCount), cd, cmp)
 	if err != nil {
 		return nil, err
 	}
@@ -193,7 +193,7 @@ func HistogramSplitters[T any](c *comm.Comm, sorted []T, nsplit, rounds int, cd 
 		if len(candidates) == 0 {
 			break
 		}
-		cdf, err := globalCDF(c, sorted, candidates, cmp)
+		cdf, err := GlobalCDF(c, sorted, candidates, cmp)
 		if err != nil {
 			return nil, err
 		}
@@ -231,7 +231,7 @@ func HistogramSplitters[T any](c *comm.Comm, sorted []T, nsplit, rounds int, cd 
 		// Always enter the collective: whether refinement found new
 		// local candidates differs per rank, and control flow around
 		// collectives must not.
-		extra, err := shareCandidates(c, refine, cd, cmp)
+		extra, err := ShareCandidates(c, refine, cd, cmp)
 		if err != nil {
 			return nil, err
 		}
@@ -246,9 +246,9 @@ func HistogramSplitters[T any](c *comm.Comm, sorted []T, nsplit, rounds int, cd 
 	return chosen, nil
 }
 
-// shareCandidates all-gathers each rank's candidate values and returns
+// ShareCandidates all-gathers each rank's candidate values and returns
 // the sorted union (with duplicates preserved).
-func shareCandidates[T any](c *comm.Comm, local []T, cd codec.Codec[T], cmp func(a, b T) int) ([]T, error) {
+func ShareCandidates[T any](c *comm.Comm, local []T, cd codec.Codec[T], cmp func(a, b T) int) ([]T, error) {
 	parts, err := c.Allgather(codec.EncodeSlice(cd, nil, local))
 	if err != nil {
 		return nil, err
@@ -265,10 +265,10 @@ func shareCandidates[T any](c *comm.Comm, local []T, cd codec.Codec[T], cmp func
 	return pool, nil
 }
 
-// globalCDF returns, for each candidate, the number of records globally
+// GlobalCDF returns, for each candidate, the number of records globally
 // <= the candidate (the histogram step: local binary searches plus one
 // vector all-reduce).
-func globalCDF[T any](c *comm.Comm, sorted, candidates []T, cmp func(a, b T) int) ([]int64, error) {
+func GlobalCDF[T any](c *comm.Comm, sorted, candidates []T, cmp func(a, b T) int) ([]int64, error) {
 	local := make([]int64, len(candidates))
 	for i, cand := range candidates {
 		local[i] = int64(partition.UpperBound(sorted, cand, cmp))

@@ -5,6 +5,10 @@
 // the "classical PSS algorithm" of the paper's introduction and serves
 // as a second baseline: correct and simple, but with no duplicate
 // handling in its partition.
+//
+// The all-to-all runs through core.ExchangeSorted, the shared driver
+// exchange: staged/zero-copy collectives, memory-budget accounting and
+// the optional spill tier come from there rather than a private path.
 package psrs
 
 import (
@@ -12,12 +16,14 @@ import (
 
 	"sdssort/internal/codec"
 	"sdssort/internal/comm"
+	"sdssort/internal/core"
 	"sdssort/internal/memlimit"
 	"sdssort/internal/metrics"
 	"sdssort/internal/partition"
 	"sdssort/internal/pivots"
 	"sdssort/internal/psort"
 	"sdssort/internal/radix"
+	"sdssort/internal/trace"
 )
 
 // Options configures PSRS.
@@ -28,6 +34,17 @@ type Options struct {
 	Mem *memlimit.Gauge
 	// Timer accrues per-phase time when non-nil.
 	Timer *metrics.PhaseTimer
+	// StageBytes bounds the staging window of the exchange, as
+	// core.Options.StageBytes does for SDS-Sort. Zero keeps the
+	// monolithic exchange.
+	StageBytes int64
+	// Exchange accrues staged-exchange counters when non-nil.
+	Exchange *metrics.ExchangeStats
+	// Spill enables the out-of-core spill tier for the exchange (must
+	// agree across ranks; the decision is collective).
+	Spill *core.SpillOptions
+	// Trace receives structured events when non-nil.
+	Trace trace.Tracer
 }
 
 func (o Options) cores() int {
@@ -44,6 +61,22 @@ func (o Options) timer() *metrics.PhaseTimer {
 	return metrics.NewPhaseTimer()
 }
 
+// coreOpt maps the PSRS knobs onto the shared exchange's options. TauO
+// is pinned to zero: the classic formulation is one synchronous
+// all-to-all followed by a k-way merge.
+func (o Options) coreOpt(tm *metrics.PhaseTimer) core.Options {
+	c := core.DefaultOptions()
+	c.Cores = o.Cores
+	c.Mem = o.Mem
+	c.Timer = tm
+	c.StageBytes = o.StageBytes
+	c.Exchange = o.Exchange
+	c.Spill = o.Spill
+	c.Trace = o.Trace
+	c.TauO = 0
+	return c
+}
+
 // Sort runs PSRS collectively: local sort, regular sampling, gather of
 // all samples on rank 0, broadcast of p-1 global pivots, upper_bound
 // partition (duplicates all land on one rank), one all-to-all, k-way
@@ -54,9 +87,14 @@ func Sort[T any](c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int
 	defer tm.Stop()
 
 	recSize := int64(cd.Size())
-	if err := opt.Mem.Reserve(int64(len(data)) * recSize); err != nil {
+	// held tracks the bytes this call still holds against the gauge:
+	// the input reservation until ExchangeSorted settles it, then the
+	// output. The defer returns the remainder on every exit.
+	held := int64(len(data)) * recSize
+	if err := opt.Mem.Reserve(held); err != nil {
 		return nil, fmt.Errorf("psrs: input buffer: %w", err)
 	}
+	defer func() { opt.Mem.Release(held) }()
 
 	tm.Start(metrics.PhaseLocalSort)
 	// PSRS is never stable, so integer-keyed codecs always qualify for
@@ -123,39 +161,11 @@ func Sort[T any](c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int
 		}
 	}
 
-	tm.Start(metrics.PhaseExchange)
-	sendParts := make([][]byte, p)
-	for dst := 0; dst < p; dst++ {
-		// Zero-copy-capable codecs scatter straight from the record
-		// slab; data is not touched again until the exchange returns.
-		if wire, ok := codec.View(cd, data[bounds[dst]:bounds[dst+1]]); ok {
-			sendParts[dst] = wire
-			continue
-		}
-		sendParts[dst] = codec.EncodeSlice(cd, nil, data[bounds[dst]:bounds[dst+1]])
-	}
-	recv, err := c.Alltoall(sendParts)
+	out, err := core.ExchangeSorted(c, data, bounds, cd, cmp, opt.coreOpt(tm))
 	if err != nil {
+		held = 0 // ExchangeSorted settled the ledger on failure
 		return nil, fmt.Errorf("psrs: exchange: %w", err)
 	}
-	var incoming int64
-	for src, buf := range recv {
-		if src != c.Rank() {
-			incoming += int64(len(buf))
-		}
-	}
-	if err := opt.Mem.Reserve(incoming); err != nil {
-		return nil, fmt.Errorf("psrs: receive buffer: %w", err)
-	}
-
-	tm.Start(metrics.PhaseLocalOrdering)
-	chunks := make([][]T, p)
-	for src := 0; src < p; src++ {
-		chunk, err := codec.DecodeSlice(cd, recv[src])
-		if err != nil {
-			return nil, fmt.Errorf("psrs: decode from rank %d: %w", src, err)
-		}
-		chunks[src] = chunk
-	}
-	return psort.KWayMerge(chunks, cmp), nil
+	held = int64(len(out)) * recSize
+	return out, nil
 }
