@@ -9,6 +9,12 @@ SHELL := /bin/bash
 GO ?= go
 FAULTNET_SEED ?= 1
 
+# Build identity: the stamped version lands in -version output and in
+# the sds_build_info metric. Defaults to git describe (falling back to
+# the short hash), overridable for release builds: make build VERSION=v1.2.3
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+LDFLAGS := -X sdssort/internal/buildinfo.Version=$(VERSION)
+
 # The hot-path benchmark lane the perf ratchet diffs: pinned parallelism
 # and a fixed -benchtime/-count so runs are comparable across machines
 # and days. -count=5 gives benchdiff five samples per benchmark to take
@@ -20,12 +26,17 @@ BENCH_COUNT    ?= 5
 BENCH_HOT      := ^(BenchmarkExchange|BenchmarkLocalSortIntKeys|BenchmarkMergeKernel|BenchmarkSpillMerge|BenchmarkAlgoCompare)$$
 BENCH_HOT_PKGS := ./internal/core/ ./internal/psort/ ./internal/algo/
 
-.PHONY: all build test race vet lint bench bench-json bench-json-all bench-baseline bench-diff algo-matrix soak soak-engine soak-shrink soak-spill telemetry-smoke experiments experiments-quick fuzz clean
+.PHONY: all build install test race vet lint bench bench-json bench-json-all bench-baseline bench-diff algo-matrix soak soak-engine soak-shrink soak-spill telemetry-smoke trace-smoke experiments experiments-quick fuzz clean
 
 all: build test
 
 build:
-	$(GO) build ./...
+	$(GO) build -ldflags '$(LDFLAGS)' ./...
+
+# Install the binaries with the version stamped (build only compiles;
+# this drops sdssort, sdsnode, sdstrace... into GOBIN).
+install:
+	$(GO) install -ldflags '$(LDFLAGS)' ./cmd/...
 
 test:
 	$(GO) test ./...
@@ -119,6 +130,12 @@ soak-spill:
 # twins (scrape-under-load, the e2e serve test) run under `test`.
 telemetry-smoke:
 	sh scripts/telemetry_smoke.sh
+
+# Trace smoke: boot a real 2-process sdsnode world with span tracing
+# and telemetry on, assert /debug/spans returns a well-formed span
+# tree, and validate the clock-aligned chrome export end to end.
+trace-smoke:
+	sh scripts/trace_smoke.sh
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:

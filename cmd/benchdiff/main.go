@@ -24,6 +24,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"sdssort/internal/buildinfo"
 )
 
 // testEvent is the subset of the go test -json event stream benchdiff
@@ -188,8 +190,13 @@ func main() {
 		threshold = flag.Float64("threshold", 15, "max allowed regression in percent")
 		metricsF  = flag.String("metrics", "ns/op,peak-staging-bytes", "comma-separated lower-is-better metrics to compare")
 		onlyF     = flag.String("only", "", "regexp restricting which benchmarks are compared")
+		ver       = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *ver {
+		fmt.Println(buildinfo.String("benchdiff"))
+		return
+	}
 	if *oldPath == "" || *newPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are required")
 		os.Exit(2)

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"sdssort/internal/algo"
+	"sdssort/internal/buildinfo"
 	"sdssort/internal/experiments"
 )
 
@@ -56,8 +57,13 @@ func main() {
 		list     = flag.Bool("list", false, "list available experiments")
 		csvDir   = flag.String("csv", "", "also write each table as CSV into this directory")
 		algoName = flag.String("algo", "", "restrict the algorithm-comparison experiments to one driver: "+strings.Join(algo.Names(), " | "))
+		ver      = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *ver {
+		fmt.Println(buildinfo.String("sdsbench"))
+		return
+	}
 
 	if *algoName != "" {
 		if _, ok := algo.Lookup(*algoName); !ok {

@@ -24,6 +24,7 @@ import (
 	"log"
 	"strings"
 
+	"sdssort/internal/buildinfo"
 	"sdssort/internal/codec"
 	"sdssort/internal/recordio"
 	"sdssort/internal/workload"
@@ -40,8 +41,13 @@ func main() {
 		blocks = flag.Int("blocks", 16, "sorted blocks (ksorted only)")
 		seed   = flag.Int64("seed", 1, "generator seed")
 		out    = flag.String("o", "", "output file (required)")
+		ver    = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *ver {
+		fmt.Println(buildinfo.String("sdsgen"))
+		return
+	}
 	if *out == "" {
 		log.Fatal("-o output file is required")
 	}

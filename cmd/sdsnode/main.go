@@ -77,6 +77,7 @@ import (
 	"time"
 
 	"sdssort/internal/algo"
+	"sdssort/internal/buildinfo"
 	"sdssort/internal/checkpoint"
 	"sdssort/internal/codec"
 	"sdssort/internal/comm"
@@ -184,6 +185,12 @@ type nodeEnv struct {
 	gauge  *memlimit.Gauge
 	exch   *metrics.ExchangeStats
 
+	// skew accrues the per-phase load-imbalance diagnostics every sort
+	// of this rank observes, exported as the sds_phase_imbalance_* and
+	// sds_phase_straggler_total series. Always non-nil: the observation
+	// is collective, and every sdsnode wires it, so the world agrees.
+	skew *metrics.SkewStats
+
 	// algoStats counts the resolved driver of every sort (a job under
 	// -algo auto increments the profile's choice), exported as
 	// sds_algo_selected_total.
@@ -262,6 +269,8 @@ func run(args []string) (code int) {
 		faultKillRank = fs.Int("fault-kill-rank", -1, "fault harness: world rank to kill (requires -fault-wrap; -1 = nobody)")
 		faultKillFile = fs.String("fault-kill-after-file", "", "fault harness: the kill fires on the victim's first transport operation after this file exists")
 
+		version = fs.Bool("version", false, "print the build version and exit")
+
 		retries   = fs.Int("retries", 5, "per-frame send attempts before declaring the peer lost")
 		retryBase = fs.Duration("retry-base", 2*time.Millisecond, "initial send retry backoff (doubles per attempt)")
 		retryMax  = fs.Duration("retry-max", 250*time.Millisecond, "send retry backoff cap")
@@ -271,6 +280,10 @@ func run(args []string) (code int) {
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
+	}
+	if *version {
+		fmt.Println(buildinfo.String("sdsnode"))
+		return exitOK
 	}
 	if *rank < 0 || *size <= 0 || *rank >= *size {
 		log.Printf("sdsnode: need -rank in [0,%d) and -size > 0", *size)
@@ -340,7 +353,11 @@ func run(args []string) (code int) {
 	// Trace sinks. The JSONL file's first write error is latched and
 	// surfaced at exit (a silently truncated trace is worse than none);
 	// the ring feeds /debug/trace when telemetry is on.
-	env := &nodeEnv{exch: &metrics.ExchangeStats{}, algoStats: &metrics.AlgoStats{}}
+	env := &nodeEnv{
+		exch:      &metrics.ExchangeStats{},
+		algoStats: &metrics.AlgoStats{},
+		skew:      metrics.NewSkewStats(),
+	}
 	if *memB > 0 {
 		env.gauge = memlimit.New(*memB)
 	}
@@ -458,6 +475,15 @@ func run(args []string) (code int) {
 	c := comm.NewNamed(tr, worldName)
 	log.Printf("joined world of %d ranks (epoch %d)", *size, ep)
 	env.worldSize.Store(int64(*size))
+	// Align clocks before any spans are cut: rank 0 ping-pongs every
+	// peer and broadcasts the measured offsets, and each rank records
+	// its own in the trace — sdstrace subtracts it to project all
+	// processes onto rank 0's timeline. Re-measured after a shrink (the
+	// reformed world may elect a different rank 0; see shrink.go).
+	if err := syncClocks(c, env); err != nil {
+		log.Printf("clock sync: %v", err)
+		return exitCode(err)
+	}
 	if *shrink {
 		// Liveness responders must be up before the sort: after a
 		// failure, survivors probe each other while some are still stuck
@@ -472,8 +498,10 @@ func run(args []string) (code int) {
 	reg := telemetry.NewRegistry()
 	tcp.Stats().Register(reg)
 	telemetry.RegisterNodeInfo(reg, *rank, *size, ep)
+	buildinfo.Register(reg)
 	checkpoint.RegisterMetrics(reg)
 	env.exch.Register(reg)
+	env.skew.Register(reg)
 	env.algoStats.Register(reg, algo.Names()...)
 	if env.spillStats != nil {
 		env.spillStats.Register(reg)
@@ -486,6 +514,10 @@ func run(args []string) (code int) {
 	reg.CounterFunc("sds_node_jobs_failed_total", "Jobs this rank saw fail or skip.",
 		func() float64 { return float64(env.jobsFailed.Load()) })
 	env.jobSeconds = reg.Histogram("sds_node_job_seconds", "Wall time of this rank's jobs.", telemetry.DefaultLatencyBuckets())
+	if ring != nil {
+		reg.CounterFunc("sds_trace_dropped_total", "Trace events the ring buffer overwrote before they could be read.",
+			telemetry.FInt(ring.Dropped))
+	}
 	if *rank != 0 {
 		telemetry.StartResponder(tr, worldName, reg)
 	}
@@ -493,6 +525,7 @@ func run(args []string) (code int) {
 	if *telAddr != "" {
 		opts := telemetry.ServerOptions{
 			Trace: ring.MarshalJSONL,
+			Spans: func() any { return trace.BuildSpans(ring.Events()) },
 			Health: func() telemetry.Health {
 				h := telemetry.Health{
 					Status: "ok", Rank: *rank, Size: *size, Epoch: ep,
@@ -542,7 +575,7 @@ func run(args []string) (code int) {
 		// (With -ckpt-dir the resident driver below runs instead: it
 		// keeps phase snapshots and still spills its exchange under
 		// pressure.)
-		if code := spillSortJob(c, defaults, env); code != exitOK {
+		if code := spillSortJob(c, defaults, trace.Scope{Trace: worldName}, env); code != exitOK {
 			return code
 		}
 		if err := c.Barrier(); err != nil {
@@ -584,7 +617,7 @@ func run(args []string) (code int) {
 		}
 	}
 
-	if code := sortJob(c, defaults, data, ck, "", env); code != exitOK {
+	if code := sortJob(c, defaults, data, ck, "", trace.Scope{Trace: worldName}, env); code != exitOK {
 		if code == exitPeerLost && *shrink {
 			return shrinkAndResume(tr, worldName, ep, *ckptDir, defaults, ck, env, agg)
 		}
@@ -670,7 +703,8 @@ func serveJobs(world *comm.Comm, tr comm.Transport, worldName string, rank, size
 			continue
 		}
 
-		if code := sortJob(jc, p, data, nil, fmt.Sprintf("job %d/%d %q: ", i+1, len(jobs), p.name), env); code != exitOK {
+		sc := trace.Scope{Trace: engine.JobCommName(worldName, i), Job: p.name}
+		if code := sortJob(jc, p, data, nil, fmt.Sprintf("job %d/%d %q: ", i+1, len(jobs), p.name), sc, env); code != exitOK {
 			// A failed collective leaves this rank desynchronised from
 			// the stream; stop here rather than corrupt later jobs.
 			return code
@@ -725,10 +759,12 @@ func loadJobData(p jobParams, rank, size int) ([]float64, int) {
 // the phase breakdown, and writes the output shard when requested.
 // Every log line is prefixed with label so interleaved jobs of a served
 // stream stay attributable.
-func sortJob(c *comm.Comm, p jobParams, data []float64, ck *core.Checkpointing, label string, env *nodeEnv) int {
+func sortJob(c *comm.Comm, p jobParams, data []float64, ck *core.Checkpointing, label string, sc trace.Scope, env *nodeEnv) int {
 	aopt := algo.DefaultOptions()
 	aopt.Core.Stable = p.stable
 	aopt.Core.StageBytes = p.stage
+	aopt.Core.Span = sc
+	aopt.Core.Skew = env.skew
 	// The exchange stats are shared across the process's jobs so the
 	// telemetry plane exports them live (in particular the staging
 	// window gauge mid-exchange); the log line below is therefore
@@ -804,10 +840,12 @@ func sortJob(c *comm.Comm, p jobParams, data []float64, ck *core.Checkpointing, 
 // spill dir, the exchange lands run files, and the resulting block is
 // lazily merged straight into the output shard. Peak memory is the
 // spill tier's working set, not the shard.
-func spillSortJob(c *comm.Comm, p jobParams, env *nodeEnv) int {
+func spillSortJob(c *comm.Comm, p jobParams, sc trace.Scope, env *nodeEnv) int {
 	opt := core.DefaultOptions()
 	opt.Stable = p.stable
 	opt.StageBytes = p.stage
+	opt.Span = sc
+	opt.Skew = env.skew
 	opt.Exchange = env.exch
 	opt.Mem = env.gauge
 	opt.Spill = env.spill
@@ -880,6 +918,24 @@ func spillSortJob(c *comm.Comm, p jobParams, env *nodeEnv) int {
 		log.Printf("wrote %s", p.out)
 	}
 	return exitOK
+}
+
+// syncClocks aligns this world's clocks (collective — every rank calls
+// it) and records each rank's measured offset from rank 0 as a
+// clock.offset trace event, the anchor sdstrace -format chrome and the
+// multi-file merge use to place all processes on one timeline.
+func syncClocks(c *comm.Comm, env *nodeEnv) error {
+	cs, err := c.SyncClocks(0)
+	if err != nil {
+		return err
+	}
+	rank := c.Rank()
+	d := map[string]any{"offset_us": cs.Offset(rank), "world": c.Size()}
+	if rank < len(cs.RTTs) {
+		d["rtt_us"] = cs.RTTs[rank]
+	}
+	env.tracer.Emit(rank, trace.KindClockOffset, d)
+	return nil
 }
 
 func cmpF(a, b float64) int {

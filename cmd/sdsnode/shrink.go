@@ -27,6 +27,7 @@ import (
 	"sdssort/internal/comm"
 	"sdssort/internal/core"
 	"sdssort/internal/telemetry"
+	"sdssort/internal/trace"
 )
 
 const (
@@ -169,6 +170,13 @@ func shrinkAndResume(tr comm.Transport, worldName string, ep int, ckptDir string
 		log.Printf("shrink: %v", err)
 		return exitPeerLost
 	}
+	// Re-measure clock offsets on the reformed world: ranks renumber,
+	// and the shrunken world's rank 0 — the new timeline origin — may be
+	// a different host than the one that measured at boot.
+	if err := syncClocks(c, env); err != nil {
+		log.Printf("shrink: clock sync: %v", err)
+		return exitCode(err)
+	}
 
 	// The new coordinator rebuilds the last consistent full-world cut
 	// for the shrunken world; everyone then adopts it (or learns there
@@ -217,7 +225,7 @@ func shrinkAndResume(tr comm.Transport, worldName string, ep int, ckptDir string
 	// The degraded sort starts with no local input: every record of the
 	// resumed run comes out of the redistributed store.
 	nck := &core.Checkpointing{Store: shrunk, Epoch: newEpoch, Resume: cut, Sync: ck.Sync}
-	if code := sortJob(c, p, nil, nck, "degraded: ", env); code != exitOK {
+	if code := sortJob(c, p, nil, nck, "degraded: ", trace.Scope{Trace: name}, env); code != exitOK {
 		return code
 	}
 	if err := c.Barrier(); err != nil {

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"sdssort/internal/algo"
+	"sdssort/internal/buildinfo"
 	"sdssort/internal/cluster"
 	"sdssort/internal/codec"
 	"sdssort/internal/comm"
@@ -59,8 +60,13 @@ func main() {
 		memB       = flag.Int64("mem", 0, "per-rank memory budget in bytes; with -spill-dir a fixed budget sorts inputs of any size (0 = unlimited)")
 		spillDir   = flag.String("spill-dir", "", "enable the out-of-core spill tier: stream the input and spill sorted runs here instead of holding the shard resident (sds only)")
 		spillChunk = flag.Int("spill-chunk", 0, "records per streamed in-memory run with -spill-dir (0 = derive from -mem)")
+		version    = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("sdssort"))
+		return
+	}
 	if *in == "" {
 		log.Fatal("-in input file is required")
 	}
@@ -238,6 +244,10 @@ func runRecords[T any](records []T, out string, cd codec.Codec[T], cmp func(a, b
 	// actually did for any -algo.
 	exch := &metrics.ExchangeStats{}
 	selection := &metrics.AlgoStats{}
+	// Shared across the in-process ranks, like the exchange stats: the
+	// skew observation is collective, and one process-wide block means
+	// every rank agrees it is on.
+	skew := metrics.NewSkewStats()
 	var gauges []*memlimit.Gauge
 	if mem > 0 {
 		gauges = make([]*memlimit.Gauge, p)
@@ -261,6 +271,8 @@ func runRecords[T any](records []T, out string, cd codec.Codec[T], cmp func(a, b
 		aopt.Core.Exchange = exch
 		aopt.Core.Timer = timers[c.Rank()]
 		aopt.Core.Trace = tracer
+		aopt.Core.Skew = skew
+		aopt.Core.Span = trace.Scope{Trace: "sdssort"}
 		if gauges != nil {
 			aopt.Core.Mem = gauges[c.Rank()]
 		}
@@ -372,6 +384,7 @@ func runSpilled[T any](in, out string, cd codec.Codec[T], cmp func(a, b T) int, 
 	}
 	sp := &core.SpillOptions{Dir: sc.dir, Force: true, ChunkRecords: sc.chunk, Stats: spStats}
 	sp.FitBudget(sc.mem)
+	skew := metrics.NewSkewStats()
 	start := time.Now()
 	blocks, err := cluster.Gather(topo, cluster.Options{}, func(c *comm.Comm) (*core.Spilled[T], error) {
 		opt := core.DefaultOptions()
@@ -382,6 +395,8 @@ func runSpilled[T any](in, out string, cd codec.Codec[T], cmp func(a, b T) int, 
 		opt.Trace = sc.tracer
 		opt.Mem = gauges[c.Rank()]
 		opt.Spill = sp
+		opt.Skew = skew
+		opt.Span = trace.Scope{Trace: "sdssort"}
 		return core.SortFileShard(c, in, cd, cmp, opt)
 	})
 	if err != nil {

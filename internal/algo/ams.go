@@ -43,6 +43,8 @@ func (amsDriver[T]) Sort(ctx context.Context, c *comm.Comm, data []T, cd codec.C
 		return nil, err
 	}
 	opt.record(NameAMS)
+	rsp, opt := opt.rootSpan(NameAMS, c.Rank(), len(data), c.Size())
+	defer rsp.End(map[string]any{"reason": "error"})
 	tm, copt := opt.timer()
 	tm.Start(metrics.PhaseOther)
 	defer tm.Stop()
@@ -80,6 +82,7 @@ func (amsDriver[T]) Sort(ctx context.Context, c *comm.Comm, data []T, cd codec.C
 	opt.tracer().Emit(c.Rank(), "ams.levels", map[string]any{
 		"levels": levels, "k": k, "p": c.Size(),
 	})
+	rsp.End(map[string]any{"records": len(local), "levels": levels})
 	return local, nil
 }
 

@@ -50,6 +50,8 @@ func (hykDriver[T]) Sort(ctx context.Context, c *comm.Comm, data []T, cd codec.C
 		return nil, err
 	}
 	opt.record(NameHyk)
+	rsp, opt := opt.rootSpan(NameHyk, c.Rank(), len(data), c.Size())
+	defer rsp.End(map[string]any{"reason": "error"})
 	h := hyksort.DefaultOptions()
 	if opt.K > 0 {
 		h.K = opt.K
@@ -64,7 +66,14 @@ func (hykDriver[T]) Sort(ctx context.Context, c *comm.Comm, data []T, cd codec.C
 	h.Exchange = opt.Core.Exchange
 	h.Spill = opt.Core.Spill
 	h.Trace = opt.Core.Trace
-	return hyksort.Sort(c, data, cd, cmp, h)
+	h.Span = opt.Core.Span
+	h.Skew = opt.Core.Skew
+	out, err := hyksort.Sort(c, data, cd, cmp, h)
+	if err != nil {
+		return nil, err
+	}
+	rsp.End(map[string]any{"records": len(out)})
+	return out, nil
 }
 
 // psrsDriver adapts the PSRS baseline to the driver contract.
@@ -83,6 +92,8 @@ func (psrsDriver[T]) Sort(ctx context.Context, c *comm.Comm, data []T, cd codec.
 		return nil, err
 	}
 	opt.record(NamePSRS)
+	rsp, opt := opt.rootSpan(NamePSRS, c.Rank(), len(data), c.Size())
+	defer rsp.End(map[string]any{"reason": "error"})
 	ps := psrs.Options{
 		Cores:      opt.Core.Cores,
 		Mem:        opt.Core.Mem,
@@ -91,6 +102,13 @@ func (psrsDriver[T]) Sort(ctx context.Context, c *comm.Comm, data []T, cd codec.
 		Exchange:   opt.Core.Exchange,
 		Spill:      opt.Core.Spill,
 		Trace:      opt.Core.Trace,
+		Span:       opt.Core.Span,
+		Skew:       opt.Core.Skew,
 	}
-	return psrs.Sort(c, data, cd, cmp, ps)
+	out, err := psrs.Sort(c, data, cd, cmp, ps)
+	if err != nil {
+		return nil, err
+	}
+	rsp.End(map[string]any{"records": len(out)})
+	return out, nil
 }

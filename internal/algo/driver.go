@@ -87,6 +87,23 @@ func (o Options) tracer() trace.Tracer {
 	return trace.Nop{}
 }
 
+// rootSpan opens the driver-level "sort" root span for the drivers that
+// do not delegate to core.Sort (which opens its own root). The returned
+// Options carry the child scope in Core.Span, so every span the shared
+// exchange opens nests under this root and the critical-path analyzer
+// sees one tree per sort regardless of algorithm. Callers close the
+// span on success with their record count and defer a bare End as the
+// error-path net (End is idempotent). Free when tracing is off.
+func (o Options) rootSpan(name string, rank, records, p int) (*trace.Span, Options) {
+	sp := trace.StartSpan(o.tracer(), rank, o.Core.Span, "sort", map[string]any{
+		"algo": name, "records": records, "p": p,
+	})
+	if sp != nil {
+		o.Core.Span = sp.Scope()
+	}
+	return sp, o
+}
+
 // timer returns the configured phase timer or a throwaway, and the
 // core options with that timer installed so driver-local phases and the
 // shared exchange accrue on the same clock.

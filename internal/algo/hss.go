@@ -38,6 +38,8 @@ func (hssDriver[T]) Sort(ctx context.Context, c *comm.Comm, data []T, cd codec.C
 		return nil, err
 	}
 	opt.record(NameHSS)
+	rsp, opt := opt.rootSpan(NameHSS, c.Rank(), len(data), c.Size())
+	defer rsp.End(map[string]any{"reason": "error"})
 	tm, copt := opt.timer()
 	tm.Start(metrics.PhaseOther)
 	defer tm.Stop()
@@ -55,6 +57,7 @@ func (hssDriver[T]) Sort(ctx context.Context, c *comm.Comm, data []T, cd codec.C
 	}
 	p := c.Size()
 	if p == 1 {
+		rsp.End(map[string]any{"records": len(data)})
 		return data, nil
 	}
 
@@ -76,6 +79,7 @@ func (hssDriver[T]) Sort(ctx context.Context, c *comm.Comm, data []T, cd codec.C
 		"resolved": st.resolved, "splitters": p - 1, "tolerance": st.tol,
 	})
 	if len(sp) == 0 {
+		rsp.End(map[string]any{"records": len(data)})
 		return data, nil // globally empty dataset
 	}
 
@@ -98,6 +102,7 @@ func (hssDriver[T]) Sort(ctx context.Context, c *comm.Comm, data []T, cd codec.C
 		return nil, fmt.Errorf("hss: exchange: %w", err)
 	}
 	led.held = int64(len(out)) * recSize
+	rsp.End(map[string]any{"records": len(out)})
 	return out, nil
 }
 

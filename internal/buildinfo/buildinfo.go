@@ -1,0 +1,34 @@
+// Package buildinfo carries the binary's build identity: the version
+// string stamped at link time and the Go toolchain that compiled it.
+// Every cmd/ binary prints it under -version and exports it as the
+// sds_build_info metric, so a scrape (or a bug report) always says
+// exactly which build produced it.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+
+	"sdssort/internal/telemetry"
+)
+
+// Version is stamped by the Makefile via
+//
+//	-ldflags "-X sdssort/internal/buildinfo.Version=$(VERSION)"
+//
+// and stays "dev" for unstamped builds (go run, go test).
+var Version = "dev"
+
+// String renders the one-line identity -version prints.
+func String(binary string) string {
+	return fmt.Sprintf("%s %s (%s)", binary, Version, runtime.Version())
+}
+
+// Register exports the build identity as an info-style gauge:
+//
+//	sds_build_info{version="...",go_version="..."} 1
+func Register(r *telemetry.Registry) {
+	r.GaugeFunc("sds_build_info", "Constant 1, labelled with the binary's stamped version and Go toolchain.",
+		func() float64 { return 1 },
+		telemetry.L("version", Version), telemetry.L("go_version", runtime.Version()))
+}

@@ -313,10 +313,17 @@ func RunSupervised(topo Topology, opts Options, fn func(ep Epoch, c *comm.Comm) 
 	for ep := 0; ; ep++ {
 		cur.N = ep
 		name := worldName(ep, cur.Degraded, size)
+		// One span per supervised epoch, at rank -1: the timeline shows
+		// each attempt as a slice on the control row, annotated with the
+		// world it ran and how it ended (ok / shrink / restart / giveup).
+		esp := trace.StartSpan(tr, -1, trace.Scope{Trace: name}, "epoch", map[string]any{
+			"epoch": ep, "world": size, "degraded": cur.Degraded,
+		})
 		err := launchSized(size, topo.CoresPerNode, opts, name, func(c *comm.Comm) error {
 			return fn(cur, c)
 		})
 		if err == nil {
+			esp.End(map[string]any{"outcome": "ok"})
 			if ep > 0 {
 				tr.Emit(-1, "supervisor.done", map[string]any{
 					"epochs": ep + 1, "degraded": cur.Degraded, "world": size,
@@ -324,6 +331,7 @@ func RunSupervised(topo Topology, opts Options, fn func(ep Epoch, c *comm.Comm) 
 			}
 			return nil
 		}
+		esp.End(map[string]any{"outcome": "error", "error": err.Error()})
 		if !Recoverable(err) {
 			return err
 		}

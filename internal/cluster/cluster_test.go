@@ -224,9 +224,23 @@ func TestRunSupervisedRecoversPanicWithOneRestart(t *testing.T) {
 	for _, e := range rec.Events() {
 		kinds = append(kinds, e.Kind)
 	}
-	want := []string{"supervisor.restart", "supervisor.done"}
+	// Each supervised attempt is wrapped in an "epoch" span: the failed
+	// epoch 0 closes before the restart marker, the succeeding epoch 1
+	// before the done marker.
+	want := []string{
+		"span.begin", "span.end", "supervisor.restart",
+		"span.begin", "span.end", "supervisor.done",
+	}
 	if fmt.Sprint(kinds) != fmt.Sprint(want) {
 		t.Fatalf("trace kinds %v, want %v", kinds, want)
+	}
+	spans := trace.BuildSpans(rec.Events())
+	if len(spans) != 2 || spans[0].Name != "epoch" || spans[1].Name != "epoch" {
+		t.Fatalf("spans %+v, want two epoch spans", spans)
+	}
+	if spans[0].Detail["outcome"] != "error" || spans[1].Detail["outcome"] != "ok" {
+		t.Fatalf("epoch outcomes %v / %v, want error then ok",
+			spans[0].Detail["outcome"], spans[1].Detail["outcome"])
 	}
 }
 

@@ -1,0 +1,89 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// Ranks of an in-process world share one hardware clock, so the NTP
+// ping-pong must estimate offsets near zero — the bound below is pure
+// scheduling noise. What the test really pins down is the protocol:
+// every rank returns the identical geometry, rank 0's offset is zero
+// by definition, and the winning probe's RTT travels with the
+// estimate.
+func TestSyncClocksAgreesWorldWide(t *testing.T) {
+	const size, rounds = 4, 4
+	var (
+		mu  sync.Mutex
+		all []ClockSync
+	)
+	runRanks(t, size, nil, func(c *Comm) error {
+		cs, err := c.SyncClocks(rounds)
+		if err != nil {
+			return err
+		}
+		if len(cs.Offsets) != size || len(cs.RTTs) != size {
+			return fmt.Errorf("rank %d: geometry %d/%d, want %d/%d",
+				c.Rank(), len(cs.Offsets), len(cs.RTTs), size, size)
+		}
+		mu.Lock()
+		all = append(all, cs)
+		mu.Unlock()
+		return nil
+	})
+	ref := all[0]
+	for _, cs := range all[1:] {
+		for r := 0; r < size; r++ {
+			if cs.Offsets[r] != ref.Offsets[r] || cs.RTTs[r] != ref.RTTs[r] {
+				t.Fatalf("ranks disagree on the broadcast geometry: %+v vs %+v", cs, ref)
+			}
+		}
+	}
+	if ref.Offset(0) != 0 {
+		t.Errorf("rank 0's offset against itself = %d, want 0", ref.Offset(0))
+	}
+	// Same process, same clock: anything beyond 100ms means the
+	// midpoint arithmetic is wrong, not that the scheduler was slow.
+	const boundUS = 100_000
+	for r := 1; r < size; r++ {
+		if off := ref.Offset(r); off < -boundUS || off > boundUS {
+			t.Errorf("rank %d offset %dµs — in-process clocks cannot diverge that far", r, off)
+		}
+		if ref.RTTs[r] < 0 {
+			t.Errorf("rank %d negative RTT %d", r, ref.RTTs[r])
+		}
+	}
+}
+
+// A single-rank world has nothing to measure and must not try to
+// communicate (there is no peer to answer the probe).
+func TestSyncClocksSingleRank(t *testing.T) {
+	runRanks(t, 1, nil, func(c *Comm) error {
+		cs, err := c.SyncClocks(0) // 0 = default rounds
+		if err != nil {
+			return err
+		}
+		if len(cs.Offsets) != 1 || cs.Offset(0) != 0 {
+			return fmt.Errorf("single-rank sync = %+v, want one zero offset", cs)
+		}
+		return nil
+	})
+}
+
+// Offset is the read used on hot paths after a Reform may have shrunk
+// the world: out-of-range ranks read as zero rather than panicking.
+func TestClockSyncOffsetOutOfRange(t *testing.T) {
+	cs := ClockSync{Offsets: []int64{0, 42}, RTTs: []int64{0, 7}}
+	if got := cs.Offset(1); got != 42 {
+		t.Errorf("Offset(1) = %d, want 42", got)
+	}
+	for _, r := range []int{-1, 2, 99} {
+		if got := cs.Offset(r); got != 0 {
+			t.Errorf("Offset(%d) = %d, want 0", r, got)
+		}
+	}
+	if got := (ClockSync{}).Offset(0); got != 0 {
+		t.Errorf("zero ClockSync Offset(0) = %d, want 0", got)
+	}
+}

@@ -136,10 +136,17 @@ func (ck *Checkpointing) resumeAt(ph checkpoint.Phase) bool {
 // failures surface from Wait, not from the phase that snapshotted. It
 // is a no-op when checkpointing is off, so the driver calls it
 // unconditionally at every boundary.
-func saveCkpt[T any](ck *Checkpointing, tr trace.Tracer, rank int, ph checkpoint.Phase, merged, leader bool, bounds []int64, cd codec.Codec[T], recs []T) error {
+func saveCkpt[T any](ck *Checkpointing, tr trace.Tracer, rank int, sc trace.Scope, ph checkpoint.Phase, merged, leader bool, bounds []int64, cd codec.Codec[T], recs []T) error {
 	if !ck.enabled() {
 		return nil
 	}
+	// The span covers what the sort actually pays for: the in-place
+	// encode, plus — in Sync mode — the inline disk commit. Async
+	// commits run on the background writer, off the critical path, so
+	// they stay outside the span (sync=false marks those).
+	csp := trace.StartSpan(tr, rank, sc, "checkpoint", map[string]any{
+		"phase": ph.String(), "op": "save", "sync": ck.Sync,
+	})
 	m := checkpoint.Manifest{
 		Epoch: ck.Epoch, Phase: ph, Rank: rank,
 		Merged: merged, Leader: leader, Bounds: bounds,
@@ -153,6 +160,7 @@ func saveCkpt[T any](ck *Checkpointing, tr trace.Tracer, rank int, ph checkpoint
 		}
 		return nil
 	})
+	csp.End(map[string]any{"records": len(recs)})
 	tr.Emit(rank, "ckpt.save", map[string]any{
 		"phase": ph.String(), "epoch": ck.Epoch, "records": len(recs),
 	})
@@ -163,7 +171,7 @@ func saveCkpt[T any](ck *Checkpointing, tr trace.Tracer, rank int, ph checkpoint
 // an earlier phase committed this epoch — no re-encode, no rewrite;
 // the background writer hard-links the data (FIFO order makes the
 // source safe to reference).
-func aliasCkpt(ck *Checkpointing, tr trace.Tracer, rank int, ph, src checkpoint.Phase, merged, leader bool, bounds []int64) {
+func aliasCkpt(ck *Checkpointing, tr trace.Tracer, rank int, sc trace.Scope, ph, src checkpoint.Phase, merged, leader bool, bounds []int64) {
 	if !ck.enabled() {
 		return
 	}
@@ -185,11 +193,16 @@ func aliasCkpt(ck *Checkpointing, tr trace.Tracer, rank int, ph, src checkpoint.
 
 // loadCkpt loads this rank's snapshot of phase ph from the resume cut's
 // epoch, verifying count and checksum.
-func loadCkpt[T any](ck *Checkpointing, tr trace.Tracer, rank int, ph checkpoint.Phase, cd codec.Codec[T]) (*checkpoint.Manifest, []T, error) {
+func loadCkpt[T any](ck *Checkpointing, tr trace.Tracer, rank int, sc trace.Scope, ph checkpoint.Phase, cd codec.Codec[T]) (*checkpoint.Manifest, []T, error) {
+	csp := trace.StartSpan(tr, rank, sc, "checkpoint", map[string]any{
+		"phase": ph.String(), "op": "load",
+	})
 	m, recs, err := checkpoint.Load[T](ck.Store, ck.Resume.Epoch, ph, rank, cd)
 	if err != nil {
+		csp.End(map[string]any{"error": err.Error()})
 		return nil, nil, fmt.Errorf("core: resume from %s@e%d: %w", ph, ck.Resume.Epoch, err)
 	}
+	csp.End(map[string]any{"records": len(recs)})
 	tr.Emit(rank, "ckpt.resume", map[string]any{
 		"phase": ph.String(), "from_epoch": ck.Resume.Epoch,
 		"epoch": ck.Epoch, "records": len(recs),
@@ -201,9 +214,9 @@ func loadCkpt[T any](ck *Checkpointing, tr trace.Tracer, rank int, ph checkpoint
 // behind. Without them the follower would hold no checkpoint for the
 // partition and final phases and no later cut could ever become
 // globally consistent.
-func dropOut[T any](ck *Checkpointing, tr trace.Tracer, rank int, cd codec.Codec[T]) error {
-	if err := saveCkpt(ck, tr, rank, checkpoint.PhasePartition, true, false, nil, cd, []T{}); err != nil {
+func dropOut[T any](ck *Checkpointing, tr trace.Tracer, rank int, sc trace.Scope, cd codec.Codec[T]) error {
+	if err := saveCkpt(ck, tr, rank, sc, checkpoint.PhasePartition, true, false, nil, cd, []T{}); err != nil {
 		return err
 	}
-	return saveCkpt(ck, tr, rank, checkpoint.PhaseFinal, true, false, nil, cd, []T{})
+	return saveCkpt(ck, tr, rank, sc, checkpoint.PhaseFinal, true, false, nil, cd, []T{})
 }

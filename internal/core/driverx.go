@@ -61,6 +61,7 @@ func ExchangeSorted[T any](wc *comm.Comm, work []T, bounds []int, cd codec.Codec
 
 	tm.Start(metrics.PhaseExchange)
 	scounts := partition.Counts(bounds)
+	tr.Emit(rank, "partition.histogram", histogramDetail(scounts))
 	rcounts, err := exchangeCounts(wc, scounts)
 	if err != nil {
 		return nil, fmt.Errorf("core: count exchange: %w", err)
@@ -76,6 +77,12 @@ func ExchangeSorted[T any](wc *comm.Comm, work []T, bounds []int, cd codec.Codec
 		"stage_bytes": stage, "staged": stage > 0,
 		"zero_copy": zeroCopyEligible(cd, opt),
 	})
+	// Per-phase skew diagnostics, identical to core.Sort's exchange:
+	// every driver that moves data through here reports the received
+	// partition geometry. Collective when opt.Skew is set.
+	if err := observeSkew(wc, metrics.SkewExchange, m, opt, tr, rank); err != nil {
+		return nil, err
+	}
 
 	// Receive-buffer budgeting doubles as the spill trigger, exactly as
 	// in core.Sort: the decision is collective, so if any rank must

@@ -7,6 +7,7 @@ import (
 	"sdssort/internal/comm"
 	"sdssort/internal/metrics"
 	"sdssort/internal/psort"
+	"sdssort/internal/trace"
 )
 
 // effStage rounds the configured stage size down to a whole number of
@@ -63,9 +64,16 @@ func syncExchange[T any](wc *comm.Comm, work []T, bounds []int, rcounts []int64,
 	recSize := int64(cd.Size())
 	stage := effStage(opt.StageBytes, recSize)
 
+	tr := opt.tracer()
+	rank := wc.Rank()
+	esp := trace.StartSpan(tr, rank, opt.Span, "exchange", map[string]any{
+		"overlap": false, "staged": stage > 0, "zero_copy": zeroCopyEligible(cd, opt),
+	})
+
 	var chunks [][]T
 	var slab []T // zero-copy path: the contiguous rank-ordered receive slab backing chunks
 	var total int64
+	var stBytes, stChunks int64 // staged-path traffic, for the span
 	if zeroCopyEligible(cd, opt) {
 		var err error
 		slab, chunks, err = zeroCopyAlltoall(wc, work, bounds, rcounts, cd, recSize, stage, opt, acct)
@@ -104,6 +112,7 @@ func syncExchange[T any](wc *comm.Comm, work []T, bounds []int, rcounts []int64,
 		})
 		opt.Exchange.AddStaged(st.BytesStaged, st.Chunks)
 		opt.Exchange.AddPool(pool.Stats())
+		stBytes, stChunks = st.BytesStaged, st.Chunks
 		if err != nil {
 			return nil, fmt.Errorf("core: staged alltoall: %w", err)
 		}
@@ -130,13 +139,22 @@ func syncExchange[T any](wc *comm.Comm, work []T, bounds []int, rcounts []int64,
 		}
 	}
 
+	esp.End(map[string]any{
+		"recv_records": total, "recv_bytes": total * recSize,
+		"send_records": int64(len(work)), "bytes_staged": stBytes, "chunks": stChunks,
+	})
+
 	tm.Start(metrics.PhaseLocalOrdering)
-	if p < opt.TauS {
+	merge := p < opt.TauS
+	osp := trace.StartSpan(tr, rank, opt.Span, "localorder", map[string]any{"merge": merge})
+	if merge {
 		// Merge the p sorted chunks: O(m log p), stable by source
 		// rank (SdssMergeAll). On the zero-copy path the chunks are
 		// subslices of the receive slab; the merge reads them in
 		// place.
-		return psort.KWayMerge(chunks, cmp), nil
+		out := psort.KWayMerge(chunks, cmp)
+		osp.End(map[string]any{"records": len(out)})
+		return out, nil
 	}
 	// Re-sort: O(m log m) but independent of p (SdssLocalSort on the
 	// incoming data). Concatenating in rank order first keeps the
@@ -153,6 +171,7 @@ func syncExchange[T any](wc *comm.Comm, work []T, bounds []int, rcounts []int64,
 	if !reorderFast(out, cd, cmp, opt) {
 		psort.ParallelSort(out, opt.cores(), opt.Stable, cmp)
 	}
+	osp.End(map[string]any{"records": len(out)})
 	return out, nil
 }
 
@@ -183,6 +202,13 @@ func overlapExchange[T any](wc *comm.Comm, work []T, bounds []int, rcounts []int
 	// Zero-copy sends stream views sliced from the work slab, so only
 	// the incoming chunk occupies staging memory.
 	zc := zeroCopyEligible(cd, opt)
+
+	// One span covers the whole overlapped phase: exchange and local
+	// ordering genuinely interleave here (each arrival merges while
+	// the rest is in flight), so splitting them would be fiction.
+	esp := trace.StartSpan(opt.tracer(), me, opt.Span, "exchange", map[string]any{
+		"overlap": true, "staged": stage > 0, "zero_copy": zc,
+	})
 	var workBytes []byte
 	if zc {
 		workBytes, _ = codec.View(cd, work)
@@ -350,5 +376,9 @@ func overlapExchange[T any](wc *comm.Comm, work []T, bounds []int, rcounts []int
 	} else if err := comm.WaitAll(sends); err != nil {
 		return nil, fmt.Errorf("core: overlapped send: %w", err)
 	}
+	esp.End(map[string]any{
+		"recv_records": int64(len(out)), "recv_bytes": int64(len(out)) * recSize,
+		"send_records": int64(len(work)),
+	})
 	return out, nil
 }

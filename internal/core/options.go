@@ -97,8 +97,24 @@ type Options struct {
 	Pivots PivotMethod
 
 	// Trace, when non-nil, receives structured events: adaptive
-	// decisions taken, exchange volumes, partition summaries.
+	// decisions taken, exchange volumes, partition summaries, and the
+	// span.begin/span.end pairs that delimit the sort and its phases.
 	Trace trace.Tracer
+
+	// Span is the ambient span scope this sort runs under — the
+	// engine's per-job root span, a supervisor epoch span. The sort's
+	// own root span becomes a child of it; the zero value makes the
+	// sort a trace root.
+	Span trace.Scope
+
+	// Skew, when non-nil, accrues per-phase load-imbalance gauges and
+	// straggler counters (sds_phase_imbalance_max_mean,
+	// sds_phase_straggler_total) and emits skew.phase trace events.
+	// Setting it adds one small allgather per observed phase, which is
+	// COLLECTIVE: like Spill, it must be nil or non-nil uniformly
+	// across the ranks of a job, or the world deadlocks on the first
+	// observation. May be shared across ranks; the counters are atomic.
+	Skew *metrics.SkewStats
 
 	// Checkpoint, when non-nil with a Store, snapshots each rank's data
 	// at the phase boundaries (local sort, partition, exchange) and can

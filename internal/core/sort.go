@@ -10,6 +10,7 @@ import (
 	"sdssort/internal/partition"
 	"sdssort/internal/pivots"
 	"sdssort/internal/psort"
+	"sdssort/internal/trace"
 )
 
 // User tags for the sort's point-to-point traffic. The collectives
@@ -55,10 +56,31 @@ func Sort[T any](c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int
 	tr.Emit(rank, "sort.start", map[string]any{
 		"records": len(data), "stable": opt.Stable, "p": c.Size(),
 	})
+	// The sort's root span. Phase spans started below become its
+	// children through opt.Span, which is rebound to the root's scope
+	// so every helper (exchange paths, checkpoint writes) parents
+	// correctly without extra plumbing. With tracing off sp is nil and
+	// all span calls are free no-ops.
+	sp := trace.StartSpan(tr, rank, opt.Span, "sort", map[string]any{
+		"records": len(data), "stable": opt.Stable, "p": c.Size(),
+	})
+	sc := sp.Scope()
+	opt.Span = sc
+	spDone := false
+	endSpan := func(detail map[string]any) {
+		if !spDone {
+			spDone = true
+			sp.End(detail)
+		}
+	}
+	// Error exits close the root span too, so a failed sort shows as a
+	// terminated span with reason "error" rather than a dangling one.
+	defer func() { endSpan(map[string]any{"reason": "error"}) }()
 	// done emits the terminal event every successful exit path must
 	// produce, with the reason that path returned.
 	done := func(out []T, reason string) ([]T, error) {
 		tr.Emit(rank, "sort.done", map[string]any{"records": len(out), "reason": reason})
+		endSpan(map[string]any{"records": len(out), "reason": reason})
 		return out, nil
 	}
 
@@ -67,11 +89,11 @@ func Sort[T any](c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int
 	// under the current epoch so every epoch is self-contained for any
 	// later resume.
 	if ck.resumeAt(checkpoint.PhaseFinal) {
-		m, out, err := loadCkpt(ck, tr, rank, checkpoint.PhaseFinal, cd)
+		m, out, err := loadCkpt(ck, tr, rank, sc, checkpoint.PhaseFinal, cd)
 		if err != nil {
 			return nil, err
 		}
-		if err := saveCkpt(ck, tr, rank, checkpoint.PhaseFinal, m.Merged, m.Leader, nil, cd, out); err != nil {
+		if err := saveCkpt(ck, tr, rank, sc, checkpoint.PhaseFinal, m.Merged, m.Leader, nil, cd, out); err != nil {
 			return nil, err
 		}
 		return done(out, "resume")
@@ -87,7 +109,7 @@ func Sort[T any](c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int
 		// The partition snapshot holds the (possibly node-merged)
 		// working set and the send boundaries: skip local sort, merge,
 		// pivot selection and partition entirely.
-		m, loaded, err := loadCkpt(ck, tr, rank, checkpoint.PhasePartition, cd)
+		m, loaded, err := loadCkpt(ck, tr, rank, sc, checkpoint.PhasePartition, cd)
 		if err != nil {
 			return nil, err
 		}
@@ -101,7 +123,7 @@ func Sort[T any](c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int
 				return nil, fmt.Errorf("core: resume node split: %w", err)
 			}
 			if !m.Leader {
-				if err := dropOut(ck, tr, rank, cd); err != nil {
+				if err := dropOut(ck, tr, rank, sc, cd); err != nil {
 					return nil, err
 				}
 				tr.Emit(rank, "nodemerge.follower", nil)
@@ -128,7 +150,7 @@ func Sort[T any](c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int
 		if err := partition.Validate(bounds, len(work)); err != nil {
 			return nil, fmt.Errorf("core: resume partition: %w", err)
 		}
-		if err := saveCkpt(ck, tr, rank, checkpoint.PhasePartition, merged, true, m.Bounds, cd, work); err != nil {
+		if err := saveCkpt(ck, tr, rank, sc, checkpoint.PhasePartition, merged, true, m.Bounds, cd, work); err != nil {
 			return nil, err
 		}
 	} else {
@@ -137,8 +159,9 @@ func Sort[T any](c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int
 		// This is its own reporting phase — charging it to pivot
 		// selection would dwarf the actual sampling cost.
 		tm.Start(metrics.PhaseLocalSort)
+		lsp := trace.StartSpan(tr, rank, sc, "localsort", map[string]any{"records": len(data)})
 		if ck.resumeAt(checkpoint.PhaseLocalSort) {
-			_, loaded, err := loadCkpt(ck, tr, rank, checkpoint.PhaseLocalSort, cd)
+			_, loaded, err := loadCkpt(ck, tr, rank, sc, checkpoint.PhaseLocalSort, cd)
 			if err != nil {
 				return nil, err
 			}
@@ -165,23 +188,32 @@ func Sort[T any](c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int
 				psort.AdaptiveSort(data, opt.cores(), opt.Stable, opt.RunThreshold, cmp)
 			}
 		}
-		if err := saveCkpt(ck, tr, rank, checkpoint.PhaseLocalSort, false, true, nil, cd, data); err != nil {
+		lsp.End(map[string]any{"records": len(data)})
+		if err := saveCkpt(ck, tr, rank, sc, checkpoint.PhaseLocalSort, false, true, nil, cd, data); err != nil {
+			return nil, err
+		}
+		// Input-side skew: how evenly the records arrived across ranks,
+		// before any skew-aware machinery has run. Collective (every
+		// rank of c is still present here).
+		if err := observeSkew(c, metrics.SkewLocalSort, int64(len(data)), opt, tr, rank); err != nil {
 			return nil, err
 		}
 
 		// Node-level merging (lines 3-7).
 		var isLeader bool
 		var err error
+		nsp := trace.StartSpan(tr, rank, sc, "nodemerge", nil)
 		work, wc, isLeader, err = nodeMerge(c, data, cd, cmp, recSize, opt, tm, acct)
 		if err != nil {
 			return nil, err
 		}
+		nsp.End(map[string]any{"leader": isLeader, "records": len(work)})
 		if !isLeader {
 			// Our records were merged onto the node leader; we hold no
 			// output and take no further part. The input reservation
 			// was already returned inside nodeMerge, the moment the
 			// records were handed to the leader.
-			if err := dropOut(ck, tr, rank, cd); err != nil {
+			if err := dropOut(ck, tr, rank, sc, cd); err != nil {
 				return nil, err
 			}
 			tr.Emit(rank, "nodemerge.follower", nil)
@@ -196,17 +228,22 @@ func Sort[T any](c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int
 		p := wc.Size()
 		if p == 1 {
 			if merged {
-				if err := saveCkpt(ck, tr, rank, checkpoint.PhaseFinal, merged, true, nil, cd, work); err != nil {
+				if err := saveCkpt(ck, tr, rank, sc, checkpoint.PhaseFinal, merged, true, nil, cd, work); err != nil {
 					return nil, err
 				}
 			} else {
-				aliasCkpt(ck, tr, rank, checkpoint.PhaseFinal, checkpoint.PhaseLocalSort, merged, true, nil)
+				aliasCkpt(ck, tr, rank, sc, checkpoint.PhaseFinal, checkpoint.PhaseLocalSort, merged, true, nil)
 			}
 			return done(work, "single")
 		}
 
 		// Sampling and global pivot selection (lines 8-9).
 		tm.Start(metrics.PhasePivotSelection)
+		method := "regular"
+		if opt.Pivots == PivotHistogram {
+			method = "histogram"
+		}
+		psp := trace.StartSpan(tr, rank, sc, "pivots", map[string]any{"method": method})
 		var pg []T
 		switch opt.Pivots {
 		case PivotHistogram:
@@ -218,14 +255,15 @@ func Sort[T any](c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int
 		if err != nil {
 			return nil, fmt.Errorf("core: pivot selection: %w", err)
 		}
+		psp.End(map[string]any{"pivots": len(pg)})
 		if len(pg) == 0 {
 			// The whole dataset is empty: nothing to exchange.
 			if merged {
-				if err := saveCkpt(ck, tr, rank, checkpoint.PhaseFinal, merged, true, nil, cd, work); err != nil {
+				if err := saveCkpt(ck, tr, rank, sc, checkpoint.PhaseFinal, merged, true, nil, cd, work); err != nil {
 					return nil, err
 				}
 			} else {
-				aliasCkpt(ck, tr, rank, checkpoint.PhaseFinal, checkpoint.PhaseLocalSort, merged, true, nil)
+				aliasCkpt(ck, tr, rank, sc, checkpoint.PhaseFinal, checkpoint.PhaseLocalSort, merged, true, nil)
 			}
 			return done(work, "empty")
 		}
@@ -244,23 +282,25 @@ func Sort[T any](c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int
 
 		// Skew-aware partition (line 10), accelerated by the local
 		// pivots.
+		ptsp := trace.StartSpan(tr, rank, sc, "partition", nil)
 		bounds, err = partitionData(wc, work, pg, cmp, opt)
 		if err != nil {
 			return nil, fmt.Errorf("core: partition: %w", err)
 		}
+		ptsp.End(map[string]any{"dests": len(bounds) - 1})
 		b64 := make([]int64, len(bounds))
 		for i, b := range bounds {
 			b64[i] = int64(b)
 		}
 		if merged {
-			if err := saveCkpt(ck, tr, rank, checkpoint.PhasePartition, merged, true, b64, cd, work); err != nil {
+			if err := saveCkpt(ck, tr, rank, sc, checkpoint.PhasePartition, merged, true, b64, cd, work); err != nil {
 				return nil, err
 			}
 		} else {
 			// Without node merging the working set IS the local-sort
 			// snapshot; only the bounds are new. Alias it instead of
 			// writing the data a second time.
-			aliasCkpt(ck, tr, rank, checkpoint.PhasePartition, checkpoint.PhaseLocalSort, merged, true, b64)
+			aliasCkpt(ck, tr, rank, sc, checkpoint.PhasePartition, checkpoint.PhaseLocalSort, merged, true, b64)
 		}
 	}
 	p := wc.Size()
@@ -270,6 +310,7 @@ func Sort[T any](c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int
 	// OOM on a real machine.
 	tm.Start(metrics.PhaseExchange)
 	scounts := partition.Counts(bounds)
+	tr.Emit(rank, "partition.histogram", histogramDetail(scounts))
 	rcounts, err := exchangeCounts(wc, scounts)
 	if err != nil {
 		return nil, fmt.Errorf("core: count exchange: %w", err)
@@ -285,6 +326,11 @@ func Sort[T any](c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int
 		"stage_bytes": stage, "staged": stage > 0,
 		"zero_copy": zeroCopyEligible(cd, opt),
 	})
+	// Output-side skew: the received partition sizes — the loads the
+	// paper's RDFA metric measures and skew-aware splitting bounds.
+	if err := observeSkew(wc, metrics.SkewExchange, m, opt, tr, rank); err != nil {
+		return nil, err
+	}
 	// Receive-buffer budgeting doubles as the spill trigger: with a
 	// spill tier configured, a receive side that does not fit (or
 	// Spill.Force) diverts the exchange through disk runs instead of
@@ -305,7 +351,7 @@ func Sort[T any](c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int
 			if err != nil {
 				return nil, err
 			}
-			if err := saveCkpt(ck, tr, rank, checkpoint.PhaseFinal, merged, true, nil, cd, out); err != nil {
+			if err := saveCkpt(ck, tr, rank, sc, checkpoint.PhaseFinal, merged, true, nil, cd, out); err != nil {
 				return nil, err
 			}
 			return done(out, "spilled")
@@ -325,7 +371,7 @@ func Sort[T any](c *comm.Comm, data []T, cd codec.Codec[T], cmp func(a, b T) int
 	if err != nil {
 		return nil, err
 	}
-	if err := saveCkpt(ck, tr, rank, checkpoint.PhaseFinal, merged, true, nil, cd, out); err != nil {
+	if err := saveCkpt(ck, tr, rank, sc, checkpoint.PhaseFinal, merged, true, nil, cd, out); err != nil {
 		return nil, err
 	}
 	return done(out, "completed")

@@ -273,6 +273,12 @@ func spillExchange[T any](wc *comm.Comm, work []T, bounds []int, rcounts []int64
 	p := wc.Size()
 	recSize := int64(cd.Size())
 	sp.Stats.AddSpilledSort()
+	// The spill phase is its own span (not "exchange"): the run-file
+	// detour changes the cost model enough that a timeline reader
+	// should see it as a distinct critical-path step.
+	ssp := trace.StartSpan(tr, rank, opt.Span, "spill", map[string]any{
+		"recv_records": m, "zero_copy": zeroCopyEligible(cd, opt),
+	})
 
 	dir, err := os.MkdirTemp(spillRoot(sp), "spill-*")
 	if err != nil {
@@ -371,6 +377,9 @@ func spillExchange[T any](wc *comm.Comm, work []T, bounds []int, rcounts []int64
 	if int64(len(out)) != m {
 		return nil, fmt.Errorf("core: spilled merge yielded %d of %d records", len(out), m)
 	}
+	ssp.End(map[string]any{
+		"records": len(out), "runs": len(runs), "bytes_staged": st.BytesStaged, "chunks": st.Chunks,
+	})
 	return out, nil
 }
 

@@ -237,6 +237,11 @@ type Env struct {
 	// what admission granted it. A degraded re-dispatch gets a fresh
 	// gauge grown for the larger per-survivor share.
 	Mem *memlimit.Gauge
+	// Span is the job's ambient span scope: bodies pass it as
+	// core.Options.Span (directly or via algo.Options.Core) so every
+	// span a sort opens nests under the job's root span and carries the
+	// job's trace/job labels.
+	Span trace.Scope
 	// Degraded is set on a shrink re-dispatch: the body runs on the
 	// survivors only and should resume from Resume instead of its input.
 	Degraded bool
@@ -325,6 +330,7 @@ type Job struct {
 
 	metrics *metrics.JobMetrics
 	mem     *memlimit.Gauge // per-job budget, nil without a footprint
+	span    *trace.Span     // job root span, opened at admission (rank -1)
 
 	state     atomic.Int32
 	remaining atomic.Int32
@@ -510,6 +516,14 @@ func (e *Engine) startLocked(j *Job) {
 	e.tr.Emit(-1, "engine.admit", map[string]any{
 		"job": j.id, "name": j.metrics.Name, "footprint": j.spec.Footprint,
 	})
+	// The job's root span: admission to completion, at rank -1 (the
+	// engine's control plane — no rank owns a job). Rank bodies nest
+	// their sort spans under it through Env.Span.
+	j.span = trace.StartSpan(e.tr, -1, trace.Scope{
+		Trace: JobCommName(e.opts.Name, j.id), Job: j.metrics.Name,
+	}, "job", map[string]any{
+		"job_id": j.id, "footprint": j.spec.Footprint,
+	})
 	j.mu.Lock()
 	cancel := j.cancel
 	j.mu.Unlock()
@@ -537,7 +551,7 @@ func (e *Engine) runRank(j *Job, rank int, cancel <-chan struct{}) (err error) {
 	}
 	jt := &jobTransport{Transport: tr, cancel: cancel}
 	c := comm.Attach(jt, JobCommName(e.opts.Name, j.id))
-	return j.spec.Body(Env{Metrics: j.metrics, Mem: j.mem}, rank, c)
+	return j.spec.Body(Env{Metrics: j.metrics, Mem: j.mem, Span: j.span.Scope()}, rank, c)
 }
 
 // runRankShrunk is runRank for one survivor of a degraded retry: the
@@ -563,6 +577,7 @@ func (e *Engine) runRankShrunk(j *Job, worldRank int, survivors []int, cancel <-
 	env := Env{
 		Metrics:  j.metrics,
 		Mem:      j.mem,
+		Span:     j.span.Scope(),
 		Degraded: true,
 		Resume:   j.resume,
 		Lost:     append([]int(nil), j.lost...),
@@ -628,6 +643,7 @@ func (e *Engine) jobDone(j *Job) {
 	if err != nil {
 		ev["error"] = err.Error()
 	}
+	j.span.End(ev)
 	e.tr.Emit(-1, "engine.done", ev)
 }
 

@@ -54,6 +54,7 @@ func Submit[T any](e *engine.Engine, spec engine.JobSpec, opt core.Options, part
 		o.Timer = env.Metrics.Timer(rank)
 		o.Exchange = env.Metrics.Exchange
 		o.Mem = env.Mem
+		o.Span = env.Span
 		var local []T
 		if rank < len(parts) {
 			local = append([]T(nil), parts[rank]...)

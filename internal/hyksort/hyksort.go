@@ -59,6 +59,12 @@ type Options struct {
 	Spill *core.SpillOptions
 	// Trace receives structured events when non-nil.
 	Trace trace.Tracer
+	// Span is the ambient span scope the exchange's spans nest under
+	// (typically the driver-level "sort" root).
+	Span trace.Scope
+	// Skew accrues per-phase imbalance diagnostics when non-nil. Like
+	// Spill, it must agree across ranks: the observation is collective.
+	Skew *metrics.SkewStats
 }
 
 // DefaultOptions mirrors the published configuration.
@@ -92,6 +98,8 @@ func (o Options) coreOpt(tm *metrics.PhaseTimer) core.Options {
 	c.Exchange = o.Exchange
 	c.Spill = o.Spill
 	c.Trace = o.Trace
+	c.Span = o.Span
+	c.Skew = o.Skew
 	c.TauO = 0
 	return c
 }

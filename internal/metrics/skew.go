@@ -1,0 +1,165 @@
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+
+	"sdssort/internal/telemetry"
+)
+
+// Skew diagnostics: the live, per-phase counterpart of the paper's
+// RDFA metric. Where RDFA is computed once per experiment run, a
+// long-lived sorting service wants the load-imbalance factor of every
+// phase of every job on its telemetry plane — it is the signal the
+// skew-aware splitting exists to minimise, and the input a future
+// autoscaler or admission controller would act on.
+
+// Phases SkewStats tracks. They are fixed at registration time
+// because the telemetry registry binds label values when the gauge is
+// created.
+const (
+	// SkewLocalSort is the input-side distribution: records each rank
+	// started with, observed before pivot selection.
+	SkewLocalSort = "localsort"
+	// SkewExchange is the output-side distribution: records each rank
+	// receives from the exchange — the partition sizes the paper's
+	// RDFA measures.
+	SkewExchange = "exchange"
+)
+
+func skewPhases() []string { return []string{SkewLocalSort, SkewExchange} }
+
+// StragglerFactor classifies a rank as a straggler when its load
+// exceeds this multiple of the phase mean. 2× is far outside the
+// τ-bounded imbalance the splitter guarantees (1+τ, with τ ≤ 1), so a
+// straggler always indicates skew the algorithm failed to absorb.
+const StragglerFactor = 2.0
+
+// SkewObservation is one phase's load geometry, returned by Observe
+// so the caller can also put it on the trace plane.
+type SkewObservation struct {
+	Phase      string
+	Ranks      int
+	Max, Mean  float64
+	MaxRank    int
+	Imbalance  float64 // max/mean; 1.0 = perfectly balanced, 0 = no data
+	Stragglers []int   // ranks with load > StragglerFactor × mean
+}
+
+type skewPhase struct {
+	lastBits  atomic.Uint64 // float64 bits of the last imbalance
+	worstBits atomic.Uint64 // float64 bits of the worst imbalance seen
+	straggled atomic.Int64  // total straggler sightings
+	observed  atomic.Int64  // total observations
+}
+
+func (p *skewPhase) last() float64  { return math.Float64frombits(p.lastBits.Load()) }
+func (p *skewPhase) worst() float64 { return math.Float64frombits(p.worstBits.Load()) }
+
+// SkewStats holds per-phase imbalance gauges and straggler counters.
+// Safe for concurrent use; one instance may be shared by every rank
+// of an in-process world, like ExchangeStats.
+type SkewStats struct {
+	phases map[string]*skewPhase
+}
+
+// NewSkewStats returns stats tracking the standard phases.
+func NewSkewStats() *SkewStats {
+	s := &SkewStats{phases: make(map[string]*skewPhase)}
+	for _, name := range skewPhases() {
+		s.phases[name] = &skewPhase{}
+	}
+	return s
+}
+
+// Observe records one phase's per-rank loads and returns the
+// resulting geometry. Every rank of a collective observes the same
+// loads vector, so the gauges are idempotent across ranks; the
+// straggler counter, however, increments only when the *calling* rank
+// (self) is the straggler — each process counts its own sightings, so
+// a shared in-process SkewStats never multi-counts and a per-process
+// one attributes stragglers to the node that straggled. Unknown
+// phases and empty loads return a zero observation and record
+// nothing. Nil-safe, so instrumented code can call it
+// unconditionally.
+func (s *SkewStats) Observe(phase string, loads []int64, self int) SkewObservation {
+	o := SkewObservation{Phase: phase, Ranks: len(loads)}
+	var sum int64
+	for r, v := range loads {
+		sum += v
+		if fv := float64(v); fv > o.Max {
+			o.Max, o.MaxRank = fv, r
+		}
+	}
+	if len(loads) == 0 || sum == 0 {
+		return o
+	}
+	o.Mean = float64(sum) / float64(len(loads))
+	o.Imbalance = o.Max / o.Mean
+	for r, v := range loads {
+		if float64(v) > StragglerFactor*o.Mean {
+			o.Stragglers = append(o.Stragglers, r)
+		}
+	}
+	if s == nil {
+		return o
+	}
+	p, ok := s.phases[phase]
+	if !ok {
+		return o
+	}
+	p.lastBits.Store(math.Float64bits(o.Imbalance))
+	for {
+		w := p.worstBits.Load()
+		if o.Imbalance <= math.Float64frombits(w) || p.worstBits.CompareAndSwap(w, math.Float64bits(o.Imbalance)) {
+			break
+		}
+	}
+	for _, r := range o.Stragglers {
+		if r == self {
+			p.straggled.Add(1)
+			break
+		}
+	}
+	p.observed.Add(1)
+	return o
+}
+
+// Imbalance returns the last observed max/mean for a phase (0 before
+// any observation).
+func (s *SkewStats) Imbalance(phase string) float64 {
+	if s == nil {
+		return 0
+	}
+	if p, ok := s.phases[phase]; ok {
+		return p.last()
+	}
+	return 0
+}
+
+// Stragglers returns the total straggler sightings for a phase.
+func (s *SkewStats) Stragglers(phase string) int64 {
+	if s == nil {
+		return 0
+	}
+	if p, ok := s.phases[phase]; ok {
+		return p.straggled.Load()
+	}
+	return 0
+}
+
+// Register exposes the per-phase series on a telemetry registry.
+func (s *SkewStats) Register(r *telemetry.Registry) {
+	for _, name := range skewPhases() {
+		p := s.phases[name]
+		r.GaugeFunc("sds_phase_imbalance_max_mean",
+			"Last observed load-imbalance factor (max rank load over mean) for the phase; 1.0 is perfectly balanced.",
+			p.last, telemetry.L("phase", name))
+		r.GaugeFunc("sds_phase_imbalance_worst",
+			"Worst load-imbalance factor observed for the phase since start.",
+			p.worst, telemetry.L("phase", name))
+		r.CounterFunc("sds_phase_straggler_total",
+			"Ranks observed carrying more than 2x the phase's mean load.",
+			telemetry.FInt(p.straggled.Load), telemetry.L("phase", name))
+	}
+}

@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"sdssort/internal/telemetry"
+)
+
+func TestSkewObserveGeometry(t *testing.T) {
+	s := NewSkewStats()
+	// Loads 10/10/10/50: mean 20, max 50 on rank 3, imbalance 2.5,
+	// rank 3 past the 2× straggler bar.
+	o := s.Observe(SkewExchange, []int64{10, 10, 10, 50}, 0)
+	if o.Ranks != 4 || o.Max != 50 || o.MaxRank != 3 {
+		t.Fatalf("geometry wrong: %+v", o)
+	}
+	if math.Abs(o.Mean-20) > 1e-9 || math.Abs(o.Imbalance-2.5) > 1e-9 {
+		t.Fatalf("mean/imbalance = %v/%v, want 20/2.5", o.Mean, o.Imbalance)
+	}
+	if len(o.Stragglers) != 1 || o.Stragglers[0] != 3 {
+		t.Fatalf("stragglers = %v, want [3]", o.Stragglers)
+	}
+	if got := s.Imbalance(SkewExchange); math.Abs(got-2.5) > 1e-9 {
+		t.Errorf("Imbalance gauge = %v, want 2.5", got)
+	}
+}
+
+// The gauges are idempotent across ranks of a collective (everyone
+// sees the same loads vector), but the straggler counter must count a
+// sighting only on the rank that straggled — a shared in-process
+// SkewStats would otherwise multi-count each incident p times.
+func TestSkewStragglerSelfAttribution(t *testing.T) {
+	s := NewSkewStats()
+	loads := []int64{10, 10, 10, 50}
+	for self := 0; self < len(loads); self++ {
+		s.Observe(SkewLocalSort, loads, self)
+	}
+	if got := s.Stragglers(SkewLocalSort); got != 1 {
+		t.Errorf("4 collective observations counted %d straggler sightings, want 1 (rank 3's own)", got)
+	}
+}
+
+func TestSkewWorstRetainsHighWaterMark(t *testing.T) {
+	s := NewSkewStats()
+	s.Observe(SkewExchange, []int64{10, 30}, 0) // imbalance 1.5
+	s.Observe(SkewExchange, []int64{20, 20}, 0) // imbalance 1.0
+	if got := s.Imbalance(SkewExchange); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("last gauge = %v, want 1.0", got)
+	}
+	if got := s.phases[SkewExchange].worst(); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("worst gauge = %v, want the 1.5 high-water mark", got)
+	}
+}
+
+func TestSkewObserveDegenerateInputs(t *testing.T) {
+	s := NewSkewStats()
+	if o := s.Observe(SkewExchange, nil, 0); o.Imbalance != 0 {
+		t.Errorf("empty loads produced imbalance %v", o.Imbalance)
+	}
+	if o := s.Observe(SkewExchange, []int64{0, 0}, 0); o.Imbalance != 0 {
+		t.Errorf("all-zero loads produced imbalance %v", o.Imbalance)
+	}
+	if o := s.Observe("nonesuch", []int64{1, 3}, 0); o.Imbalance == 0 {
+		t.Error("unknown phase should still return the geometry")
+	}
+	if got := s.Imbalance("nonesuch"); got != 0 {
+		t.Errorf("unknown phase recorded a gauge: %v", got)
+	}
+	// Nil-safe, so instrumented code calls unconditionally.
+	var nilStats *SkewStats
+	if o := nilStats.Observe(SkewExchange, []int64{1, 9}, 0); math.Abs(o.Imbalance-1.8) > 1e-9 {
+		t.Errorf("nil stats should still compute geometry, got %+v", o)
+	}
+	if nilStats.Imbalance(SkewExchange) != 0 || nilStats.Stragglers(SkewExchange) != 0 {
+		t.Error("nil stats reads should be zero")
+	}
+}
+
+func TestSkewRegisterExportsSeries(t *testing.T) {
+	s := NewSkewStats()
+	s.Observe(SkewExchange, []int64{10, 10, 10, 50}, 3)
+	reg := telemetry.NewRegistry()
+	s.Register(reg)
+	var b strings.Builder
+	if _, err := reg.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`sds_phase_imbalance_max_mean{phase="exchange"} 2.5`,
+		`sds_phase_imbalance_worst{phase="exchange"} 2.5`,
+		`sds_phase_straggler_total{phase="exchange"} 1`,
+		`sds_phase_imbalance_max_mean{phase="localsort"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -53,6 +53,10 @@ type ServerOptions struct {
 	// fabric-wide totals after the local registry dump (coordinator
 	// only). It must not block on the network.
 	Aggregate func(w http.ResponseWriter)
+	// Spans supplies the reconstructed span list for /debug/spans —
+	// typically trace.BuildSpans over the process's ring buffer. The
+	// returned value is rendered as indented JSON. Nil returns 404.
+	Spans func() any
 }
 
 // Server serves the telemetry plane over HTTP: /metrics (Prometheus
@@ -103,6 +107,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/debug/trace", s.handleTrace)
+	mux.HandleFunc("/debug/spans", s.handleSpans)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -138,6 +143,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(h) //nolint:errcheck // best-effort response body
+}
+
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Spans == nil {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.opts.Spans()) //nolint:errcheck // best-effort response body
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {

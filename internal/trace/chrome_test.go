@@ -1,0 +1,164 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the chrome export golden file")
+
+// goldenEvents builds a deterministic 4-rank stream the way merged
+// per-process trace files would look: every rank's clock disagrees
+// with rank 0 by a known offset, each carries its clock.offset
+// measurement, a "sort" root span with nested localsort/exchange
+// children, and a skew instant. True (rank-0) times are identical
+// across ranks, so after offset correction the timelines must line up
+// exactly — that alignment is what the golden file freezes.
+func goldenEvents() []Event {
+	offsets := []int64{0, 1000, -500, 250}
+	const base = int64(1_000_000) // rank 0's wall clock at its zero
+	var events []Event
+	for rank, off := range offsets {
+		// wall stamps an event at true time t on this rank's skewed clock.
+		wall := func(t int64) int64 { return base + t + off }
+		sortID, lsID, exID := int64(1), int64(2), int64(3)
+		events = append(events,
+			evt(rank, KindClockOffset, 10, wall(10), map[string]any{"offset_us": off, "rtt_us": int64(40)}),
+			evt(rank, KindSpanBegin, 20, wall(20), map[string]any{
+				"span": sortID, "name": "sort", "trace": "w", "records": int64(1000),
+			}),
+			evt(rank, KindSpanBegin, 25, wall(25), map[string]any{
+				"span": lsID, "parent": sortID, "name": "localsort", "trace": "w",
+			}),
+			evt(rank, KindSpanEnd, 60, wall(60), map[string]any{"span": lsID, "name": "localsort"}),
+			evt(rank, "skew.phase", 62, wall(62), map[string]any{
+				"phase": "localsort", "imbalance": 1.25,
+			}),
+			evt(rank, KindSpanBegin, 65, wall(65), map[string]any{
+				"span": exID, "parent": sortID, "name": "exchange", "trace": "w",
+			}),
+			evt(rank, KindSpanEnd, 90, wall(90), map[string]any{
+				"span": exID, "name": "exchange", "bytes": int64(4096),
+			}),
+			evt(rank, KindSpanEnd, 95, wall(95), map[string]any{"span": sortID, "name": "sort"}),
+		)
+	}
+	return events
+}
+
+// TestChromeTraceGolden freezes the exporter's byte-exact output for
+// the 4-rank scenario above. Regenerate with `go test -run Golden
+// -update ./internal/trace/` and inspect the diff: any change to
+// slice shapes, alignment or metadata is a reviewed decision, not
+// drift.
+func TestChromeTraceGolden(t *testing.T) {
+	out, err := ChromeTrace(goldenEvents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, append(out, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	if !bytes.Equal(append(out, '\n'), want) {
+		t.Fatalf("chrome export drifted from %s (re-run with -update and review the diff)\ngot:\n%s", golden, out)
+	}
+}
+
+// TestChromeTraceClockAlignment checks the property the golden file
+// encodes: ranks whose clocks disagree by known offsets produce slices
+// at identical aligned timestamps, and durations stay on each rank's
+// own clock.
+func TestChromeTraceClockAlignment(t *testing.T) {
+	out, err := ChromeTrace(goldenEvents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   int64          `json:"ts"`
+			Dur  int64          `json:"dur"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out, &f); err != nil {
+		t.Fatal(err)
+	}
+	sortTS := map[int]int64{}
+	var slices, instants int
+	for _, e := range f.TraceEvents {
+		switch e.Ph {
+		case "X":
+			slices++
+			if e.Name == "sort" {
+				sortTS[e.TID] = e.TS
+				if e.Dur != 75 { // 95-20 on the rank's own elapsed clock
+					t.Errorf("rank %d sort dur = %d, want 75", e.TID, e.Dur)
+				}
+			}
+		case "i":
+			instants++
+		}
+	}
+	if slices != 12 {
+		t.Errorf("got %d slices, want 12 (3 spans × 4 ranks)", slices)
+	}
+	if instants != 8 {
+		t.Errorf("got %d instants, want 8 (clock.offset + skew.phase × 4 ranks)", instants)
+	}
+	if len(sortTS) != 4 {
+		t.Fatalf("sort slices on %d rank rows, want 4", len(sortTS))
+	}
+	// All four sorts started at the same true time; after offset
+	// correction their aligned timestamps must agree despite the ranks'
+	// clocks disagreeing by up to 1.5ms.
+	ref := sortTS[0]
+	for tid, ts := range sortTS {
+		if ts != ref {
+			t.Errorf("rank %d sort ts = %d, rank 0's = %d — offsets not applied", tid, ts, ref)
+		}
+	}
+}
+
+// Pre-UnixUS traces (or mixed streams) cannot be wall-aligned; the
+// exporter must fall back to elapsed time rather than misalign.
+func TestChromeTraceElapsedFallback(t *testing.T) {
+	events := []Event{
+		evt(0, KindSpanBegin, 100, 555, map[string]any{"span": int64(1), "name": "sort"}),
+		evt(0, KindSpanEnd, 200, 0, map[string]any{"span": int64(1), "name": "sort"}), // no wall stamp
+	}
+	out, err := ChromeTrace(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+			TS int64  `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out, &f); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range f.TraceEvents {
+		if e.Ph == "X" && e.TS != 0 {
+			t.Errorf("elapsed fallback: slice ts = %d, want 0 (origin-normalised elapsed)", e.TS)
+		}
+	}
+}

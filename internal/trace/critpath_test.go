@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// spanPair emits a begin/end pair directly as events, with explicit
+// timestamps, so the attribution arithmetic is tested on exact inputs.
+func spanPair(rank int, id, parent int64, name, traceName string, start, end int64) []Event {
+	begin := map[string]any{"span": id, "name": name}
+	if parent != 0 {
+		begin["parent"] = parent
+	}
+	if traceName != "" {
+		begin["trace"] = traceName
+	}
+	return []Event{
+		evt(rank, KindSpanBegin, start, 0, begin),
+		evt(rank, KindSpanEnd, end, 0, map[string]any{"span": id, "name": name}),
+	}
+}
+
+// Two ranks, BSP sort: rank 1 is slower end-to-end, rank 0 owns the
+// slowest localsort, rank 1 the slowest exchange. The critical path
+// must pick the max over ranks per phase and gate the total on the
+// slowest root.
+func TestCriticalPathAttributesSlowestRankPerPhase(t *testing.T) {
+	var events []Event
+	// rank 0: sort 0..100, localsort 0..60, exchange 65..85
+	events = append(events, spanPair(0, 1, 0, "sort", "w", 0, 100)...)
+	events = append(events, spanPair(0, 2, 1, "localsort", "w", 0, 60)...)
+	events = append(events, spanPair(0, 3, 1, "exchange", "w", 65, 85)...)
+	// rank 1: sort 0..120, localsort 0..40, exchange 45..115
+	events = append(events, spanPair(1, 1, 0, "sort", "w", 0, 120)...)
+	events = append(events, spanPair(1, 2, 1, "localsort", "w", 0, 40)...)
+	events = append(events, spanPair(1, 3, 1, "exchange", "w", 45, 115)...)
+
+	cp, ok := CriticalPath(events)
+	if !ok {
+		t.Fatal("no critical path found")
+	}
+	if cp.RootName != "sort" || cp.Roots != 2 {
+		t.Fatalf("root = %q over %d ranks, want sort over 2", cp.RootName, cp.Roots)
+	}
+	if cp.TotalUS != 120 || cp.SlowestRank != 1 {
+		t.Fatalf("total %dµs gated by rank %d, want 120µs by rank 1", cp.TotalUS, cp.SlowestRank)
+	}
+	if len(cp.Steps) != 2 {
+		t.Fatalf("got %d steps, want 2: %+v", len(cp.Steps), cp.Steps)
+	}
+	ls, ex := cp.Steps[0], cp.Steps[1]
+	if ls.Name != "localsort" || ex.Name != "exchange" {
+		t.Fatalf("steps out of start order: %+v", cp.Steps)
+	}
+	if ls.Rank != 0 || ls.DurUS != 60 {
+		t.Errorf("localsort attributed to rank %d at %dµs, want rank 0 at 60µs", ls.Rank, ls.DurUS)
+	}
+	if ex.Rank != 1 || ex.DurUS != 70 {
+		t.Errorf("exchange attributed to rank %d at %dµs, want rank 1 at 70µs", ex.Rank, ex.DurUS)
+	}
+	// localsort mean is (60+40)/2 = 50 → max/mean 1.2
+	if ls.MaxOverMean < 1.19 || ls.MaxOverMean > 1.21 {
+		t.Errorf("localsort max/mean = %.3f, want 1.2", ls.MaxOverMean)
+	}
+	if cp.AccountedUS != 130 {
+		t.Errorf("accounted %dµs, want 60+70", cp.AccountedUS)
+	}
+	out := cp.Render()
+	for _, want := range []string{"critical path: sort over 2 rank(s)", "localsort", "exchange", "un-spanned"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// A multi-job stream: the analyzer picks the trace with the longest
+// root and reports the others as skipped, instead of blending jobs.
+func TestCriticalPathPicksLongestTrace(t *testing.T) {
+	var events []Event
+	events = append(events, spanPair(0, 1, 0, "sort", "job-a", 0, 50)...)
+	events = append(events, spanPair(0, 2, 0, "sort", "job-b", 0, 500)...)
+	events = append(events, spanPair(0, 3, 2, "exchange", "job-b", 10, 200)...)
+
+	cp, ok := CriticalPath(events)
+	if !ok {
+		t.Fatal("no critical path found")
+	}
+	if cp.Trace != "job-b" || cp.TotalUS != 500 {
+		t.Fatalf("picked trace %q (%dµs), want job-b (500µs)", cp.Trace, cp.TotalUS)
+	}
+	if cp.OtherTraces != 1 {
+		t.Errorf("OtherTraces = %d, want 1", cp.OtherTraces)
+	}
+	if len(cp.Steps) != 1 || cp.Steps[0].Name != "exchange" {
+		t.Errorf("steps blended across traces: %+v", cp.Steps)
+	}
+}
+
+// With no "sort" spans the analyzer falls back to parentless roots, so
+// span-instrumented code that is not a sort still gets an attribution.
+func TestCriticalPathFallsBackToParentlessRoots(t *testing.T) {
+	var events []Event
+	events = append(events, spanPair(0, 1, 0, "job", "", 0, 300)...)
+	events = append(events, spanPair(0, 2, 1, "spill", "", 20, 250)...)
+
+	cp, ok := CriticalPath(events)
+	if !ok {
+		t.Fatal("no critical path found")
+	}
+	if cp.RootName != "job" || cp.TotalUS != 300 {
+		t.Fatalf("fallback root = %q (%dµs), want job (300µs)", cp.RootName, cp.TotalUS)
+	}
+	if len(cp.Steps) != 1 || cp.Steps[0].Name != "spill" {
+		t.Errorf("steps = %+v, want one spill step", cp.Steps)
+	}
+}
+
+func TestCriticalPathNoSpans(t *testing.T) {
+	events := []Event{evt(0, "phase", 10, 0, nil)}
+	if _, ok := CriticalPath(events); ok {
+		t.Fatal("span-free stream produced a critical path")
+	}
+	if _, ok := CriticalPath(nil); ok {
+		t.Fatal("empty stream produced a critical path")
+	}
+}

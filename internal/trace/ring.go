@@ -24,17 +24,21 @@ func NewRing(n int) *Ring {
 	return &Ring{buf: make([]Event, n), start: time.Now()}
 }
 
-// Emit implements Tracer.
+// Emit implements Tracer. The detail map is shallow-copied: the ring
+// retains events long after Emit returns, and callers own (and may
+// mutate or reuse) the map they passed in.
 func (r *Ring) Emit(rank int, kind string, detail map[string]any) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.next++
+	now := time.Now()
 	r.buf[(r.next-1)%int64(len(r.buf))] = Event{
 		Seq:       r.next,
-		ElapsedUS: time.Since(r.start).Microseconds(),
+		ElapsedUS: now.Sub(r.start).Microseconds(),
+		UnixUS:    now.UnixMicro(),
 		Rank:      rank,
 		Kind:      kind,
-		Detail:    detail,
+		Detail:    copyDetail(detail),
 	}
 }
 

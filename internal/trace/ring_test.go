@@ -71,6 +71,20 @@ func TestRingConcurrentEmit(t *testing.T) {
 	}
 }
 
+// Emitters reuse their detail maps (the hot path annotates one map
+// per phase); the ring must copy on Emit so a later mutation cannot
+// rewrite history in the buffer.
+func TestRingCopiesDetailOnEmit(t *testing.T) {
+	r := NewRing(4)
+	d := map[string]any{"records": 10}
+	r.Emit(0, "phase", d)
+	d["records"] = 999
+	evs := r.Events()
+	if len(evs) != 1 || evs[0].Detail["records"] != 10 {
+		t.Fatalf("ring aliased the caller's detail map: %+v", evs)
+	}
+}
+
 func TestTeeFansOutAndDropsNil(t *testing.T) {
 	a, b := NewRing(2), NewRing(2)
 	tee := NewTee(a, nil, b)

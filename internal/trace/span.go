@@ -1,0 +1,261 @@
+package trace
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// Distributed spans over the flat event stream.
+//
+// A span is a named interval of work on one rank — a whole sort, one
+// phase of it, one checkpoint write. Rather than grow a second wire
+// format, spans ride the existing event plane as a begin/end pair:
+//
+//	span.begin  {span, parent, trace, name, job, ...attrs}
+//	span.end    {span, name, ...attrs}
+//
+// The begin event's timestamps are the span's start, the end event's
+// its finish. Every sink, file format and endpoint that understands
+// events therefore already carries spans; BuildSpans reconstructs the
+// tree on the read side. Span IDs come from one process-wide atomic
+// counter, so they are unique within a process but NOT across
+// processes — readers merging per-rank files must pair begin/end on
+// the composite key (rank, span id), which BuildSpans does.
+//
+// Emission is allocation-free when tracing is off: StartSpan returns a
+// nil *Span for a nil or Nop tracer, and every *Span method is
+// nil-safe, so instrumented code needs no conditionals.
+
+// Span event kinds.
+const (
+	KindSpanBegin = "span.begin"
+	KindSpanEnd   = "span.end"
+)
+
+// spanSeq hands out process-unique span IDs, starting at 1.
+var spanSeq atomic.Int64
+
+// Scope carries the ambient span context — which trace this work
+// belongs to, the enclosing span, and the owning job — across layer
+// boundaries (engine → driver → core → checkpoint) without threading
+// a live tracer handle through every signature.
+type Scope struct {
+	// Trace groups all spans of one logical operation (one job, one
+	// supervised run). Conventionally the job ID or the world name.
+	Trace string
+	// Parent is the enclosing span's ID, 0 at the root.
+	Parent int64
+	// Job is the owning job's ID, if any; it labels every span in the
+	// subtree so a multi-tenant timeline can be filtered per job.
+	Job string
+}
+
+// Span is a live, unfinished span. A nil *Span is valid and inert.
+type Span struct {
+	tr    Tracer
+	rank  int
+	id    int64
+	name  string
+	sc    Scope
+	ended atomic.Bool
+}
+
+// StartSpan opens a span and emits its begin event. It returns nil —
+// meaning zero further cost — when tr is nil or the Nop tracer.
+// The detail map, if any, annotates the begin event.
+func StartSpan(tr Tracer, rank int, sc Scope, name string, detail map[string]any) *Span {
+	if tr == nil {
+		return nil
+	}
+	if _, nop := tr.(Nop); nop {
+		return nil
+	}
+	s := &Span{tr: tr, rank: rank, id: spanSeq.Add(1), name: name, sc: sc}
+	d := make(map[string]any, len(detail)+4)
+	for k, v := range detail {
+		d[k] = v
+	}
+	d["span"] = s.id
+	d["name"] = name
+	if sc.Parent != 0 {
+		d["parent"] = sc.Parent
+	}
+	if sc.Trace != "" {
+		d["trace"] = sc.Trace
+	}
+	if sc.Job != "" {
+		d["job"] = sc.Job
+	}
+	tr.Emit(rank, KindSpanBegin, d)
+	return s
+}
+
+// ID returns the span's process-unique ID, 0 for a nil span.
+func (s *Span) ID() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// Scope returns the scope a child span of s should start under. For a
+// nil span it returns the zero Scope, so spans started under it are
+// roots — instrumented code can chain Scope() unconditionally.
+func (s *Span) Scope() Scope {
+	if s == nil {
+		return Scope{}
+	}
+	return Scope{Trace: s.sc.Trace, Parent: s.id, Job: s.sc.Job}
+}
+
+// End closes the span, emitting its end event. The detail map, if
+// any, annotates the end event (bytes moved, records received, exit
+// reason...). Safe on a nil span, and idempotent: only the first End
+// emits, so callers with many exit paths can close eagerly with rich
+// detail and also defer a bare End as an error-path net.
+func (s *Span) End(detail map[string]any) {
+	if s == nil || !s.ended.CompareAndSwap(false, true) {
+		return
+	}
+	d := make(map[string]any, len(detail)+2)
+	for k, v := range detail {
+		d[k] = v
+	}
+	d["span"] = s.id
+	d["name"] = s.name
+	s.tr.Emit(s.rank, KindSpanEnd, d)
+}
+
+// SpanRecord is one reconstructed span, paired from its begin/end
+// events by BuildSpans.
+type SpanRecord struct {
+	// Trace, Span, Parent and Job echo the Scope the span ran under.
+	// Span IDs are unique per process only; (Rank, Span) is the
+	// cross-process key.
+	Trace  string `json:"trace,omitempty"`
+	Span   int64  `json:"span"`
+	Parent int64  `json:"parent,omitempty"`
+	Job    string `json:"job,omitempty"`
+	// Name and Rank identify what ran where.
+	Name string `json:"name"`
+	Rank int    `json:"rank"`
+	// StartUS/EndUS are the local elapsed-clock bounds; StartUnixUS/
+	// EndUnixUS the wall-clock bounds (0 in pre-UnixUS traces).
+	StartUS     int64 `json:"start_us"`
+	EndUS       int64 `json:"end_us"`
+	StartUnixUS int64 `json:"start_unix_us,omitempty"`
+	EndUnixUS   int64 `json:"end_unix_us,omitempty"`
+	// Detail merges the begin and end annotations (end wins on
+	// conflict), minus the span-bookkeeping keys.
+	Detail map[string]any `json:"detail,omitempty"`
+	// Open marks a span whose end event never arrived — a crashed or
+	// still-running operation. Its End bounds are the stream's last
+	// sighting of the rank.
+	Open bool `json:"open,omitempty"`
+}
+
+// DurUS returns the span's duration on its local clock.
+func (s SpanRecord) DurUS() int64 { return s.EndUS - s.StartUS }
+
+// spanBookkeeping are the detail keys StartSpan/End inject; BuildSpans
+// lifts them into SpanRecord fields and drops them from Detail.
+var spanBookkeeping = map[string]bool{
+	"span": true, "parent": true, "trace": true, "name": true, "job": true,
+}
+
+// BuildSpans reconstructs spans from an event stream (any mix of
+// ranks and processes), pairing begin/end on (rank, span id). The
+// result is ordered by local start time, then rank. Spans with no end
+// event are returned Open, extended to the last event seen from their
+// rank, so a hung or crashed phase is visible rather than missing.
+func BuildSpans(events []Event) []SpanRecord {
+	type key struct {
+		rank int
+		id   int64
+	}
+	open := map[key]*SpanRecord{}
+	lastSeen := map[int]Event{} // rank -> latest event by ElapsedUS
+	var out []*SpanRecord
+	for _, e := range events {
+		if last, ok := lastSeen[e.Rank]; !ok || e.ElapsedUS > last.ElapsedUS {
+			lastSeen[e.Rank] = e
+		}
+		id, ok := asInt64(e.Detail["span"])
+		if !ok || (e.Kind != KindSpanBegin && e.Kind != KindSpanEnd) {
+			continue
+		}
+		k := key{e.Rank, id}
+		switch e.Kind {
+		case KindSpanBegin:
+			r := &SpanRecord{
+				Span:        id,
+				Rank:        e.Rank,
+				StartUS:     e.ElapsedUS,
+				StartUnixUS: e.UnixUS,
+				Open:        true,
+			}
+			if v, ok := e.Detail["name"].(string); ok {
+				r.Name = v
+			}
+			if v, ok := asInt64(e.Detail["parent"]); ok {
+				r.Parent = v
+			}
+			if v, ok := e.Detail["trace"].(string); ok {
+				r.Trace = v
+			}
+			if v, ok := e.Detail["job"].(string); ok {
+				r.Job = v
+			}
+			r.Detail = detailMinusBookkeeping(e.Detail, nil)
+			open[k] = r
+			out = append(out, r)
+		case KindSpanEnd:
+			r, ok := open[k]
+			if !ok {
+				continue // end without begin: truncated ring, skip
+			}
+			r.EndUS = e.ElapsedUS
+			r.EndUnixUS = e.UnixUS
+			r.Open = false
+			r.Detail = detailMinusBookkeeping(e.Detail, r.Detail)
+			delete(open, k)
+		}
+	}
+	// Extend unterminated spans to their rank's last sighting.
+	for _, r := range open {
+		if last, ok := lastSeen[r.Rank]; ok {
+			r.EndUS = last.ElapsedUS
+			r.EndUnixUS = last.UnixUS
+		} else {
+			r.EndUS = r.StartUS
+			r.EndUnixUS = r.StartUnixUS
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].StartUS != out[j].StartUS {
+			return out[i].StartUS < out[j].StartUS
+		}
+		return out[i].Rank < out[j].Rank
+	})
+	res := make([]SpanRecord, len(out))
+	for i, r := range out {
+		res[i] = *r
+	}
+	return res
+}
+
+// detailMinusBookkeeping merges detail into base (allocating only when
+// there is something to keep), dropping the span-bookkeeping keys.
+func detailMinusBookkeeping(detail, base map[string]any) map[string]any {
+	out := base
+	for k, v := range detail {
+		if spanBookkeeping[k] {
+			continue
+		}
+		if out == nil {
+			out = make(map[string]any)
+		}
+		out[k] = v
+	}
+	return out
+}

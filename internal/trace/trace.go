@@ -20,12 +20,34 @@ type Event struct {
 	Seq int64 `json:"seq"`
 	// ElapsedUS is microseconds since the tracer was created.
 	ElapsedUS int64 `json:"elapsed_us"`
+	// UnixUS is the wall-clock emission time in microseconds since the
+	// Unix epoch. Unlike ElapsedUS it is comparable across processes
+	// (after clock-offset correction — see comm.SyncClocks and the
+	// clock.offset event), which is what lets sdstrace project per-rank
+	// events onto one global timeline. Zero in traces written before
+	// the field existed.
+	UnixUS int64 `json:"unix_us,omitempty"`
 	// Rank is the communicator rank that emitted the event.
 	Rank int `json:"rank"`
 	// Kind names the event (phase, decision, exchange, partition...).
 	Kind string `json:"kind"`
 	// Detail is the event-specific payload.
 	Detail map[string]any `json:"detail,omitempty"`
+}
+
+// copyDetail shallow-copies a caller-owned detail map. Sinks that
+// retain events past the Emit call (Ring, Recorder) must not alias the
+// caller's map: callers routinely reuse or mutate detail maps after
+// emitting, which the race detector rightly flags.
+func copyDetail(detail map[string]any) map[string]any {
+	if detail == nil {
+		return nil
+	}
+	cp := make(map[string]any, len(detail))
+	for k, v := range detail {
+		cp[k] = v
+	}
+	return cp
 }
 
 // Tracer receives events. Implementations must be safe for concurrent
@@ -63,9 +85,11 @@ func (j *JSONL) Emit(rank int, kind string, detail map[string]any) {
 		return
 	}
 	j.seq++
+	now := time.Now()
 	j.err = j.enc.Encode(Event{
 		Seq:       j.seq,
-		ElapsedUS: time.Since(j.start).Microseconds(),
+		ElapsedUS: now.Sub(j.start).Microseconds(),
+		UnixUS:    now.UnixMicro(),
 		Rank:      rank,
 		Kind:      kind,
 		Detail:    detail,
@@ -96,12 +120,14 @@ func NewRecorder() *Recorder {
 func (r *Recorder) Emit(rank int, kind string, detail map[string]any) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	now := time.Now()
 	r.events = append(r.events, Event{
 		Seq:       int64(len(r.events) + 1),
-		ElapsedUS: time.Since(r.start).Microseconds(),
+		ElapsedUS: now.Sub(r.start).Microseconds(),
+		UnixUS:    now.UnixMicro(),
 		Rank:      rank,
 		Kind:      kind,
-		Detail:    detail,
+		Detail:    copyDetail(detail),
 	})
 }
 

@@ -1,0 +1,123 @@
+// Command tracecheck validates the JSON artifacts of the span-tracing
+// plane for scripts/trace_smoke.sh: the /debug/spans payload and the
+// sdstrace -format chrome export. Validation is a real JSON parse with
+// shape assertions, not a grep, so malformed or empty output fails the
+// smoke lane even when the right substrings happen to appear in it.
+//
+//	tracecheck -mode spans  -want sort spans.json    # ≥1 closed span named "sort"
+//	tracecheck -mode chrome -want sort timeline.json # ≥1 complete "X" slice named "sort"
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// span mirrors the trace.SpanRecord fields the checks read.
+type span struct {
+	Name    string `json:"name"`
+	Rank    int    `json:"rank"`
+	StartUS int64  `json:"start_us"`
+	EndUS   int64  `json:"end_us"`
+	Open    bool   `json:"open"`
+}
+
+// chromeEvent mirrors the chrome trace-event fields the checks read.
+type chromeEvent struct {
+	Name string `json:"name"`
+	Ph   string `json:"ph"`
+	Dur  int64  `json:"dur"`
+}
+
+type chromeFile struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracecheck: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	if len(os.Args) != 6 || os.Args[1] != "-mode" || os.Args[3] != "-want" {
+		// Flag-shaped but positional on purpose: the script always
+		// passes both, and a fixed shape keeps the parse honest.
+		fail("usage: tracecheck -mode spans|chrome -want <span name> <file.json>")
+	}
+	mode, want, path := os.Args[2], os.Args[4], os.Args[5]
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	switch mode {
+	case "spans":
+		var spans []span
+		if err := json.Unmarshal(data, &spans); err != nil {
+			fail("%s: not a JSON span array: %v", path, err)
+		}
+		if len(spans) == 0 {
+			fail("%s: no spans", path)
+		}
+		closed, matched := 0, 0
+		for _, s := range spans {
+			if s.Name == "" {
+				fail("%s: span with empty name", path)
+			}
+			if s.Open {
+				continue
+			}
+			closed++
+			if s.EndUS < s.StartUS {
+				fail("%s: span %q on rank %d ends before it starts", path, s.Name, s.Rank)
+			}
+			if s.Name == want {
+				matched++
+			}
+		}
+		if matched == 0 {
+			fail("%s: no closed %q span (%d spans, %d closed)", path, want, len(spans), closed)
+		}
+		fmt.Printf("tracecheck: %s ok — %d spans, %d closed, %d %q\n",
+			path, len(spans), closed, matched, want)
+
+	case "chrome":
+		var f chromeFile
+		if err := json.Unmarshal(data, &f); err != nil {
+			fail("%s: not chrome trace JSON: %v", path, err)
+		}
+		if len(f.TraceEvents) == 0 {
+			fail("%s: empty traceEvents", path)
+		}
+		slices, meta, matched := 0, 0, 0
+		for _, e := range f.TraceEvents {
+			switch e.Ph {
+			case "X":
+				slices++
+				if e.Dur < 0 {
+					fail("%s: slice %q with negative duration", path, e.Name)
+				}
+				if e.Name == want {
+					matched++
+				}
+			case "M":
+				meta++
+			}
+		}
+		if slices == 0 {
+			fail("%s: no complete (\"X\") slices", path)
+		}
+		if meta == 0 {
+			fail("%s: no thread-name metadata", path)
+		}
+		if matched == 0 {
+			fail("%s: no %q slice among %d slices", path, want, slices)
+		}
+		fmt.Printf("tracecheck: %s ok — %d events, %d slices, %d %q\n",
+			path, len(f.TraceEvents), slices, matched, want)
+
+	default:
+		fail("unknown -mode %q (want spans or chrome)", mode)
+	}
+}
